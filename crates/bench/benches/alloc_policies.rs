@@ -1,0 +1,86 @@
+//! Ablation of the Section 2.3 allocation-policy claims:
+//!
+//! * LT allocation is linear in object size (pointer slide + zeroing);
+//! * VT allocation pays variable chunk-acquisition costs;
+//! * heap allocation is the most expensive (GC synchronization);
+//! * flushing an LT region retains its memory, so periodic real-time
+//!   work re-enters and refills it with no new commitment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtj_bench::{alloc_sweep, lt_flush_retains_memory};
+use rtj_runtime::{
+    AllocPolicy, CheckMode, CostModel, RegionSpec, Runtime, RuntimeOwner,
+};
+use std::hint::black_box;
+
+fn alloc_policies(c: &mut Criterion) {
+    // Print the virtual-cycle sweep once.
+    println!("allocation cost (virtual cycles per object)");
+    println!("fields      LT      VT    heap");
+    for row in alloc_sweep(&[0, 4, 16, 64], 128) {
+        println!(
+            "{:>6} {:>7} {:>7} {:>7}",
+            row.fields, row.lt_cycles, row.vt_cycles, row.heap_cycles
+        );
+    }
+    let (before, after) = lt_flush_retains_memory();
+    println!("LT flush: committed before = {before}, after = {after} (retained)\n");
+
+    // Wall-clock cost of the simulated allocator itself.
+    let mut group = c.benchmark_group("alloc");
+    for fields in [0usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("lt", fields), &fields, |b, &fields| {
+            b.iter_batched(
+                || {
+                    let mut rt = Runtime::new(CheckMode::Static, CostModel::default());
+                    let t = rt.main_thread();
+                    let r = rt
+                        .create_region(
+                            t,
+                            RegionSpec {
+                                policy: AllocPolicy::Lt { capacity: 1 << 24 },
+                                ..RegionSpec::plain_vt()
+                            },
+                            false,
+                        )
+                        .unwrap();
+                    (rt, t, r)
+                },
+                |(mut rt, t, r)| {
+                    for _ in 0..1000 {
+                        black_box(
+                            rt.alloc(t, RuntimeOwner::Region(r), "Obj", vec![], fields).unwrap(),
+                        );
+                    }
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("vt", fields), &fields, |b, &fields| {
+            b.iter_batched(
+                || {
+                    let mut rt = Runtime::new(CheckMode::Static, CostModel::default());
+                    let t = rt.main_thread();
+                    let r = rt.create_region(t, RegionSpec::plain_vt(), false).unwrap();
+                    (rt, t, r)
+                },
+                |(mut rt, t, r)| {
+                    for _ in 0..1000 {
+                        black_box(
+                            rt.alloc(t, RuntimeOwner::Region(r), "Obj", vec![], fields).unwrap(),
+                        );
+                    }
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = alloc_policies
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! "Typechecking is fast and scalable": throughput of the parser and the
+//! ownership/region type checker over the corpus.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rtj_corpus::{all, Scale};
+use std::hint::black_box;
+
+fn checker_perf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checker");
+    for bench in all(Scale::Paper) {
+        // One entry per distinct program family is enough.
+        if !matches!(bench.name, "Array" | "Water" | "ImageRec" | "http") {
+            continue;
+        }
+        let src = bench.source.clone();
+        group.throughput(Throughput::Bytes(src.len() as u64));
+        group.bench_with_input(BenchmarkId::new("parse", bench.name), &src, |b, src| {
+            b.iter(|| black_box(rtj_lang::parse_program(black_box(src)).unwrap()))
+        });
+        let parsed = rtj_lang::parse_program(&src).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("check", bench.name),
+            &parsed,
+            |b, parsed| b.iter(|| black_box(rtj_types::check_program(black_box(parsed)).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = checker_perf
+}
+criterion_main!(benches);

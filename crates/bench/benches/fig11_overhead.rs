@@ -1,0 +1,26 @@
+//! Figure 11: programming overhead. The table itself is static analysis
+//! (printed once); the Criterion measurement times the annotation
+//! analysis over the whole corpus, which also guards against the metric
+//! becoming accidentally quadratic.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtj_corpus::{all, annotation_report, fig11, render_fig11, Scale};
+use std::hint::black_box;
+
+fn fig11_bench(c: &mut Criterion) {
+    println!("{}", render_fig11(&fig11()));
+    let sources: Vec<String> = all(Scale::Paper).into_iter().map(|b| b.source).collect();
+    c.bench_function("fig11/annotation_analysis", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for s in &sources {
+                let rep = annotation_report(black_box(s));
+                total += rep.annotated;
+            }
+            black_box(total)
+        })
+    });
+}
+
+criterion_group!(benches, fig11_bench);
+criterion_main!(benches);

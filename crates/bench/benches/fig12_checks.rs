@@ -1,0 +1,54 @@
+//! Figure 12: execution time with the RTSJ dynamic checks vs with them
+//! statically elided, for every benchmark in the paper's table.
+//!
+//! Two measurements per program:
+//!
+//! * the **virtual-cycle** ratio (printed once, the paper's "Overhead"
+//!   column — this is the calibrated, platform-independent number), and
+//! * the **wall-clock** time of the interpreter in each mode (the
+//!   Criterion measurements), whose ratio must show the same ordering.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtj_corpus::{all, fig12_row, Scale};
+use rtj_interp::{build, run_checked, RunConfig};
+use rtj_runtime::CheckMode;
+use std::hint::black_box;
+
+fn fig12(c: &mut Criterion) {
+    // Print the virtual-cycle table once, at smoke scale (the full-scale
+    // table is `cargo run -p rtj-cli --release -- fig12`).
+    let rows = rtj_corpus::fig12(Scale::Smoke);
+    println!("{}", rtj_corpus::render_fig12(&rows));
+
+    let mut group = c.benchmark_group("fig12");
+    for bench in all(Scale::Smoke) {
+        let checked = build(&bench.source).expect("corpus builds");
+        // Sanity: neither mode errs.
+        let row = fig12_row(&bench);
+        assert!(row.overhead >= 1.0);
+        for (mode_name, mode) in [
+            ("dynamic", CheckMode::Dynamic),
+            ("static", CheckMode::Static),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(mode_name, bench.name),
+                &checked,
+                |b, checked| {
+                    b.iter(|| {
+                        let out = run_checked(black_box(checked), RunConfig::new(mode));
+                        assert!(out.error.is_none());
+                        black_box(out.cycles)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig12
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! The Section 2.3 priority-inversion experiment: worst-case real-time
+//! thread blocking when RT and regular threads share a subregion (as the
+//! RTSJ allows) versus the type system's RT/NoRT separation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtj_bench::priority_inversion;
+use std::hint::black_box;
+
+fn rt_latency(c: &mut Criterion) {
+    let shared = priority_inversion(true, 8);
+    let separated = priority_inversion(false, 8);
+    println!("priority inversion (worst RT wait, virtual cycles)");
+    println!(
+        "  RTSJ shared subregion : max wait {:>8} cycles over {} collections",
+        shared.max_rt_wait, shared.collections
+    );
+    println!(
+        "  typed RT/NoRT split   : max wait {:>8} cycles over {} collections\n",
+        separated.max_rt_wait, separated.collections
+    );
+    assert!(shared.max_rt_wait > 0);
+    assert_eq!(separated.max_rt_wait, 0);
+
+    let mut group = c.benchmark_group("rt_latency");
+    for (name, is_shared) in [("rtsj_shared", true), ("typed_separated", false)] {
+        group.bench_with_input(BenchmarkId::new(name, 8), &is_shared, |b, &s| {
+            b.iter(|| black_box(priority_inversion(s, 8)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = rt_latency
+}
+criterion_main!(benches);

@@ -1,0 +1,290 @@
+//! Experiment drivers shared by the Criterion benches and the
+//! EXPERIMENTS report.
+//!
+//! * [`priority_inversion`] — the Section 2.3 claim: when a regular
+//!   thread and a real-time thread share a subregion (as the RTSJ
+//!   allows), a garbage collection striking while the regular thread
+//!   holds the subregion's bookkeeping lock blocks the real-time thread
+//!   for up to a full GC pause. With the type system's RT/NoRT
+//!   separation the two threads use disjoint subregions and the
+//!   real-time thread never waits.
+//! * [`alloc_sweep`] — the LT/VT cost claims: LT allocation is linear in
+//!   object size, flushing an LT region retains its memory (re-entry
+//!   allocates without growing), VT allocation pays variable chunk costs.
+
+use rtj_runtime::{
+    AllocPolicy, CheckMode, CostModel, RegionSpec, Reservation, RtError, Runtime, RuntimeOwner,
+    ThreadClass,
+};
+
+/// Outcome of one priority-inversion scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyReport {
+    /// Worst single wait of the real-time thread for a region lock
+    /// (cycles).
+    pub max_rt_wait: u64,
+    /// Total real-time lock-wait cycles.
+    pub total_rt_wait: u64,
+    /// Garbage collections that ran.
+    pub collections: u64,
+}
+
+/// Runs the priority-inversion scenario.
+///
+/// With `shared = true` (RTSJ-style), the regular and real-time threads
+/// enter the *same* subregion; with `shared = false` (the type system's
+/// discipline), each thread class has its own subregion.
+///
+/// Each round: the regular thread enters and begins exiting the
+/// subregion; while it holds the bookkeeping lock a collection starts,
+/// pausing it; the real-time thread then tries to enter.
+///
+/// # Panics
+///
+/// Panics on runtime protocol errors (the scenario is fixed, so these
+/// indicate bugs).
+pub fn priority_inversion(shared: bool, rounds: u32) -> LatencyReport {
+    run_inversion(shared, rounds).expect("scenario is protocol-correct")
+}
+
+fn run_inversion(shared: bool, rounds: u32) -> Result<LatencyReport, RtError> {
+    // Static mode: the RTSJ has no RT/NoRT reservations, so the shared
+    // scenario must be allowed to proceed (it is exactly what the type
+    // system forbids).
+    let mut rt = Runtime::new(CheckMode::Static, CostModel::default());
+    rt.enable_gc(true);
+    let regular = rt.main_thread();
+    let sub_spec = |_name: &str| RegionSpec {
+        kind_name: Some("Scratch".into()),
+        policy: AllocPolicy::Lt { capacity: 1 << 16 },
+        reservation: Reservation::Any,
+        portals: Vec::new(),
+        subregions: Vec::new(),
+    };
+    let spec = RegionSpec {
+        kind_name: Some("Comm".into()),
+        policy: AllocPolicy::Vt,
+        reservation: Reservation::Any,
+        portals: Vec::new(),
+        subregions: vec![
+            ("a".to_string(), sub_spec("a")),
+            ("b".to_string(), sub_spec("b")),
+        ],
+    };
+    let parent = rt.create_region(regular, spec, true)?;
+    let rt_thread = rt.spawn_thread(regular, ThreadClass::RealTime);
+    let rt_member = if shared { "a" } else { "b" };
+    let spin = rt.cost_model().region_enter_exit;
+
+    for _ in 0..rounds {
+        // Regular thread: enter subregion "a", allocate, begin exit.
+        let lock_a = rt.subregion_lock_target(parent, "a", false)?;
+        assert!(rt.try_lock_region(regular, lock_a));
+        let sub_a = rt.enter_subregion_locked(regular, parent, "a", false)?;
+        rt.unlock_region(regular, lock_a)?;
+        rt.alloc(regular, RuntimeOwner::Region(sub_a), "Buf", vec![], 4)?;
+        // Begin exit: the bookkeeping lock is held…
+        assert!(rt.try_lock_region(regular, sub_a));
+        // …and a collection strikes right now, pausing the regular thread
+        // mid-critical-section.
+        rt.force_gc();
+
+        // Real-time thread wants to enter its subregion.
+        let lock_rt = rt.subregion_lock_target(parent, rt_member, false)?;
+        let wait_start = rt.now();
+        let mut waited = false;
+        while !rt.try_lock_region(rt_thread, lock_rt) {
+            waited = true;
+            rt.charge(spin); // the RT thread spins; time passes
+            let gc_over = rt.gc_blocking_until().is_none_or(|until| rt.now() >= until);
+            if gc_over {
+                // The regular thread resumes and completes its exit,
+                // releasing the lock.
+                rt.exit_subregion_locked(regular, sub_a)?;
+                rt.unlock_region(regular, sub_a)?;
+            }
+        }
+        if waited {
+            let waited_cycles = rt.now() - wait_start;
+            rt.note_rt_lock_wait(waited_cycles);
+        }
+        let sub_rt = rt.enter_subregion_locked(rt_thread, parent, rt_member, false)?;
+        rt.unlock_region(rt_thread, lock_rt)?;
+        // The real-time thread does its period's work.
+        rt.alloc(rt_thread, RuntimeOwner::Region(sub_rt), "Sample", vec![], 2)?;
+        assert!(rt.try_lock_region(rt_thread, sub_rt));
+        rt.exit_subregion_locked(rt_thread, sub_rt)?;
+        rt.unlock_region(rt_thread, sub_rt)?;
+
+        // If the regular thread never got displaced (disjoint subregions),
+        // let the collection finish and complete its exit now.
+        if rt.region(sub_a).lock.is_some() {
+            if let Some(until) = rt.gc_blocking_until() {
+                let now = rt.now();
+                rt.charge(until - now);
+            }
+            rt.exit_subregion_locked(regular, sub_a)?;
+            rt.unlock_region(regular, sub_a)?;
+        }
+        rt.poll_gc();
+        // Drain any remaining pause so rounds are independent.
+        if let Some(until) = rt.gc_blocking_until() {
+            let now = rt.now();
+            rt.charge(until - now);
+            rt.poll_gc();
+        }
+    }
+    let stats = rt.stats();
+    Ok(LatencyReport {
+        max_rt_wait: stats.rt_max_lock_wait,
+        total_rt_wait: stats.rt_lock_wait_cycles,
+        collections: stats.gc_collections,
+    })
+}
+
+/// One row of the allocation-policy sweep.
+#[derive(Debug, Clone)]
+pub struct AllocRow {
+    /// Object payload size in fields.
+    pub fields: usize,
+    /// Cycles per LT allocation.
+    pub lt_cycles: u64,
+    /// Cycles per VT allocation (amortized over many).
+    pub vt_cycles: u64,
+    /// Cycles per heap allocation.
+    pub heap_cycles: u64,
+}
+
+/// Measures allocation cost (virtual cycles) per policy across object
+/// sizes; used by the `alloc_policies` bench and EXPERIMENTS.md.
+pub fn alloc_sweep(sizes: &[usize], per_size: u32) -> Vec<AllocRow> {
+    sizes
+        .iter()
+        .map(|&fields| {
+            let mut rt = Runtime::new(CheckMode::Static, CostModel::default());
+            let t = rt.main_thread();
+            let lt = rt
+                .create_region(
+                    t,
+                    RegionSpec {
+                        policy: AllocPolicy::Lt { capacity: 1 << 24 },
+                        ..RegionSpec::plain_vt()
+                    },
+                    false,
+                )
+                .unwrap();
+            let vt = rt.create_region(t, RegionSpec::plain_vt(), false).unwrap();
+            let heap = rt.heap();
+            let mut measure = |owner: RuntimeOwner| {
+                let before = rt.now();
+                for _ in 0..per_size {
+                    rt.alloc(t, owner, "Obj", vec![], fields).unwrap();
+                }
+                (rt.now() - before) / per_size as u64
+            };
+            let lt_cycles = measure(RuntimeOwner::Region(lt));
+            let vt_cycles = measure(RuntimeOwner::Region(vt));
+            let heap_cycles = measure(RuntimeOwner::Region(heap));
+            AllocRow {
+                fields,
+                lt_cycles,
+                vt_cycles,
+                heap_cycles,
+            }
+        })
+        .collect()
+}
+
+/// Demonstrates that flushing an LT region retains its memory: after a
+/// flush, re-filling the region commits no new memory. Returns
+/// `(committed_before, committed_after)`.
+pub fn lt_flush_retains_memory() -> (u64, u64) {
+    let mut rt = Runtime::new(CheckMode::Static, CostModel::default());
+    let t = rt.main_thread();
+    let spec = RegionSpec {
+        kind_name: Some("Comm".into()),
+        policy: AllocPolicy::Vt,
+        reservation: Reservation::Any,
+        portals: Vec::new(),
+        subregions: vec![(
+            "s".to_string(),
+            RegionSpec {
+                policy: AllocPolicy::Lt { capacity: 4096 },
+                ..RegionSpec::plain_vt()
+            },
+        )],
+    };
+    let parent = rt.create_region(t, spec, true).unwrap();
+    let lock = rt.subregion_lock_target(parent, "s", false).unwrap();
+    let mut fill = || {
+        assert!(rt.try_lock_region(t, lock));
+        let s = rt.enter_subregion_locked(t, parent, "s", false).unwrap();
+        rt.unlock_region(t, lock).unwrap();
+        for _ in 0..32 {
+            rt.alloc(t, RuntimeOwner::Region(s), "Obj", vec![], 4).unwrap();
+        }
+        let committed = rt.region(s).committed;
+        assert!(rt.try_lock_region(t, s));
+        rt.exit_subregion_locked(t, s).unwrap();
+        rt.unlock_region(t, s).unwrap();
+        committed
+    };
+    let before = fill();
+    let after = fill();
+    (before, after)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inversion_blocks_rt_only_when_sharing() {
+        let gc_pause = CostModel::default().gc_pause;
+        let shared = priority_inversion(true, 4);
+        assert!(shared.collections >= 4);
+        assert!(
+            shared.max_rt_wait >= gc_pause / 2,
+            "sharing a subregion exposes the RT thread to GC-length \
+             waits: {shared:?}"
+        );
+        let separated = priority_inversion(false, 4);
+        assert_eq!(
+            separated.max_rt_wait, 0,
+            "with disjoint subregions the RT thread never waits: {separated:?}"
+        );
+        assert!(separated.collections >= 4, "the GC still ran");
+    }
+
+    #[test]
+    fn lt_allocation_linear_and_cheaper_than_heap() {
+        let rows = alloc_sweep(&[0, 4, 16, 64], 64);
+        for w in rows.windows(2) {
+            assert!(
+                w[1].lt_cycles > w[0].lt_cycles,
+                "LT cost grows with size (zeroing)"
+            );
+        }
+        for r in &rows {
+            assert!(
+                r.heap_cycles > r.lt_cycles,
+                "heap allocation is costlier than LT at {} fields",
+                r.fields
+            );
+        }
+        // LT cost is linear: cost(64) - cost(16) ≈ 3 * (cost(16) - cost(4))…
+        let d1 = rows[2].lt_cycles - rows[1].lt_cycles; // 16 - 4 fields
+        let d2 = rows[3].lt_cycles - rows[2].lt_cycles; // 64 - 16 fields
+        assert!(
+            d2 >= d1 * 3 && d2 <= d1 * 6,
+            "zeroing cost should scale with the added bytes: d1={d1} d2={d2}"
+        );
+    }
+
+    #[test]
+    fn lt_flush_keeps_memory_committed() {
+        let (before, after) = lt_flush_retains_memory();
+        assert_eq!(before, 4096);
+        assert_eq!(after, 4096, "flush must not release LT memory");
+    }
+}

@@ -1,0 +1,234 @@
+//! `rtjc` — the command-line front end.
+//!
+//! ```text
+//! rtjc check <file.rtj>        type-check a program
+//! rtjc run <file.rtj>          check then run (static mode)
+//! rtjc run --dynamic <file>    run with the RTSJ dynamic checks
+//! rtjc fmt <file.rtj>          parse and pretty-print
+//! rtjc graph <file.rtj>        run and emit the ownership graph (DOT)
+//! rtjc lower <file.rtj>        translate to RTSJ Java (Section 2.6)
+//! rtjc fig11                   regenerate paper Figure 11
+//! rtjc fig12 [--smoke]         regenerate paper Figure 12
+//! rtjc bench <name>            print a corpus program's source
+//! ```
+
+use rtj_interp::{build, run_checked, RunConfig};
+use rtj_runtime::CheckMode;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str);
+    match cmd {
+        Some("check") => with_file(&args, |src| {
+            match build(src) {
+                Ok(_) => {
+                    println!("ok");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    report_build_error(src, &e);
+                    ExitCode::FAILURE
+                }
+            }
+        }),
+        Some("run") => {
+            let dynamic = args.iter().any(|a| a == "--dynamic");
+            with_file(&args, |src| match build(src) {
+                Ok(checked) => {
+                    let mode = if dynamic {
+                        CheckMode::Dynamic
+                    } else {
+                        CheckMode::Static
+                    };
+                    let out = run_checked(&checked, RunConfig::new(mode));
+                    for line in &out.trace {
+                        println!("{line}");
+                    }
+                    eprintln!(
+                        "[{} cycles, {} objects, {} checks, {:?} wall]",
+                        out.cycles,
+                        out.stats.objects_allocated,
+                        out.stats.store_checks + out.stats.load_checks,
+                        out.wall
+                    );
+                    match out.error {
+                        None => ExitCode::SUCCESS,
+                        Some(e) => {
+                            eprintln!("runtime error: {e}");
+                            ExitCode::FAILURE
+                        }
+                    }
+                }
+                Err(e) => {
+                    report_build_error(src, &e);
+                    ExitCode::FAILURE
+                }
+            })
+        }
+        Some("fmt") => with_file(&args, |src| match rtj_lang::parse_program(src) {
+            Ok(p) => {
+                print!("{}", rtj_lang::pretty_program(&p));
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{}", rtj_lang::diag::render(src, e.span, &e.message));
+                ExitCode::FAILURE
+            }
+        }),
+        Some("graph") => with_file(&args, |src| match build(src) {
+            Ok(checked) => {
+                let mut cfg = RunConfig::new(CheckMode::Static);
+                cfg.capture_graph = true;
+                let out = run_checked(&checked, cfg);
+                if let Some(dot) = out.graph {
+                    print!("{dot}");
+                }
+                match out.error {
+                    None => ExitCode::SUCCESS,
+                    Some(e) => {
+                        eprintln!("runtime error: {e}");
+                        ExitCode::FAILURE
+                    }
+                }
+            }
+            Err(e) => {
+                report_build_error(src, &e);
+                ExitCode::FAILURE
+            }
+        }),
+        Some("advise") => with_file(&args, |src| match build(src) {
+            Ok(checked) => {
+                let out = run_checked(&checked, RunConfig::new(CheckMode::Static));
+                if let Some(e) = out.error {
+                    eprintln!("runtime error: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("LT sizing advice (peak usage observed on this run)");
+                println!("{:<24} {:>10} {:>10}   suggestion", "region", "peak", "capacity");
+                let mut any = false;
+                for (label, policy, peak, capacity) in &out.region_peaks {
+                    // Only user LT regions: immortal is LT-like but unbounded.
+                    if !matches!(policy, rtj_runtime::AllocPolicy::Lt { .. })
+                        || label == "immortal"
+                    {
+                        continue;
+                    }
+                    any = true;
+                    let suggested = ((*peak as f64 * 1.25) as u64 + 63)
+                        .next_power_of_two()
+                        .max(64);
+                    let usage = *peak as f64 / (*capacity).max(1) as f64;
+                    let note = if usage > 0.9 {
+                        format!("raise to LT({suggested}) — within 10% of the bound")
+                    } else if (*capacity as f64) > suggested.max(1) as f64 * 4.0 {
+                        format!("LT({suggested}) would do — over-provisioned")
+                    } else {
+                        "ok".to_string()
+                    };
+                    println!("{label:<24} {peak:>10} {capacity:>10}   {note}");
+                }
+                if !any {
+                    println!("(no LT regions in this program)");
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                report_build_error(src, &e);
+                ExitCode::FAILURE
+            }
+        }),
+        Some("lower") => with_file(&args, |src| match build(src) {
+            Ok(checked) => {
+                print!("{}", rtj_types::lower::lower_to_rtsj(&checked));
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                report_build_error(src, &e);
+                ExitCode::FAILURE
+            }
+        }),
+        Some("fig11") => {
+            print!("{}", rtj_corpus::render_fig11(&rtj_corpus::fig11()));
+            ExitCode::SUCCESS
+        }
+        Some("fig12") => {
+            let scale = if args.iter().any(|a| a == "--smoke") {
+                rtj_corpus::Scale::Smoke
+            } else {
+                rtj_corpus::Scale::Paper
+            };
+            print!("{}", rtj_corpus::render_fig12(&rtj_corpus::fig12(scale)));
+            ExitCode::SUCCESS
+        }
+        Some("bench") => match args.get(1) {
+            Some(name) => {
+                let benches = rtj_corpus::all(rtj_corpus::Scale::Paper);
+                match benches.iter().find(|b| b.name == name) {
+                    Some(b) => {
+                        print!("{}", b.source);
+                        ExitCode::SUCCESS
+                    }
+                    None => {
+                        eprintln!(
+                            "unknown benchmark `{name}`; available: {}",
+                            benches
+                                .iter()
+                                .map(|b| b.name)
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        );
+                        ExitCode::FAILURE
+                    }
+                }
+            }
+            None => {
+                eprintln!("usage: rtjc bench <name>");
+                ExitCode::FAILURE
+            }
+        },
+        _ => {
+            eprintln!(
+                "usage: rtjc <check|run|fmt|fig11|fig12|bench> [args]\n\
+                 \n\
+                 check <file>        type-check a program\n\
+                 run [--dynamic] <file>  check then interpret\n\
+                 fmt <file>          parse and pretty-print\n\
+                 graph <file>        run and emit the ownership graph (DOT, Fig. 6)\n\
+                 lower <file>        translate to RTSJ Java (paper Section 2.6)\n\
+                 advise <file>       run once and suggest LT region sizes\n\
+                 fig11               regenerate paper Figure 11\n\
+                 fig12 [--smoke]     regenerate paper Figure 12\n\
+                 bench <name>        print a corpus program"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn with_file(args: &[String], f: impl FnOnce(&str) -> ExitCode) -> ExitCode {
+    let Some(path) = args.iter().skip(1).find(|a| !a.starts_with("--")) else {
+        eprintln!("missing file argument");
+        return ExitCode::FAILURE;
+    };
+    match std::fs::read_to_string(path) {
+        Ok(src) => f(&src),
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn report_build_error(src: &str, e: &rtj_interp::BuildError) {
+    match e {
+        rtj_interp::BuildError::Parse(p) => {
+            eprintln!("{}", rtj_lang::diag::render(src, p.span, &p.message));
+        }
+        rtj_interp::BuildError::Type(errs) => {
+            for t in errs {
+                eprintln!("{}", rtj_lang::diag::render(src, t.span, &t.message));
+            }
+        }
+    }
+}

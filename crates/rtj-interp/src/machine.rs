@@ -1,0 +1,439 @@
+//! The machine: shared runtime state plus a deterministic cooperative
+//! scheduler.
+//!
+//! Program threads map to OS threads, but only the **token holder** ever
+//! executes — every other thread is parked on a condition variable. At
+//! each *safepoint* the running thread hands the token to the next
+//! runnable thread (real-time threads first, then round-robin). The
+//! result is fully deterministic interleaving on a single virtual clock.
+//!
+//! The garbage collector is a virtual participant: when a collection is in
+//! progress, regular threads are simply not runnable until the collection
+//! ends — real-time threads keep running, exactly as on the paper's RTSJ
+//! platform. If *only* regular threads exist, the clock jumps over the
+//! pause (and the pause is charged to the run).
+
+use parking_lot::{Condvar, Mutex};
+use rtj_runtime::{Runtime, ThreadClass, ThreadId};
+use std::fmt;
+
+/// An error that halts a run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// The region runtime raised an error (failed check, LT overflow, …).
+    Runtime(rtj_runtime::RtError),
+    /// An interpreter-level error (null dereference, division by zero, …).
+    Interp(String),
+    /// The global step budget was exhausted (runaway loop guard).
+    StepLimit,
+    /// No thread could make progress.
+    Deadlock,
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Runtime(e) => write!(f, "runtime error: {e}"),
+            RunError::Interp(m) => write!(f, "interpreter error: {m}"),
+            RunError::StepLimit => write!(f, "step limit exhausted"),
+            RunError::Deadlock => write!(f, "deadlock: no thread can make progress"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<rtj_runtime::RtError> for RunError {
+    fn from(e: rtj_runtime::RtError) -> Self {
+        RunError::Runtime(e)
+    }
+}
+
+/// Scheduler-side thread state.
+#[derive(Debug, Clone)]
+struct TState {
+    class: ThreadClass,
+    finished: bool,
+}
+
+/// State behind the machine's mutex.
+pub struct Inner {
+    /// The region runtime (regions, objects, clock, stats).
+    pub rt: Runtime,
+    threads: Vec<TState>,
+    token: usize,
+    halted: Option<RunError>,
+    steps: u64,
+    max_steps: u64,
+}
+
+/// The shared machine.
+pub struct Machine {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+impl Machine {
+    /// Wraps a runtime. `max_steps` bounds total interpreter steps across
+    /// all threads (0 = unlimited).
+    pub fn new(rt: Runtime, max_steps: u64) -> Machine {
+        Machine {
+            inner: Mutex::new(Inner {
+                rt,
+                threads: vec![TState {
+                    class: ThreadClass::Regular,
+                    finished: false,
+                }],
+                token: 0,
+                halted: None,
+                steps: 0,
+                max_steps: if max_steps == 0 { u64::MAX } else { max_steps },
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Runs `f` with exclusive access to the runtime. The caller must be
+    /// the token holder (i.e. the currently executing thread).
+    pub fn with<R>(&self, f: impl FnOnce(&mut Runtime) -> R) -> R {
+        let mut g = self.inner.lock();
+        f(&mut g.rt)
+    }
+
+    /// Registers a newly spawned program thread with the scheduler.
+    pub fn register_thread(&self, tid: ThreadId, class: ThreadClass) {
+        let mut g = self.inner.lock();
+        debug_assert_eq!(tid.0 as usize, g.threads.len());
+        g.threads.push(TState {
+            class,
+            finished: false,
+        });
+        self.cv.notify_all();
+    }
+
+    /// Charges interpreter steps and enforces the step budget.
+    pub fn charge_steps(&self, cycles: u64, steps: u64) -> Result<(), RunError> {
+        let mut g = self.inner.lock();
+        g.rt.charge(cycles);
+        g.steps += steps;
+        if g.steps > g.max_steps && g.halted.is_none() {
+            g.halted = Some(RunError::StepLimit);
+            self.cv.notify_all();
+        }
+        match &g.halted {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
+    }
+
+    /// Halts every thread with the given error (first error wins).
+    pub fn halt(&self, err: RunError) {
+        let mut g = self.inner.lock();
+        if g.halted.is_none() {
+            g.halted = Some(err);
+        }
+        self.cv.notify_all();
+    }
+
+    /// The error that halted the run, if any.
+    pub fn halt_error(&self) -> Option<RunError> {
+        self.inner.lock().halted.clone()
+    }
+
+    fn runnable(g: &Inner, idx: usize, gc_blocking: bool) -> bool {
+        let t = &g.threads[idx];
+        !t.finished && (!gc_blocking || t.class != ThreadClass::Regular)
+    }
+
+    /// Picks the next thread to run: real-time threads first (round-robin
+    /// among them), then round-robin over everything, starting after
+    /// `cur`.
+    fn pick_next(g: &Inner, cur: usize, gc_blocking: bool) -> Option<usize> {
+        let n = g.threads.len();
+        let order = (1..=n).map(|d| (cur + d) % n);
+        let mut first_any = None;
+        for i in order {
+            if Self::runnable(g, i, gc_blocking) {
+                if g.threads[i].class == ThreadClass::RealTime {
+                    return Some(i);
+                }
+                if first_any.is_none() {
+                    first_any = Some(i);
+                }
+            }
+        }
+        first_any
+    }
+
+    /// A safepoint: polls the collector, hands the token to the next
+    /// runnable thread, and blocks until this thread is scheduled again.
+    ///
+    /// # Errors
+    ///
+    /// Returns the halt error if the run was halted, or
+    /// [`RunError::Deadlock`] when no thread can ever run again.
+    pub fn safepoint(&self, tid: ThreadId) -> Result<(), RunError> {
+        let me = tid.0 as usize;
+        let mut g = self.inner.lock();
+        // If another thread currently holds the token, this thread has
+        // already "yielded" by virtue of having waited.
+        let mut yielded = g.token != me;
+        loop {
+            if let Some(e) = &g.halted {
+                return Err(e.clone());
+            }
+            g.rt.poll_gc();
+            let gc_blocking = g.rt.gc_blocking_until().is_some();
+            if g.token == me {
+                if yielded {
+                    if Self::runnable(&g, me, gc_blocking) {
+                        return Ok(());
+                    }
+                    // Token is back but this thread is GC-blocked.
+                    if let Some(until) = g.rt.gc_blocking_until() {
+                        if Self::pick_next(&g, me, true) == Some(me)
+                            || Self::pick_next(&g, me, true).is_none()
+                        {
+                            // No one else can run either: jump the pause.
+                            let now = g.rt.now();
+                            g.rt.charge(until - now);
+                            g.rt.poll_gc();
+                            continue;
+                        }
+                        // Someone else can run meanwhile.
+                        yielded = false;
+                        continue;
+                    }
+                }
+                // Hand the token to the next runnable thread (possibly
+                // ourselves).
+                match Self::pick_next(&g, me, gc_blocking) {
+                    Some(next) => {
+                        yielded = true;
+                        if next == me {
+                            if Self::runnable(&g, me, gc_blocking) {
+                                return Ok(());
+                            }
+                            // Only this thread is left but it is blocked:
+                            // handled by the yielded branch next iteration.
+                            continue;
+                        }
+                        g.token = next;
+                        self.cv.notify_all();
+                    }
+                    None => {
+                        // Nobody is runnable. If the collector is the
+                        // reason, jump the clock over the pause.
+                        if let Some(until) = g.rt.gc_blocking_until() {
+                            let now = g.rt.now();
+                            g.rt.charge(until - now);
+                            g.rt.poll_gc();
+                            continue;
+                        }
+                        let e = RunError::Deadlock;
+                        g.halted = Some(e.clone());
+                        self.cv.notify_all();
+                        return Err(e);
+                    }
+                }
+            }
+            self.cv.wait(&mut g);
+        }
+    }
+
+    /// Marks a thread finished and hands the token onward. If every other
+    /// live thread is paused by the collector, the clock jumps over the
+    /// pause so the token can land on a runnable thread.
+    pub fn finish(&self, tid: ThreadId) {
+        let me = tid.0 as usize;
+        let mut g = self.inner.lock();
+        g.threads[me].finished = true;
+        if g.token == me {
+            loop {
+                g.rt.poll_gc();
+                let gc_blocking = g.rt.gc_blocking_until().is_some();
+                if let Some(next) = Self::pick_next(&g, me, gc_blocking) {
+                    g.token = next;
+                    break;
+                }
+                if let Some(until) = g.rt.gc_blocking_until() {
+                    let unfinished = g
+                        .threads
+                        .iter()
+                        .enumerate()
+                        .any(|(i, t)| i != me && !t.finished);
+                    if unfinished {
+                        let now = g.rt.now();
+                        g.rt.charge(until - now);
+                        continue;
+                    }
+                }
+                break; // everyone is done
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Blocks the calling (main) thread until every *other* program thread
+    /// has finished, scheduling them meanwhile. If the run was halted,
+    /// still waits for the children to drain (they observe the halt at
+    /// their next safepoint) and then reports the halt error.
+    pub fn join_all(&self, tid: ThreadId) -> Result<(), RunError> {
+        loop {
+            {
+                let mut g = self.inner.lock();
+                let all_done = g
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .all(|(i, t)| t.finished || i == tid.0 as usize);
+                if all_done {
+                    return match &g.halted {
+                        Some(e) => Err(e.clone()),
+                        None => Ok(()),
+                    };
+                }
+                if g.halted.is_some() {
+                    // Children are draining; wait for their finish signals.
+                    self.cv.wait(&mut g);
+                    continue;
+                }
+            }
+            // Not halted: keep the scheduler turning.
+            let _ = self.safepoint(tid);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtj_runtime::CheckMode;
+    use std::sync::Arc;
+
+    fn machine() -> Arc<Machine> {
+        Arc::new(Machine::new(Runtime::with_mode(CheckMode::Dynamic), 0))
+    }
+
+    #[test]
+    fn single_thread_safepoint_is_noop() {
+        let m = machine();
+        let tid = ThreadId(0);
+        m.safepoint(tid).unwrap();
+        m.safepoint(tid).unwrap();
+    }
+
+    #[test]
+    fn step_limit_halts() {
+        let m = Arc::new(Machine::new(Runtime::with_mode(CheckMode::Dynamic), 10));
+        assert!(m.charge_steps(1, 5).is_ok());
+        assert!(matches!(
+            m.charge_steps(1, 6),
+            Err(RunError::StepLimit)
+        ));
+        assert!(matches!(
+            m.safepoint(ThreadId(0)),
+            Err(RunError::StepLimit)
+        ));
+    }
+
+    #[test]
+    fn two_threads_alternate() {
+        let m = machine();
+        let child = m.with(|rt| rt.spawn_thread(rt.main_thread(), ThreadClass::Regular));
+        m.register_thread(child, ThreadClass::Regular);
+        let m2 = Arc::clone(&m);
+        let handle = std::thread::spawn(move || {
+            // The child waits for its turn, does some work, finishes.
+            m2.safepoint(child).unwrap();
+            m2.with(|rt| rt.charge(5));
+            m2.safepoint(child).unwrap();
+            m2.with(|rt| rt.finish_thread(child).unwrap());
+            m2.finish(child);
+        });
+        // Main keeps yielding until the child is done.
+        m.join_all(ThreadId(0)).unwrap();
+        handle.join().unwrap();
+        assert!(m.with(|rt| rt.now()) >= 5);
+    }
+
+    #[test]
+    fn rt_threads_run_during_gc_pauses() {
+        let mut rt = Runtime::with_mode(CheckMode::Dynamic);
+        rt.enable_gc(true);
+        let m = Arc::new(Machine::new(rt, 0));
+        let rt_tid = m.with(|r| r.spawn_thread(r.main_thread(), ThreadClass::RealTime));
+        m.register_thread(rt_tid, ThreadClass::RealTime);
+        // Force a collection: regular threads are paused, the RT thread
+        // must still be scheduled.
+        m.with(|r| r.force_gc());
+        let m2 = Arc::clone(&m);
+        let handle = std::thread::spawn(move || {
+            // The RT thread gets turns while the GC is collecting.
+            for _ in 0..3 {
+                m2.safepoint(rt_tid).unwrap();
+                m2.with(|r| r.charge(10));
+            }
+            let still_collecting = m2.with(|r| r.gc_blocking_until().is_some());
+            m2.with(|r| r.finish_thread(rt_tid).unwrap());
+            m2.finish(rt_tid);
+            still_collecting
+        });
+        // Main (regular) is blocked until the collection ends; when it
+        // returns, the pause must be over.
+        m.safepoint(ThreadId(0)).unwrap();
+        assert!(m.with(|r| r.gc_blocking_until().is_none()));
+        let rt_ran_during_gc = handle.join().unwrap();
+        assert!(
+            rt_ran_during_gc,
+            "the real-time thread executed while the collector was running"
+        );
+        assert_eq!(m.with(|r| r.stats().gc_collections), 1);
+    }
+
+    #[test]
+    fn rt_threads_have_priority() {
+        let m = machine();
+        let rt_tid = m.with(|r| r.spawn_thread(r.main_thread(), ThreadClass::RealTime));
+        m.register_thread(rt_tid, ThreadClass::RealTime);
+        let reg_tid = m.with(|r| r.spawn_thread(r.main_thread(), ThreadClass::Regular));
+        m.register_thread(reg_tid, ThreadClass::Regular);
+        let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for (tid, name) in [(rt_tid, "rt"), (reg_tid, "regular")] {
+            let m2 = Arc::clone(&m);
+            let order2 = Arc::clone(&order);
+            handles.push(std::thread::spawn(move || {
+                m2.safepoint(tid).unwrap();
+                order2.lock().push(name);
+                m2.with(|r| r.finish_thread(tid).unwrap());
+                m2.finish(tid);
+            }));
+        }
+        // Let both children run.
+        m.join_all(ThreadId(0)).unwrap();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let order = order.lock().clone();
+        assert_eq!(
+            order,
+            vec!["rt", "regular"],
+            "the real-time thread is always scheduled first"
+        );
+    }
+
+    #[test]
+    fn halt_propagates_to_all() {
+        let m = machine();
+        m.halt(RunError::Interp("boom".into()));
+        assert!(matches!(
+            m.safepoint(ThreadId(0)),
+            Err(RunError::Interp(_))
+        ));
+        assert_eq!(
+            m.halt_error(),
+            Some(RunError::Interp("boom".into()))
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Diagnostic rendering: turns a [`Span`]-carrying error into a
+//! human-readable message with line/column information and a source excerpt.
+
+use crate::span::{LineMap, Span};
+
+/// Renders a diagnostic message pointing at `span` within `src`.
+///
+/// The output has the shape:
+///
+/// ```text
+/// error: <message>
+///   --> line 3, column 7
+///    |
+///  3 |     TStack<r1, r2> s6;
+///    |            ^^^^^^
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use rtj_lang::diag::render;
+/// use rtj_lang::span::Span;
+/// let out = render("let x = y;", Span::new(8, 9), "unknown variable `y`");
+/// assert!(out.contains("unknown variable"));
+/// assert!(out.contains("line 1, column 9"));
+/// ```
+pub fn render(src: &str, span: Span, message: &str) -> String {
+    let map = LineMap::new(src);
+    let (line, col) = map.location(span.start);
+    let mut out = format!("error: {message}\n  --> line {line}, column {col}\n");
+    if let Some(text) = src.lines().nth(line as usize - 1) {
+        let gutter = format!("{line:>4}");
+        out.push_str(&format!("     |\n{gutter} | {text}\n     | "));
+        for _ in 1..col {
+            out.push(' ');
+        }
+        let remaining = (text.len() as u32).saturating_sub(col - 1).max(1);
+        let width = span.len().clamp(1, remaining);
+        for _ in 0..width {
+            out.push('^');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_caret_under_span() {
+        let src = "abc def\nghi jkl\n";
+        let out = render(src, Span::new(12, 15), "boom");
+        assert!(out.contains("error: boom"));
+        assert!(out.contains("line 2, column 5"));
+        assert!(out.contains("ghi jkl"));
+        let caret_line = out.lines().last().unwrap();
+        assert!(caret_line.contains("^^^"), "caret line: {caret_line:?}");
+    }
+
+    #[test]
+    fn renders_at_start_of_file() {
+        let out = render("xyz", Span::new(0, 3), "bad");
+        assert!(out.contains("line 1, column 1"));
+    }
+
+    #[test]
+    fn handles_span_past_line_end() {
+        // Degenerate spans must not panic.
+        let out = render("ab", Span::new(2, 2), "eof");
+        assert!(out.contains("error: eof"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Source positions and spans.
+//!
+//! Every AST node carries a [`Span`] so that diagnostics from the type
+//! checker and runtime can point back at the offending source text.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a source file.
+///
+/// # Examples
+///
+/// ```
+/// use rtj_lang::span::Span;
+/// let s = Span::new(3, 7);
+/// assert_eq!(s.len(), 4);
+/// assert!(!s.is_empty());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// Creates a span covering bytes `start..end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn new(start: u32, end: u32) -> Self {
+        assert!(start <= end, "span start {start} > end {end}");
+        Span { start, end }
+    }
+
+    /// A zero-width span at offset 0, used for synthesized nodes.
+    pub const DUMMY: Span = Span { start: 0, end: 0 };
+
+    /// Number of bytes covered.
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Whether the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    ///
+    /// ```
+    /// use rtj_lang::span::Span;
+    /// assert_eq!(Span::new(1, 3).to(Span::new(5, 9)), Span::new(1, 9));
+    /// ```
+    pub fn to(self, other: Span) -> Span {
+        Span::new(self.start.min(other.start), self.end.max(other.end))
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// Maps byte offsets to 1-based line/column pairs for error rendering.
+#[derive(Debug, Clone)]
+pub struct LineMap {
+    /// Byte offset of the start of every line.
+    line_starts: Vec<u32>,
+}
+
+impl LineMap {
+    /// Builds a line map for `src`.
+    pub fn new(src: &str) -> Self {
+        let mut line_starts = vec![0u32];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        LineMap { line_starts }
+    }
+
+    /// Returns `(line, column)` (both 1-based) for a byte offset.
+    ///
+    /// ```
+    /// use rtj_lang::span::LineMap;
+    /// let m = LineMap::new("ab\ncd");
+    /// assert_eq!(m.location(0), (1, 1));
+    /// assert_eq!(m.location(3), (2, 1));
+    /// assert_eq!(m.location(4), (2, 2));
+    /// ```
+    pub fn location(&self, offset: u32) -> (u32, u32) {
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        (line as u32 + 1, offset - self.line_starts[line] + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_join() {
+        let a = Span::new(2, 4);
+        let b = Span::new(10, 12);
+        assert_eq!(a.to(b), Span::new(2, 12));
+        assert_eq!(b.to(a), Span::new(2, 12));
+    }
+
+    #[test]
+    fn span_len_and_empty() {
+        assert!(Span::new(5, 5).is_empty());
+        assert_eq!(Span::new(5, 9).len(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn span_invalid() {
+        let _ = Span::new(4, 2);
+    }
+
+    #[test]
+    fn line_map_multiline() {
+        let m = LineMap::new("hello\nworld\n\nx");
+        assert_eq!(m.location(0), (1, 1));
+        assert_eq!(m.location(5), (1, 6));
+        assert_eq!(m.location(6), (2, 1));
+        assert_eq!(m.location(12), (3, 1));
+        assert_eq!(m.location(13), (4, 1));
+    }
+
+    #[test]
+    fn line_map_empty_source() {
+        let m = LineMap::new("");
+        assert_eq!(m.location(0), (1, 1));
+    }
+}

@@ -1,0 +1,81 @@
+//! Robustness: the lexer and parser never panic — arbitrary input yields
+//! either a parse tree or a proper error with a sensible span.
+
+use proptest::prelude::*;
+use rtj_lang::parser::{parse_expr, parse_program};
+use rtj_lang::span::LineMap;
+
+/// Fragments biased toward the language's own syntax so the fuzzer
+/// reaches deep parser states, not just the first error.
+fn fragment() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("class".to_string()),
+        Just("regionKind".to_string()),
+        Just("subregion".to_string()),
+        Just("extends".to_string()),
+        Just("SharedRegion".to_string()),
+        Just("Owner".to_string()),
+        Just("(RHandle<".to_string()),
+        Just("RT fork".to_string()),
+        Just("accesses".to_string()),
+        Just("where".to_string()),
+        Just("owns".to_string()),
+        Just("outlives".to_string()),
+        Just("let".to_string()),
+        Just("while".to_string()),
+        Just("if".to_string()),
+        Just("return".to_string()),
+        Just("new".to_string()),
+        Just("this".to_string()),
+        Just("null".to_string()),
+        Just("heap".to_string()),
+        Just("immortal".to_string()),
+        Just("initialRegion".to_string()),
+        Just("LT(8)".to_string()),
+        Just("VT".to_string()),
+        Just("NoRT".to_string()),
+        Just("{".to_string()),
+        Just("}".to_string()),
+        Just("<".to_string()),
+        Just(">".to_string()),
+        Just("(".to_string()),
+        Just(")".to_string()),
+        Just(";".to_string()),
+        Just(",".to_string()),
+        Just("=".to_string()),
+        Just(".".to_string()),
+        Just("&&".to_string()),
+        Just("||".to_string()),
+        Just("+".to_string()),
+        Just("42".to_string()),
+        "[a-z]{1,4}".prop_map(|s| s),
+        Just("\"str\"".to_string()),
+        Just("/* c */".to_string()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn parser_never_panics_on_fragments(parts in prop::collection::vec(fragment(), 0..40)) {
+        let src = parts.join(" ");
+        match parse_program(&src) {
+            Ok(_) => {}
+            Err(e) => {
+                // The error span must be inside (or just past) the input.
+                prop_assert!(e.span.start as usize <= src.len() + 1);
+                // And renderable.
+                let _ = rtj_lang::diag::render(&src, e.span, &e.message);
+            }
+        }
+        let _ = parse_expr(&src);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes(src in "[ -~\n]{0,200}") {
+        let _ = parse_program(&src);
+        let _ = parse_expr(&src);
+        let _ = LineMap::new(&src);
+    }
+}

@@ -1,0 +1,86 @@
+//! Check modes and runtime statistics.
+
+/// How the RTSJ dynamic checks are handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckMode {
+    /// RTSJ mode: run every reference/assignment check and charge its cost
+    /// on the virtual clock. This is the baseline the paper's Figure 12
+    /// measures against.
+    #[default]
+    Dynamic,
+    /// Statically-checked mode: the program was accepted by the ownership/
+    /// region type system, so the checks are elided entirely — zero cost.
+    Static,
+    /// Verification mode: run every check at **zero** cost and report any
+    /// failure. Used by the soundness test-suite to confirm that well-typed
+    /// programs never fail a check (Theorems 3 and 4).
+    Audit,
+}
+
+impl CheckMode {
+    /// Whether the checks' logic runs at all.
+    pub fn checks_run(self) -> bool {
+        !matches!(self, CheckMode::Static)
+    }
+
+    /// Whether the checks' cost is charged on the clock.
+    pub fn checks_charged(self) -> bool {
+        matches!(self, CheckMode::Dynamic)
+    }
+}
+
+/// Counters describing one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Reference-store (assignment) checks performed.
+    pub store_checks: u64,
+    /// Reference-load checks performed.
+    pub load_checks: u64,
+    /// Cycles spent in checks.
+    pub check_cycles: u64,
+    /// Objects allocated.
+    pub objects_allocated: u64,
+    /// Bytes allocated to objects.
+    pub bytes_allocated: u64,
+    /// Cycles spent allocating (including zeroing).
+    pub alloc_cycles: u64,
+    /// Regions created (including subregion instances).
+    pub regions_created: u64,
+    /// Subregion flushes performed.
+    pub regions_flushed: u64,
+    /// Regions deleted.
+    pub regions_deleted: u64,
+    /// Garbage collections that ran.
+    pub gc_collections: u64,
+    /// Total cycles of GC pause imposed on regular threads.
+    pub gc_pause_cycles: u64,
+    /// Threads spawned (excluding the main thread).
+    pub threads_spawned: u64,
+    /// Cycles real-time threads spent waiting to enter a region because a
+    /// bookkeeping lock was held (the RTSJ priority-inversion window).
+    pub rt_lock_wait_cycles: u64,
+    /// Worst single real-time lock wait, in cycles.
+    pub rt_max_lock_wait: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_predicates() {
+        assert!(CheckMode::Dynamic.checks_run());
+        assert!(CheckMode::Dynamic.checks_charged());
+        assert!(!CheckMode::Static.checks_run());
+        assert!(!CheckMode::Static.checks_charged());
+        assert!(CheckMode::Audit.checks_run());
+        assert!(!CheckMode::Audit.checks_charged());
+    }
+
+    #[test]
+    fn stats_default_is_zeroed() {
+        let s = Stats::default();
+        assert_eq!(s.store_checks, 0);
+        assert_eq!(s.gc_collections, 0);
+    }
+}

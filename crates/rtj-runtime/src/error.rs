@@ -1,0 +1,132 @@
+//! Runtime errors: the failures the RTSJ dynamic checks guard against,
+//! plus resource exhaustion.
+
+use crate::value::{ObjId, RegionId, ThreadId};
+use std::fmt;
+
+/// An error raised by the region runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RtError {
+    /// An RTSJ assignment check failed: storing a reference to an object
+    /// whose region does not outlive the holder's region would create a
+    /// dangling reference.
+    IllegalAssignment {
+        /// Region of the object holding the reference.
+        holder_region: RegionId,
+        /// Region of the referenced object.
+        value_region: RegionId,
+    },
+    /// A real-time thread touched a reference to a heap-allocated object.
+    HeapRefFromRealTime {
+        /// The offending thread.
+        thread: ThreadId,
+        /// The heap object involved.
+        object: ObjId,
+    },
+    /// A real-time thread tried to allocate memory from the garbage
+    /// collected heap (object allocation, VT-region growth, or region
+    /// creation).
+    HeapAllocFromRealTime {
+        /// The offending thread.
+        thread: ThreadId,
+    },
+    /// An LT region ran out of its preallocated capacity.
+    LtCapacityExceeded {
+        /// The region.
+        region: RegionId,
+        /// Its fixed capacity in bytes.
+        capacity: u64,
+        /// The allocation size that did not fit.
+        requested: u64,
+    },
+    /// A (flushed or deleted) region's object was touched — a dangling
+    /// reference was followed. Well-typed programs never trigger this.
+    DanglingReference {
+        /// The dead object.
+        object: ObjId,
+    },
+    /// An operation referred to a region that is not alive.
+    RegionNotAlive {
+        /// The region.
+        region: RegionId,
+    },
+    /// A thread entered a subregion reserved for the other thread class.
+    ReservationViolation {
+        /// The offending thread.
+        thread: ThreadId,
+        /// The region with the reservation.
+        region: RegionId,
+    },
+    /// Internal protocol misuse (e.g. exiting a region that was not
+    /// entered); indicates an interpreter bug, not a program error.
+    Protocol(String),
+}
+
+impl fmt::Display for RtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtError::IllegalAssignment {
+                holder_region,
+                value_region,
+            } => write!(
+                f,
+                "illegal assignment: region#{} does not outlive region#{}",
+                value_region.0, holder_region.0
+            ),
+            RtError::HeapRefFromRealTime { thread, object } => write!(
+                f,
+                "real-time thread#{} accessed heap reference obj#{}",
+                thread.0, object.0
+            ),
+            RtError::HeapAllocFromRealTime { thread } => write!(
+                f,
+                "real-time thread#{} attempted a heap allocation",
+                thread.0
+            ),
+            RtError::LtCapacityExceeded {
+                region,
+                capacity,
+                requested,
+            } => write!(
+                f,
+                "LT region#{} capacity exceeded ({requested} bytes requested, \
+                 {capacity} total)",
+                region.0
+            ),
+            RtError::DanglingReference { object } => {
+                write!(f, "dangling reference followed to dead obj#{}", object.0)
+            }
+            RtError::RegionNotAlive { region } => {
+                write!(f, "region#{} is not alive", region.0)
+            }
+            RtError::ReservationViolation { thread, region } => write!(
+                f,
+                "thread#{} entered region#{} reserved for the other thread class",
+                thread.0, region.0
+            ),
+            RtError::Protocol(msg) => write!(f, "runtime protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RtError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RtError::IllegalAssignment {
+            holder_region: RegionId(1),
+            value_region: RegionId(2),
+        };
+        assert!(e.to_string().contains("region#2"));
+        let e = RtError::LtCapacityExceeded {
+            region: RegionId(3),
+            capacity: 64,
+            requested: 128,
+        };
+        assert!(e.to_string().contains("128 bytes"));
+    }
+}

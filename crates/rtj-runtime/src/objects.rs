@@ -1,0 +1,156 @@
+//! The object store.
+//!
+//! Objects live in regions; deleting or flushing a region kills its
+//! objects. A dead object's fields are dropped, and any later access to it
+//! is a [dangling-reference error](crate::error::RtError::DanglingReference)
+//! — which well-typed programs never trigger (paper, Theorem 3).
+
+use crate::value::{ObjId, RegionId, RuntimeOwner, Value};
+
+/// Object header bytes (class pointer + owner table, as on the authors'
+/// platform).
+pub const OBJECT_HEADER_BYTES: u64 = 16;
+
+/// Bytes per field slot.
+pub const FIELD_BYTES: u64 = 8;
+
+/// Size in bytes of an object with `n_fields` fields.
+pub fn object_size(n_fields: usize) -> u64 {
+    OBJECT_HEADER_BYTES + FIELD_BYTES * n_fields as u64
+}
+
+/// One allocated object.
+#[derive(Debug, Clone)]
+pub struct ObjectRecord {
+    /// The object's id.
+    pub id: ObjId,
+    /// Name of the class it was allocated as.
+    pub class_name: String,
+    /// The region it is allocated in.
+    pub region: RegionId,
+    /// Runtime owner bindings (one per owner parameter of the class).
+    pub owners: Vec<RuntimeOwner>,
+    /// Field slots, in class layout order.
+    pub fields: Vec<Value>,
+    /// Dead once the containing region is flushed or deleted.
+    pub alive: bool,
+}
+
+/// The store of all objects ever allocated.
+#[derive(Debug, Clone, Default)]
+pub struct ObjectStore {
+    records: Vec<ObjectRecord>,
+    live_count: usize,
+    live_bytes: u64,
+    peak_live_bytes: u64,
+}
+
+impl ObjectStore {
+    /// Allocates a new object record (memory accounting is the region
+    /// table's job; this tracks object-level liveness).
+    pub fn alloc(
+        &mut self,
+        class_name: String,
+        region: RegionId,
+        owners: Vec<RuntimeOwner>,
+        n_fields: usize,
+    ) -> ObjId {
+        let id = ObjId(self.records.len() as u32);
+        self.records.push(ObjectRecord {
+            id,
+            class_name,
+            region,
+            owners,
+            fields: vec![Value::Null; n_fields],
+            alive: true,
+        });
+        self.live_count += 1;
+        self.live_bytes += object_size(n_fields);
+        self.peak_live_bytes = self.peak_live_bytes.max(self.live_bytes);
+        id
+    }
+
+    /// Immutable access (dead or alive).
+    pub fn get(&self, id: ObjId) -> &ObjectRecord {
+        &self.records[id.0 as usize]
+    }
+
+    /// Mutable access (dead or alive).
+    pub fn get_mut(&mut self, id: ObjId) -> &mut ObjectRecord {
+        &mut self.records[id.0 as usize]
+    }
+
+    /// Kills an object (its region was flushed or deleted).
+    pub fn kill(&mut self, id: ObjId) {
+        let n_fields = {
+            let r = &mut self.records[id.0 as usize];
+            if !r.alive {
+                return;
+            }
+            r.alive = false;
+            let n = r.fields.len();
+            r.fields = Vec::new();
+            n
+        };
+        self.live_count -= 1;
+        self.live_bytes -= object_size(n_fields);
+    }
+
+    /// Number of live objects.
+    pub fn live_count(&self) -> usize {
+        self.live_count
+    }
+
+    /// Bytes held by live objects.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// High-water mark of live bytes.
+    pub fn peak_live_bytes(&self) -> u64 {
+        self.peak_live_bytes
+    }
+
+    /// Total number of objects ever allocated.
+    pub fn total_allocated(&self) -> usize {
+        self.records.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_kill_track_liveness() {
+        let mut s = ObjectStore::default();
+        let a = s.alloc("A".into(), RegionId(0), vec![], 2);
+        let b = s.alloc("B".into(), RegionId(0), vec![], 0);
+        assert_eq!(s.live_count(), 2);
+        assert_eq!(s.live_bytes(), object_size(2) + object_size(0));
+        assert_eq!(s.peak_live_bytes(), s.live_bytes());
+        let peak = s.peak_live_bytes();
+        s.kill(a);
+        assert!(!s.get(a).alive);
+        assert!(s.get(b).alive);
+        assert_eq!(s.live_count(), 1);
+        assert_eq!(s.peak_live_bytes(), peak, "peak unchanged by kill");
+        s.kill(a); // idempotent
+        assert_eq!(s.live_count(), 1);
+        assert_eq!(s.total_allocated(), 2);
+    }
+
+    #[test]
+    fn fields_start_null() {
+        let mut s = ObjectStore::default();
+        let a = s.alloc("A".into(), RegionId(1), vec![], 3);
+        assert!(s.get(a).fields.iter().all(|v| *v == Value::Null));
+        assert_eq!(s.get(a).region, RegionId(1));
+    }
+
+    #[test]
+    fn object_size_formula() {
+        assert_eq!(object_size(0), 16);
+        assert_eq!(object_size(4), 48);
+    }
+}

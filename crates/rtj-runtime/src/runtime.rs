@@ -1,0 +1,1223 @@
+//! The runtime facade: the simulated RTSJ platform.
+//!
+//! A [`Runtime`] owns the region table, the object store, the virtual
+//! clock, thread records, the garbage-collector state, and all statistics.
+//! The interpreter (`rtj-interp`) drives it through a narrow API:
+//! allocation, field/portal loads and stores (where the RTSJ dynamic
+//! checks live), region creation/entry/exit, thread spawning, and the
+//! two-phase subregion enter/exit protocol whose bookkeeping lock models
+//! the RTSJ priority-inversion window.
+
+use crate::checks::{CheckMode, Stats};
+use crate::clock::{Clock, CostModel};
+use crate::error::RtError;
+use crate::objects::{object_size, ObjectStore};
+use crate::region::{RegionClass, RegionRecord, RegionSpec, RegionState, RegionTable};
+use crate::value::{
+    AllocPolicy, ObjId, RegionId, Reservation, RuntimeOwner, ThreadClass, ThreadId, Value,
+};
+use std::collections::BTreeSet;
+
+/// Per-thread bookkeeping.
+#[derive(Debug, Clone)]
+pub struct ThreadRecord {
+    /// The thread's id.
+    pub id: ThreadId,
+    /// Regular or real-time.
+    pub class: ThreadClass,
+    /// Regions this thread is currently inside (innermost last).
+    pub region_stack: Vec<RegionId>,
+    /// Whether the thread is still running.
+    pub alive: bool,
+}
+
+/// Garbage-collector state (stop-the-world, pauses regular threads only).
+#[derive(Debug, Clone, Default)]
+pub struct GcState {
+    /// Bytes of heap allocation since the last collection.
+    pub debt: u64,
+    /// A collection is requested and will start at the next safepoint.
+    pub pending: bool,
+    /// While `now < collecting_until`, regular threads are paused.
+    pub collecting_until: Option<u64>,
+}
+
+/// The simulated RTSJ platform.
+#[derive(Debug, Clone)]
+pub struct Runtime {
+    cost: CostModel,
+    mode: CheckMode,
+    clock: Clock,
+    regions: RegionTable,
+    objects: ObjectStore,
+    threads: Vec<ThreadRecord>,
+    gc: GcState,
+    gc_enabled: bool,
+    stats: Stats,
+    trace: Vec<String>,
+    heap: RegionId,
+    immortal: RegionId,
+}
+
+impl Runtime {
+    /// Creates a runtime with the built-in `heap` and `immortal` regions
+    /// and a main regular thread whose current region is the heap.
+    pub fn new(mode: CheckMode, cost: CostModel) -> Self {
+        let mut regions = RegionTable::default();
+        let (heap, _) = regions.create(RegionSpec::plain_vt(), RegionClass::Heap, BTreeSet::new());
+        let (immortal, _) = regions.create(
+            RegionSpec {
+                policy: AllocPolicy::Lt {
+                    capacity: u64::MAX / 2,
+                },
+                ..RegionSpec::plain_vt()
+            },
+            RegionClass::Immortal,
+            BTreeSet::new(),
+        );
+        let main = ThreadRecord {
+            id: ThreadId(0),
+            class: ThreadClass::Regular,
+            region_stack: vec![heap],
+            alive: true,
+        };
+        Runtime {
+            cost,
+            mode,
+            clock: Clock::new(),
+            regions,
+            objects: ObjectStore::default(),
+            threads: vec![main],
+            gc: GcState::default(),
+            gc_enabled: false,
+            stats: Stats::default(),
+            trace: Vec::new(),
+            heap,
+            immortal,
+        }
+    }
+
+    /// Convenience constructor with the default cost model.
+    pub fn with_mode(mode: CheckMode) -> Self {
+        Runtime::new(mode, CostModel::default())
+    }
+
+    /// The heap region.
+    pub fn heap(&self) -> RegionId {
+        self.heap
+    }
+
+    /// The immortal region.
+    pub fn immortal(&self) -> RegionId {
+        self.immortal
+    }
+
+    /// The main thread.
+    pub fn main_thread(&self) -> ThreadId {
+        ThreadId(0)
+    }
+
+    /// The active check mode.
+    pub fn mode(&self) -> CheckMode {
+        self.mode
+    }
+
+    /// The cost model in use.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Current virtual time in cycles.
+    pub fn now(&self) -> u64 {
+        self.clock.now()
+    }
+
+    /// Advances the virtual clock (interpreter step costs, `io`,
+    /// `workload`).
+    pub fn charge(&mut self, cycles: u64) {
+        self.clock.advance(cycles);
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Trace output produced by `print`.
+    pub fn trace(&self) -> &[String] {
+        &self.trace
+    }
+
+    /// Appends a line to the trace.
+    pub fn print(&mut self, line: String) {
+        self.clock.advance(self.cost.step);
+        self.trace.push(line);
+    }
+
+    /// Enables the simulated garbage collector (off by default: the
+    /// paper's Figure 12 runs never trigger a collection).
+    pub fn enable_gc(&mut self, enabled: bool) {
+        self.gc_enabled = enabled;
+    }
+
+    // ------------------------------------------------------------- threads
+
+    /// Record for a thread.
+    pub fn thread(&self, t: ThreadId) -> &ThreadRecord {
+        &self.threads[t.0 as usize]
+    }
+
+    /// Number of threads ever created.
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Spawns a thread. The child inherits the parent's *shared* regions
+    /// (their reference counts are incremented), mirroring the paper's
+    /// region-stack semantics.
+    pub fn spawn_thread(&mut self, parent: ThreadId, class: ThreadClass) -> ThreadId {
+        let inherited: Vec<RegionId> = self.threads[parent.0 as usize]
+            .region_stack
+            .iter()
+            .copied()
+            .filter(|r| {
+                matches!(
+                    self.regions.get(*r).class,
+                    RegionClass::Heap
+                        | RegionClass::Immortal
+                        | RegionClass::Shared
+                        | RegionClass::SubInstance { .. }
+                )
+            })
+            .collect();
+        for r in &inherited {
+            if !matches!(
+                self.regions.get(*r).class,
+                RegionClass::Heap | RegionClass::Immortal
+            ) {
+                self.regions.get_mut(*r).thread_count += 1;
+            }
+        }
+        let id = ThreadId(self.threads.len() as u32);
+        self.threads.push(ThreadRecord {
+            id,
+            class,
+            region_stack: inherited,
+            alive: true,
+        });
+        self.stats.threads_spawned += 1;
+        id
+    }
+
+    /// Terminates a thread: its region-stack counts are released
+    /// (innermost first), flushing or deleting regions as they empty.
+    pub fn finish_thread(&mut self, t: ThreadId) -> Result<(), RtError> {
+        let stack: Vec<RegionId> = self.threads[t.0 as usize].region_stack.clone();
+        for r in stack.into_iter().rev() {
+            if !matches!(
+                self.regions.get(r).class,
+                RegionClass::Heap | RegionClass::Immortal
+            ) {
+                self.release_region(r)?;
+            }
+        }
+        let rec = &mut self.threads[t.0 as usize];
+        rec.region_stack.clear();
+        rec.alive = false;
+        Ok(())
+    }
+
+    /// The innermost region on a thread's stack (its allocation context).
+    pub fn current_region(&self, t: ThreadId) -> RegionId {
+        *self.threads[t.0 as usize]
+            .region_stack
+            .last()
+            .unwrap_or(&self.heap)
+    }
+
+    // ------------------------------------------------------------- regions
+
+    /// Looks up a region record.
+    pub fn region(&self, r: RegionId) -> &RegionRecord {
+        self.regions.get(r)
+    }
+
+    /// Whether region `a` outlives region `b` at runtime.
+    pub fn region_outlives(&self, a: RegionId, b: RegionId) -> bool {
+        self.regions.outlives(a, b)
+    }
+
+    /// Creates a region (plus instances of all its declared subregions),
+    /// pushes it on the creating thread's stack, and charges the creation
+    /// cost (bookkeeping per region + zeroing of all transitive LT
+    /// capacity).
+    ///
+    /// # Errors
+    ///
+    /// Real-time threads cannot create regions (creation allocates memory
+    /// and synchronizes with the collector); detected when checks run.
+    pub fn create_region(
+        &mut self,
+        t: ThreadId,
+        spec: RegionSpec,
+        shared: bool,
+    ) -> Result<RegionId, RtError> {
+        if self.mode.checks_run() && self.threads[t.0 as usize].class == ThreadClass::RealTime {
+            return Err(RtError::HeapAllocFromRealTime { thread: t });
+        }
+        let outlived_by: BTreeSet<RegionId> = self.regions.alive_ids().into_iter().collect();
+        let lt_bytes = spec.transitive_lt_bytes();
+        let class = if shared {
+            RegionClass::Shared
+        } else {
+            RegionClass::Local { owner: t }
+        };
+        let (id, n) = self.regions.create(spec, class, outlived_by);
+        self.stats.regions_created += n as u64;
+        self.clock
+            .advance(self.cost.region_create * n as u64 + self.cost.zeroing(lt_bytes));
+        self.regions.get_mut(id).thread_count = 1;
+        self.threads[t.0 as usize].region_stack.push(id);
+        Ok(id)
+    }
+
+    /// Exits a region previously created with [`Runtime::create_region`]
+    /// (end of the lexical region block).
+    pub fn exit_created_region(&mut self, t: ThreadId, r: RegionId) -> Result<(), RtError> {
+        let stack = &mut self.threads[t.0 as usize].region_stack;
+        match stack.pop() {
+            Some(top) if top == r => {}
+            other => {
+                return Err(RtError::Protocol(format!(
+                    "exit_created_region: expected region#{} on top of the stack, found {:?}",
+                    r.0, other
+                )))
+            }
+        }
+        self.clock.advance(self.cost.region_enter_exit);
+        self.release_region(r)
+    }
+
+    /// Decrements a region's thread count and deletes/flushes it if it
+    /// emptied.
+    fn release_region(&mut self, r: RegionId) -> Result<(), RtError> {
+        let rec = self.regions.get_mut(r);
+        if rec.thread_count == 0 {
+            return Err(RtError::Protocol(format!(
+                "release of region#{} with zero count",
+                r.0
+            )));
+        }
+        rec.thread_count -= 1;
+        let empty = rec.thread_count == 0;
+        match rec.class.clone() {
+            RegionClass::Local { .. } => {
+                if empty {
+                    let dead = self.regions.delete(r);
+                    self.stats.regions_deleted += 1;
+                    for o in dead {
+                        self.objects.kill(o);
+                    }
+                }
+            }
+            RegionClass::Shared => {
+                if empty {
+                    // A top-level shared region is deleted when the last
+                    // thread exits it.
+                    let dead = self.regions.delete(r);
+                    self.stats.regions_deleted += 1;
+                    for o in dead {
+                        self.objects.kill(o);
+                    }
+                }
+            }
+            RegionClass::SubInstance { .. } => {
+                // Subregions are *flushed* (not deleted) when empty, and
+                // only if their portals are null and their own subregions
+                // are flushed.
+                if empty && self.regions.can_flush(r) {
+                    let dead = self.regions.flush(r);
+                    self.stats.regions_flushed += 1;
+                    for o in dead {
+                        self.objects.kill(o);
+                    }
+                }
+            }
+            RegionClass::Heap | RegionClass::Immortal => {}
+        }
+        Ok(())
+    }
+
+    // -------------------------------------------- subregion enter/exit (2φ)
+
+    /// Tries to take the bookkeeping lock of `region` (used around
+    /// subregion entry/exit). Returns `false` if another thread holds it —
+    /// the caller must retry later (this is the RTSJ priority-inversion
+    /// window: a regular thread paused by the GC while holding the lock
+    /// blocks a real-time thread trying to enter).
+    pub fn try_lock_region(&mut self, t: ThreadId, region: RegionId) -> bool {
+        let rec = self.regions.get_mut(region);
+        match rec.lock {
+            None => {
+                rec.lock = Some(t);
+                true
+            }
+            Some(holder) => holder == t,
+        }
+    }
+
+    /// Releases the bookkeeping lock.
+    pub fn unlock_region(&mut self, t: ThreadId, region: RegionId) -> Result<(), RtError> {
+        let rec = self.regions.get_mut(region);
+        if rec.lock != Some(t) {
+            return Err(RtError::Protocol(format!(
+                "thread#{} released a lock it does not hold on region#{}",
+                t.0, region.0
+            )));
+        }
+        rec.lock = None;
+        Ok(())
+    }
+
+    /// Records cycles a real-time thread spent waiting for a region lock.
+    pub fn note_rt_lock_wait(&mut self, cycles: u64) {
+        self.stats.rt_lock_wait_cycles += cycles;
+        self.stats.rt_max_lock_wait = self.stats.rt_max_lock_wait.max(cycles);
+    }
+
+    /// The region whose bookkeeping lock must be held to enter subregion
+    /// `member` of `parent`: the member's current *instance* (so disjoint
+    /// subregions never contend — the basis of the type system's
+    /// priority-inversion fix), or the parent itself when a `fresh`
+    /// instance will replace the member.
+    pub fn subregion_lock_target(
+        &self,
+        parent: RegionId,
+        member: &str,
+        fresh: bool,
+    ) -> Result<RegionId, RtError> {
+        if fresh {
+            return Ok(parent);
+        }
+        self.regions
+            .get(parent)
+            .subs
+            .get(member)
+            .copied()
+            .ok_or_else(|| RtError::Protocol(format!("no subregion member `{member}`")))
+    }
+
+    /// Enters subregion `member` of `parent`. The caller must hold the
+    /// lock returned by [`Runtime::subregion_lock_target`]. With `fresh`,
+    /// a brand-new instance replaces the current one. Returns the entered
+    /// instance.
+    ///
+    /// # Errors
+    ///
+    /// Reservation violations (an RT thread entering a `NoRT` subregion or
+    /// vice versa) when checks run; unknown members are protocol errors.
+    pub fn enter_subregion_locked(
+        &mut self,
+        t: ThreadId,
+        parent: RegionId,
+        member: &str,
+        fresh: bool,
+    ) -> Result<RegionId, RtError> {
+        let lock_target = self.subregion_lock_target(parent, member, fresh)?;
+        if self.regions.get(lock_target).lock != Some(t) {
+            return Err(RtError::Protocol(format!(
+                "enter_subregion without holding the lock on region#{}",
+                lock_target.0
+            )));
+        }
+        let cur = *self
+            .regions
+            .get(parent)
+            .subs
+            .get(member)
+            .ok_or_else(|| RtError::Protocol(format!("no subregion member `{member}`")))?;
+        let target = if fresh {
+            // Replace the member with a brand-new instance; the old one
+            // lives on until its own threads exit.
+            let spec = self.regions.get(cur).spec.clone();
+            let mut outlives = self.regions.get(parent).outlived_by.clone();
+            outlives.insert(parent);
+            let gen = self.regions.get(cur).generation + 1;
+            if self.mode.checks_run()
+                && self.threads[t.0 as usize].class == ThreadClass::RealTime
+            {
+                // Creating a fresh instance allocates memory.
+                return Err(RtError::HeapAllocFromRealTime { thread: t });
+            }
+            let lt = spec.transitive_lt_bytes();
+            let (id, n) = self.regions.create(
+                spec,
+                RegionClass::SubInstance {
+                    parent,
+                    member: member.to_string(),
+                },
+                outlives,
+            );
+            self.stats.regions_created += n as u64;
+            self.clock
+                .advance(self.cost.region_create * n as u64 + self.cost.zeroing(lt));
+            self.regions.get_mut(id).generation = gen;
+            self.regions
+                .get_mut(parent)
+                .subs
+                .insert(member.to_string(), id);
+            id
+        } else {
+            cur
+        };
+        let tclass = self.threads[t.0 as usize].class;
+        let rec = self.regions.get(target);
+        if self.mode.checks_run() {
+            let bad = match rec.spec.reservation {
+                Reservation::Any => false,
+                Reservation::RtOnly => tclass == ThreadClass::Regular,
+                Reservation::NoRtOnly => tclass == ThreadClass::RealTime,
+            };
+            if bad {
+                return Err(RtError::ReservationViolation {
+                    thread: t,
+                    region: target,
+                });
+            }
+        }
+        match rec.state {
+            RegionState::Alive => {}
+            RegionState::Flushed => self.regions.revive(target),
+            RegionState::Deleted => return Err(RtError::RegionNotAlive { region: target }),
+        }
+        self.regions.get_mut(target).thread_count += 1;
+        self.threads[t.0 as usize].region_stack.push(target);
+        self.clock.advance(self.cost.region_enter_exit);
+        Ok(target)
+    }
+
+    /// Exits a subregion (the caller must hold the *instance's own* lock:
+    /// the flushability test and the flush must be atomic). Flushes the
+    /// instance if it emptied and is flushable.
+    pub fn exit_subregion_locked(&mut self, t: ThreadId, r: RegionId) -> Result<(), RtError> {
+        if !matches!(self.regions.get(r).class, RegionClass::SubInstance { .. }) {
+            return Err(RtError::Protocol(format!(
+                "region#{} is not a subregion instance",
+                r.0
+            )));
+        }
+        if self.regions.get(r).lock != Some(t) {
+            return Err(RtError::Protocol(format!(
+                "exit_subregion without holding the lock on region#{}",
+                r.0
+            )));
+        }
+        let stack = &mut self.threads[t.0 as usize].region_stack;
+        match stack.pop() {
+            Some(top) if top == r => {}
+            other => {
+                return Err(RtError::Protocol(format!(
+                    "exit_subregion: expected region#{} on top of the stack, found {:?}",
+                    r.0, other
+                )))
+            }
+        }
+        self.clock.advance(self.cost.region_enter_exit);
+        self.release_region(r)
+    }
+
+    // ---------------------------------------------------------- allocation
+
+    /// Resolves a runtime owner to the region it denotes.
+    pub fn owner_region(&self, o: RuntimeOwner) -> RegionId {
+        match o {
+            RuntimeOwner::Region(r) => r,
+            RuntimeOwner::Object(obj) => self.objects.get(obj).region,
+        }
+    }
+
+    /// Allocates an object owned by `first_owner` (and therefore in that
+    /// owner's region), charging the policy-dependent cost.
+    ///
+    /// # Errors
+    ///
+    /// LT capacity overflow (always checked — the paper's LT regions throw
+    /// when undersized); heap/VT allocation from a real-time thread (when
+    /// checks run); allocation into a dead region.
+    pub fn alloc(
+        &mut self,
+        t: ThreadId,
+        first_owner: RuntimeOwner,
+        class_name: &str,
+        owners: Vec<RuntimeOwner>,
+        n_fields: usize,
+    ) -> Result<ObjId, RtError> {
+        let region = self.owner_region(first_owner);
+        let rec = self.regions.get(region);
+        if !rec.is_alive() {
+            return Err(RtError::RegionNotAlive { region });
+        }
+        let size = object_size(n_fields);
+        let tclass = self.threads[t.0 as usize].class;
+        let is_heap = region == self.heap;
+        let mut cycles = self.cost.alloc_base + self.cost.zeroing(size);
+        match rec.spec.policy {
+            AllocPolicy::Lt { capacity } => {
+                if rec.used + size > capacity {
+                    return Err(RtError::LtCapacityExceeded {
+                        region,
+                        capacity,
+                        requested: size,
+                    });
+                }
+            }
+            AllocPolicy::Vt => {
+                if is_heap {
+                    if self.mode.checks_run() && tclass == ThreadClass::RealTime {
+                        return Err(RtError::HeapAllocFromRealTime { thread: t });
+                    }
+                    cycles += self.cost.heap_alloc;
+                    self.gc.debt += size;
+                    if self.gc_enabled && self.gc.debt >= self.cost.gc_threshold_bytes {
+                        self.gc.pending = true;
+                        self.gc.debt = 0;
+                    }
+                } else if rec.used + size > rec.committed {
+                    // Need a fresh chunk: variable-time work.
+                    if self.mode.checks_run() && tclass == ThreadClass::RealTime {
+                        return Err(RtError::HeapAllocFromRealTime { thread: t });
+                    }
+                    let needed = rec.used + size - rec.committed;
+                    let chunks = needed.div_ceil(self.cost.vt_chunk_bytes);
+                    cycles += self.cost.vt_chunk * chunks;
+                    self.regions.get_mut(region).committed +=
+                        chunks * self.cost.vt_chunk_bytes;
+                }
+            }
+        }
+        let rec = self.regions.get_mut(region);
+        rec.used += size;
+        rec.peak_used = rec.peak_used.max(rec.used);
+        let id = self
+            .objects
+            .alloc(class_name.to_string(), region, owners, n_fields);
+        self.regions.get_mut(region).objects.push(id);
+        self.clock.advance(cycles);
+        self.stats.objects_allocated += 1;
+        self.stats.bytes_allocated += size;
+        self.stats.alloc_cycles += cycles;
+        Ok(id)
+    }
+
+    /// Initializes a field slot as part of object construction: no checks,
+    /// no cost (the zeroing cost was charged by [`Runtime::alloc`]). Used
+    /// by the interpreter to set primitive fields to `0`/`false`.
+    pub fn init_field_raw(&mut self, obj: ObjId, idx: usize, v: Value) {
+        self.objects.get_mut(obj).fields[idx] = v;
+    }
+
+    /// The region an object lives in.
+    pub fn region_of(&self, obj: ObjId) -> RegionId {
+        self.objects.get(obj).region
+    }
+
+    /// Read-only access to an object record.
+    pub fn object(&self, obj: ObjId) -> &crate::objects::ObjectRecord {
+        self.objects.get(obj)
+    }
+
+    /// Read-only access to the object store.
+    pub fn objects(&self) -> &ObjectStore {
+        &self.objects
+    }
+
+    /// Number of region records ever created (including dead ones).
+    pub(crate) fn regions_len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Per-region peak usage, labelled for sizing advice: one entry per
+    /// region record as `(label, policy, peak bytes, capacity bytes)`.
+    pub fn region_peaks(&self) -> Vec<(String, AllocPolicy, u64, u64)> {
+        (0..self.regions.len() as u32)
+            .map(RegionId)
+            .map(|r| {
+                let rec = self.regions.get(r);
+                let label = match &rec.class {
+                    RegionClass::Heap => "heap".to_string(),
+                    RegionClass::Immortal => "immortal".to_string(),
+                    RegionClass::Local { .. } => format!("local r{}", r.0),
+                    RegionClass::Shared => format!(
+                        "{} r{}",
+                        rec.spec.kind_name.as_deref().unwrap_or("shared"),
+                        r.0
+                    ),
+                    RegionClass::SubInstance { member, .. } => format!(
+                        "{}.{member} r{}",
+                        rec.spec.kind_name.as_deref().unwrap_or("sub"),
+                        r.0
+                    ),
+                };
+                let capacity = match rec.spec.policy {
+                    AllocPolicy::Lt { capacity } => capacity,
+                    AllocPolicy::Vt => rec.committed,
+                };
+                (label, rec.spec.policy, rec.peak_used, capacity)
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------ field accesses
+
+    fn value_is_reflike(v: &Value) -> bool {
+        matches!(v, Value::Ref(_) | Value::Null)
+    }
+
+    /// Checks a reference load by thread `t` that produced `v` from an
+    /// object or portal in `holder_region`.
+    ///
+    /// As in the RTSJ, reference *loads* are only checked for
+    /// `NoHeapRealtimeThread`s (the read barrier keeps them away from heap
+    /// references); regular threads pay no per-load cost.
+    fn check_load(
+        &mut self,
+        t: ThreadId,
+        holder_region: RegionId,
+        v: &Value,
+    ) -> Result<(), RtError> {
+        if !self.mode.checks_run()
+            || !Self::value_is_reflike(v)
+            || self.threads[t.0 as usize].class != ThreadClass::RealTime
+        {
+            return Ok(());
+        }
+        self.stats.load_checks += 1;
+        if self.mode.checks_charged() {
+            self.clock.advance(self.cost.load_check);
+            self.stats.check_cycles += self.cost.load_check;
+        }
+        if holder_region == self.heap {
+            if let Value::Ref(o) = v {
+                return Err(RtError::HeapRefFromRealTime { thread: t, object: *o });
+            }
+            return Err(RtError::HeapAllocFromRealTime { thread: t });
+        }
+        if let Value::Ref(o) = v {
+            if self.objects.get(*o).region == self.heap {
+                return Err(RtError::HeapRefFromRealTime { thread: t, object: *o });
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks a reference store of `new` over `old` into `holder_region`.
+    fn check_store(
+        &mut self,
+        t: ThreadId,
+        holder_region: RegionId,
+        old: &Value,
+        new: &Value,
+    ) -> Result<(), RtError> {
+        if !self.mode.checks_run()
+            || !(Self::value_is_reflike(new) || Self::value_is_reflike(old))
+        {
+            return Ok(());
+        }
+        // The RTSJ assignment check runs (and costs) only when an actual
+        // reference is stored; storing `null` is always legal.
+        if matches!(new, Value::Ref(_)) {
+            self.stats.store_checks += 1;
+            if self.mode.checks_charged() {
+                self.clock.advance(self.cost.store_check);
+                self.stats.check_cycles += self.cost.store_check;
+            }
+        }
+        // The RTSJ assignment check: the stored reference's region must
+        // outlive the holder's region.
+        if let Value::Ref(o) = new {
+            let vr = self.objects.get(*o).region;
+            if !self.regions.outlives(vr, holder_region) {
+                return Err(RtError::IllegalAssignment {
+                    holder_region,
+                    value_region: vr,
+                });
+            }
+        }
+        // Real-time threads must not create or destroy heap references.
+        if self.threads[t.0 as usize].class == ThreadClass::RealTime {
+            for v in [old, new] {
+                if let Value::Ref(o) = v {
+                    if self.objects.get(*o).region == self.heap {
+                        return Err(RtError::HeapRefFromRealTime { thread: t, object: *o });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads a field.
+    ///
+    /// # Errors
+    ///
+    /// Dangling access to a dead object (well-typed programs never do
+    /// this); RTSJ reference-check failures when checks run.
+    pub fn load_field(&mut self, t: ThreadId, obj: ObjId, idx: usize) -> Result<Value, RtError> {
+        self.clock.advance(self.cost.field_access);
+        let rec = self.objects.get(obj);
+        if !rec.alive {
+            return Err(RtError::DanglingReference { object: obj });
+        }
+        let region = rec.region;
+        let v = rec.fields[idx].clone();
+        self.check_load(t, region, &v)?;
+        Ok(v)
+    }
+
+    /// Stores a field.
+    ///
+    /// # Errors
+    ///
+    /// Dangling access; illegal assignment (value's region does not
+    /// outlive the holder's); RT heap-reference violations — when checks
+    /// run.
+    pub fn store_field(
+        &mut self,
+        t: ThreadId,
+        obj: ObjId,
+        idx: usize,
+        v: Value,
+    ) -> Result<(), RtError> {
+        self.clock.advance(self.cost.field_access);
+        let rec = self.objects.get(obj);
+        if !rec.alive {
+            return Err(RtError::DanglingReference { object: obj });
+        }
+        let region = rec.region;
+        let old = rec.fields[idx].clone();
+        self.check_store(t, region, &old, &v)?;
+        self.objects.get_mut(obj).fields[idx] = v;
+        Ok(())
+    }
+
+    /// Loads a portal field of a region.
+    pub fn load_portal(&mut self, t: ThreadId, r: RegionId, name: &str) -> Result<Value, RtError> {
+        self.clock.advance(self.cost.field_access);
+        let rec = self.regions.get(r);
+        if !rec.is_alive() {
+            return Err(RtError::RegionNotAlive { region: r });
+        }
+        let v = rec
+            .portals
+            .get(name)
+            .cloned()
+            .ok_or_else(|| RtError::Protocol(format!("no portal `{name}`")))?;
+        self.check_load(t, r, &v)?;
+        Ok(v)
+    }
+
+    /// Stores a portal field of a region. The portal rule is the field
+    /// rule: the value must be allocated in `r` or a region outliving `r`.
+    pub fn store_portal(
+        &mut self,
+        t: ThreadId,
+        r: RegionId,
+        name: &str,
+        v: Value,
+    ) -> Result<(), RtError> {
+        self.clock.advance(self.cost.field_access);
+        let rec = self.regions.get(r);
+        if !rec.is_alive() {
+            return Err(RtError::RegionNotAlive { region: r });
+        }
+        let old = rec
+            .portals
+            .get(name)
+            .cloned()
+            .ok_or_else(|| RtError::Protocol(format!("no portal `{name}`")))?;
+        self.check_store(t, r, &old, &v)?;
+        self.regions.get_mut(r).portals.insert(name.to_string(), v);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------ GC
+
+    /// Polls the collector at a safepoint: starts a pending collection.
+    pub fn poll_gc(&mut self) {
+        if self.gc.pending && self.gc.collecting_until.is_none() {
+            self.gc.pending = false;
+            self.gc.collecting_until = Some(self.clock.now() + self.cost.gc_pause);
+            self.stats.gc_collections += 1;
+            self.stats.gc_pause_cycles += self.cost.gc_pause;
+        }
+        if let Some(until) = self.gc.collecting_until {
+            if self.clock.now() >= until {
+                self.gc.collecting_until = None;
+            }
+        }
+    }
+
+    /// If a collection is in progress, the virtual time regular threads
+    /// are paused until.
+    pub fn gc_blocking_until(&self) -> Option<u64> {
+        self.gc
+            .collecting_until
+            .filter(|until| self.clock.now() < *until)
+    }
+
+    /// Forces a collection to start now (used by the priority-inversion
+    /// experiment).
+    pub fn force_gc(&mut self) {
+        self.gc.pending = true;
+        self.poll_gc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt() -> Runtime {
+        Runtime::with_mode(CheckMode::Dynamic)
+    }
+
+    fn spec_buffer() -> RegionSpec {
+        RegionSpec {
+            kind_name: Some("BufferRegion".into()),
+            policy: AllocPolicy::Vt,
+            reservation: Reservation::Any,
+            portals: vec![],
+            subregions: vec![(
+                "b".into(),
+                RegionSpec {
+                    kind_name: Some("BufferSubRegion".into()),
+                    policy: AllocPolicy::Lt { capacity: 4096 },
+                    reservation: Reservation::Any,
+                    portals: vec!["f".into()],
+                    subregions: vec![],
+                },
+            )],
+        }
+    }
+
+    #[test]
+    fn alloc_in_local_region_and_delete_on_exit() {
+        let mut r = rt();
+        let t = r.main_thread();
+        let region = r.create_region(t, RegionSpec::plain_vt(), false).unwrap();
+        let obj = r
+            .alloc(t, RuntimeOwner::Region(region), "C", vec![], 2)
+            .unwrap();
+        assert!(r.object(obj).alive);
+        assert_eq!(r.current_region(t), region);
+        r.exit_created_region(t, region).unwrap();
+        assert!(!r.object(obj).alive, "objects die with their region");
+        assert_eq!(r.current_region(t), r.heap());
+    }
+
+    #[test]
+    fn illegal_assignment_detected() {
+        let mut r = rt();
+        let t = r.main_thread();
+        let outer = r.create_region(t, RegionSpec::plain_vt(), false).unwrap();
+        let outer_obj = r
+            .alloc(t, RuntimeOwner::Region(outer), "Outer", vec![], 1)
+            .unwrap();
+        let inner = r.create_region(t, RegionSpec::plain_vt(), false).unwrap();
+        let inner_obj = r
+            .alloc(t, RuntimeOwner::Region(inner), "Inner", vec![], 1)
+            .unwrap();
+        // Inner object into outer object's field: illegal (inner dies first).
+        let e = r
+            .store_field(t, outer_obj, 0, Value::Ref(inner_obj))
+            .unwrap_err();
+        assert!(matches!(e, RtError::IllegalAssignment { .. }));
+        // The other direction is fine.
+        r.store_field(t, inner_obj, 0, Value::Ref(outer_obj))
+            .unwrap_or_else(|e| panic!("legal store failed: {e}"));
+    }
+
+    #[test]
+    fn static_mode_skips_checks() {
+        let mut r = Runtime::with_mode(CheckMode::Static);
+        let t = r.main_thread();
+        let outer = r.create_region(t, RegionSpec::plain_vt(), false).unwrap();
+        let outer_obj = r
+            .alloc(t, RuntimeOwner::Region(outer), "O", vec![], 1)
+            .unwrap();
+        let inner = r.create_region(t, RegionSpec::plain_vt(), false).unwrap();
+        let inner_obj = r
+            .alloc(t, RuntimeOwner::Region(inner), "I", vec![], 0)
+            .unwrap();
+        // No check fires in static mode (the type system would have
+        // rejected this program).
+        r.store_field(t, outer_obj, 0, Value::Ref(inner_obj)).unwrap();
+        assert_eq!(r.stats().store_checks, 0);
+        // But dangling access still fails hard.
+        r.exit_created_region(t, inner).unwrap();
+        let e = r.load_field(t, inner_obj, 0).unwrap_err();
+        assert!(matches!(e, RtError::DanglingReference { .. }));
+    }
+
+    #[test]
+    fn check_costs_charged_only_in_dynamic_mode() {
+        for (mode, expect_cost) in [(CheckMode::Dynamic, true), (CheckMode::Audit, false)] {
+            let mut r = Runtime::with_mode(mode);
+            let t = r.main_thread();
+            let a = r
+                .alloc(t, RuntimeOwner::Region(r.heap()), "A", vec![], 1)
+                .unwrap();
+            let b = r
+                .alloc(t, RuntimeOwner::Region(r.heap()), "B", vec![], 0)
+                .unwrap();
+            let before = r.now();
+            r.store_field(t, a, 0, Value::Ref(b)).unwrap();
+            let cost = r.now() - before;
+            assert_eq!(r.stats().store_checks, 1);
+            let field = r.cost_model().field_access;
+            if expect_cost {
+                assert_eq!(cost, field + r.cost_model().store_check);
+            } else {
+                assert_eq!(cost, field);
+            }
+        }
+    }
+
+    #[test]
+    fn lt_region_overflow() {
+        let mut r = rt();
+        let t = r.main_thread();
+        let region = r
+            .create_region(
+                t,
+                RegionSpec {
+                    policy: AllocPolicy::Lt { capacity: 64 },
+                    ..RegionSpec::plain_vt()
+                },
+                false,
+            )
+            .unwrap();
+        // 16 header + 8 = 24 bytes each; two fit (48), the third does not.
+        r.alloc(t, RuntimeOwner::Region(region), "C", vec![], 1).unwrap();
+        r.alloc(t, RuntimeOwner::Region(region), "C", vec![], 1).unwrap();
+        let e = r
+            .alloc(t, RuntimeOwner::Region(region), "C", vec![], 1)
+            .unwrap_err();
+        assert!(matches!(e, RtError::LtCapacityExceeded { .. }));
+    }
+
+    #[test]
+    fn lt_alloc_cost_linear_in_size() {
+        let mut r = rt();
+        let t = r.main_thread();
+        let region = r
+            .create_region(
+                t,
+                RegionSpec {
+                    policy: AllocPolicy::Lt { capacity: 1 << 20 },
+                    ..RegionSpec::plain_vt()
+                },
+                false,
+            )
+            .unwrap();
+        let m = r.cost_model().clone();
+        let before = r.now();
+        r.alloc(t, RuntimeOwner::Region(region), "C", vec![], 0).unwrap();
+        let c0 = r.now() - before;
+        let before = r.now();
+        r.alloc(t, RuntimeOwner::Region(region), "C", vec![], 8).unwrap();
+        let c8 = r.now() - before;
+        assert_eq!(c0, m.alloc_base + m.zeroing(object_size(0)));
+        assert_eq!(c8, m.alloc_base + m.zeroing(object_size(8)));
+        assert!(c8 > c0, "zeroing scales with size");
+    }
+
+    #[test]
+    fn rt_thread_restrictions() {
+        let mut r = rt();
+        let main = r.main_thread();
+        let shared = r.create_region(main, spec_buffer(), true).unwrap();
+        let rt_thread = r.spawn_thread(main, ThreadClass::RealTime);
+        // RT thread cannot allocate on the heap.
+        let e = r
+            .alloc(rt_thread, RuntimeOwner::Region(r.heap()), "C", vec![], 0)
+            .unwrap_err();
+        assert!(matches!(e, RtError::HeapAllocFromRealTime { .. }));
+        // RT thread cannot create regions.
+        let e = r
+            .create_region(rt_thread, RegionSpec::plain_vt(), false)
+            .unwrap_err();
+        assert!(matches!(e, RtError::HeapAllocFromRealTime { .. }));
+        // RT thread cannot read heap references.
+        let heap_obj = r
+            .alloc(main, RuntimeOwner::Region(r.heap()), "H", vec![], 1)
+            .unwrap();
+        let shared_obj = r
+            .alloc(main, RuntimeOwner::Region(shared), "S", vec![], 1)
+            .unwrap();
+        r.store_field(main, shared_obj, 0, Value::Ref(heap_obj)).unwrap();
+        let e = r.load_field(rt_thread, shared_obj, 0).unwrap_err();
+        assert!(matches!(e, RtError::HeapRefFromRealTime { .. }));
+    }
+
+    #[test]
+    fn shared_region_refcounting_and_subregion_flush() {
+        let mut r = rt();
+        let main = r.main_thread();
+        let shared = r.create_region(main, spec_buffer(), true).unwrap();
+        let child = r.spawn_thread(main, ThreadClass::Regular);
+        assert_eq!(r.region(shared).thread_count, 2);
+
+        // Child enters the subregion, allocates, stores a portal, exits:
+        // not flushed (portal non-null).
+        let lock = r.subregion_lock_target(shared, "b", false).unwrap();
+        assert!(r.try_lock_region(child, lock));
+        let sub = r.enter_subregion_locked(child, shared, "b", false).unwrap();
+        r.unlock_region(child, lock).unwrap();
+        assert_eq!(lock, sub, "the lock lives on the instance itself");
+        let frame = r
+            .alloc(child, RuntimeOwner::Region(sub), "Frame", vec![], 0)
+            .unwrap();
+        r.store_portal(child, sub, "f", Value::Ref(frame)).unwrap();
+        assert!(r.try_lock_region(child, sub));
+        r.exit_subregion_locked(child, sub).unwrap();
+        r.unlock_region(child, sub).unwrap();
+        assert!(r.object(frame).alive, "portal keeps the subregion alive");
+
+        // Main enters, nulls the portal, exits: now it flushes.
+        assert!(r.try_lock_region(main, sub));
+        let sub2 = r.enter_subregion_locked(main, shared, "b", false).unwrap();
+        r.unlock_region(main, sub).unwrap();
+        assert_eq!(sub2, sub, "same instance re-entered");
+        r.store_portal(main, sub, "f", Value::Null).unwrap();
+        assert!(r.try_lock_region(main, sub));
+        r.exit_subregion_locked(main, sub).unwrap();
+        r.unlock_region(main, sub).unwrap();
+        assert!(!r.object(frame).alive, "flushed after portal cleared");
+        assert_eq!(r.stats().regions_flushed, 1);
+
+        // LT memory retained: re-entry and allocation needs no new commit.
+        assert_eq!(r.region(sub).committed, 4096);
+
+        // Threads exit the shared region; it is deleted at count zero.
+        r.finish_thread(child).unwrap();
+        assert_eq!(r.region(shared).thread_count, 1);
+        r.exit_created_region(main, shared).unwrap();
+        assert_eq!(r.region(shared).state, RegionState::Deleted);
+    }
+
+    #[test]
+    fn fresh_subregion_instances() {
+        let mut r = rt();
+        let main = r.main_thread();
+        let shared = r.create_region(main, spec_buffer(), true).unwrap();
+        let s1 = r.subregion_lock_target(shared, "b", false).unwrap();
+        assert!(r.try_lock_region(main, s1));
+        let entered = r.enter_subregion_locked(main, shared, "b", false).unwrap();
+        assert_eq!(entered, s1);
+        r.exit_subregion_locked(main, s1).unwrap();
+        r.unlock_region(main, s1).unwrap();
+        // A fresh instance is created under the *parent's* lock.
+        assert!(r.try_lock_region(main, shared));
+        let s2 = r.enter_subregion_locked(main, shared, "b", true).unwrap();
+        r.unlock_region(main, shared).unwrap();
+        assert_ne!(s1, s2);
+        assert_eq!(r.region(s2).generation, 1);
+        assert_eq!(r.subregion_lock_target(shared, "b", false).unwrap(), s2);
+    }
+
+    #[test]
+    fn reservation_enforced() {
+        let mut r = rt();
+        let main = r.main_thread();
+        let spec = RegionSpec {
+            subregions: vec![(
+                "q".into(),
+                RegionSpec {
+                    policy: AllocPolicy::Lt { capacity: 1024 },
+                    reservation: Reservation::RtOnly,
+                    ..RegionSpec::plain_vt()
+                },
+            )],
+            ..spec_buffer()
+        };
+        let shared = r.create_region(main, spec, true).unwrap();
+        let lock = r.subregion_lock_target(shared, "q", false).unwrap();
+        assert!(r.try_lock_region(main, lock));
+        let e = r
+            .enter_subregion_locked(main, shared, "q", false)
+            .unwrap_err();
+        assert!(matches!(e, RtError::ReservationViolation { .. }));
+    }
+
+    #[test]
+    fn gc_pauses_regular_threads_only() {
+        let mut r = rt();
+        r.enable_gc(true);
+        let main = r.main_thread();
+        // Allocate past the GC threshold.
+        let threshold = r.cost_model().gc_threshold_bytes;
+        let per = object_size(8);
+        let n = threshold / per + 1;
+        for _ in 0..n {
+            r.alloc(main, RuntimeOwner::Region(r.heap()), "X", vec![], 8)
+                .unwrap();
+        }
+        r.poll_gc();
+        assert_eq!(r.stats().gc_collections, 1);
+        assert!(r.gc_blocking_until().is_some());
+        let until = r.gc_blocking_until().unwrap();
+        r.charge(until - r.now());
+        r.poll_gc();
+        assert!(r.gc_blocking_until().is_none());
+    }
+
+    #[test]
+    fn region_lock_protocol() {
+        let mut r = rt();
+        let main = r.main_thread();
+        let other = r.spawn_thread(main, ThreadClass::RealTime);
+        let shared = r.create_region(main, spec_buffer(), true).unwrap();
+        assert!(r.try_lock_region(main, shared));
+        assert!(r.try_lock_region(main, shared), "re-entrant for holder");
+        assert!(!r.try_lock_region(other, shared), "blocked");
+        r.unlock_region(main, shared).unwrap();
+        assert!(r.try_lock_region(other, shared));
+        assert!(r.unlock_region(main, shared).is_err());
+        r.note_rt_lock_wait(500);
+        r.note_rt_lock_wait(200);
+        assert_eq!(r.stats().rt_lock_wait_cycles, 700);
+        assert_eq!(r.stats().rt_max_lock_wait, 500);
+    }
+
+    #[test]
+    fn vt_chunk_costs() {
+        let mut r = rt();
+        let t = r.main_thread();
+        let region = r.create_region(t, RegionSpec::plain_vt(), false).unwrap();
+        let m = r.cost_model().clone();
+        let before = r.now();
+        r.alloc(t, RuntimeOwner::Region(region), "C", vec![], 0).unwrap();
+        let first = r.now() - before;
+        let before = r.now();
+        r.alloc(t, RuntimeOwner::Region(region), "C", vec![], 0).unwrap();
+        let second = r.now() - before;
+        assert_eq!(first, second + m.vt_chunk, "first alloc grabs a chunk");
+    }
+
+    #[test]
+    fn owner_region_resolution() {
+        let mut r = rt();
+        let t = r.main_thread();
+        let region = r.create_region(t, RegionSpec::plain_vt(), false).unwrap();
+        let owner_obj = r
+            .alloc(t, RuntimeOwner::Region(region), "Owner", vec![], 0)
+            .unwrap();
+        // An object owned by another object is allocated in the owner's
+        // region (property O2).
+        let owned = r
+            .alloc(t, RuntimeOwner::Object(owner_obj), "Owned", vec![], 0)
+            .unwrap();
+        assert_eq!(r.region_of(owned), region);
+    }
+}

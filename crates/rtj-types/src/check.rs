@@ -1,0 +1,1801 @@
+//! The type checker: implements the typing judgments of Appendix B.
+//!
+//! Entry point: [`check_program`]. On success it returns the *elaborated*
+//! program (inferred `let` types, defaulted `new` owners, and inferred
+//! call-site owner arguments written back into the AST) together with the
+//! rebuilt [`ProgramTable`], which the interpreter uses for method
+//! resolution and object layout.
+//!
+//! Rule coverage (paper → function):
+//!
+//! | Paper rule | Here |
+//! |---|---|
+//! | `[PROG]` | [`check_program`] (main block: `X = {heap, immortal}`, `rcr = heap`) |
+//! | `[CLASS DEF]`, `[METHOD]` | `check_class`, `check_method` |
+//! | `[REGION KIND DEF]` | `check_region_kind` |
+//! | `[TYPE C]`, `[TYPE REGION HANDLE]` | `wf_stype` |
+//! | `[USER DECLARED SHARED REGION]` | `wf_kind` |
+//! | `[EXPR VAR/LET/NEW/REF READ/REF WRITE/INVOKE]` | `check_expr`, `check_stmt`, `field_access`, `check_call` |
+//! | `[EXPR LOCALREGION/REGION/SUBREGION]` | `check_stmt` (region forms) |
+//! | `[EXPR FORK]`, `[EXPR RTFORK]` | `check_stmt` (`Stmt::Fork`) |
+//! | `[EXPR GET/SET REGION FIELD]` | `field_access` (portal branch) |
+//! | `[AV ...]`, `[RKIND ...]` | [`crate::env::Env`] queries |
+//! | `InheritanceOK`, `OverridesOK` | `check_inheritance` |
+
+use crate::env::{Effects, Env};
+use crate::error::TypeError;
+use crate::infer;
+use crate::kind::{is_subkind, Kind};
+use crate::owner::{Owner, Subst};
+use crate::stype::SType;
+use crate::table::{resolve_kind, ClassInfo, ProgramTable, SConstraint};
+use rtj_lang::ast::*;
+use rtj_lang::span::Span;
+
+/// A successfully checked program: the elaborated AST plus its table.
+#[derive(Debug, Clone)]
+pub struct Checked {
+    /// The program with inference results written back.
+    pub program: Program,
+    /// Class/region-kind table built from the elaborated program.
+    pub table: ProgramTable,
+}
+
+/// Type-checks a program.
+///
+/// # Errors
+///
+/// Returns every type error found (the checker recovers and keeps going
+/// where it can, so multiple independent errors are reported together).
+///
+/// # Examples
+///
+/// ```
+/// use rtj_lang::parser::parse_program;
+/// use rtj_types::check_program;
+///
+/// let p = parse_program(r#"
+///     class Cell<Owner o> { int v; }
+///     {
+///         (RHandle<r> h) {
+///             let Cell<r> c = new Cell<r>;
+///             c.v = 42;
+///         }
+///     }
+/// "#).unwrap();
+/// assert!(check_program(&p).is_ok());
+/// ```
+pub fn check_program(p: &Program) -> Result<Checked, Vec<TypeError>> {
+    let mut prog = p.clone();
+    infer::apply_declaration_defaults(&mut prog);
+    let table = ProgramTable::build(&prog)?;
+    let mut ck = Checker {
+        table: &table,
+        errors: Vec::new(),
+    };
+    for rk in &prog.region_kinds {
+        ck.check_region_kind(rk);
+    }
+    ck.check_inheritance();
+    let mut classes = std::mem::take(&mut prog.classes);
+    for c in &mut classes {
+        ck.check_class(c);
+    }
+    prog.classes = classes;
+    // [PROG]: the initial expression runs on the main (regular) thread with
+    // the heap as the current region.
+    let env = Env::base();
+    let x: Effects = [Owner::Heap, Owner::Immortal].into_iter().collect();
+    let mut main = std::mem::take(&mut prog.main.stmts);
+    {
+        let mut env = env.clone();
+        for s in &mut main {
+            ck.check_stmt(&mut env, &x, &Owner::Heap, &SType::Void, false, s);
+        }
+    }
+    prog.main.stmts = main;
+    if ck.errors.is_empty() {
+        // Rebuild the table so it contains the elaborated method bodies.
+        let table = ProgramTable::build(&prog).expect("elaboration preserves structure");
+        Ok(Checked {
+            program: prog,
+            table,
+        })
+    } else {
+        Err(ck.errors)
+    }
+}
+
+struct Checker<'t> {
+    table: &'t ProgramTable,
+    errors: Vec<TypeError>,
+}
+
+impl<'t> Checker<'t> {
+    fn err(&mut self, message: impl Into<String>, span: Span) {
+        self.errors.push(TypeError::new(message, span));
+    }
+
+    // -------------------------------------------------------------- resolve
+
+    /// Resolves a surface owner reference, checking that it is in scope.
+    /// `allow_rt` permits the `RT` pseudo-effect (accesses clauses only).
+    fn resolve_owner(&mut self, env: &Env, o: &OwnerRef, allow_rt: bool) -> Option<Owner> {
+        let owner = Owner::resolve(o, |n| env.is_region_name(n));
+        match &owner {
+            Owner::Rt if allow_rt => Some(owner),
+            Owner::Rt => {
+                self.err("`RT` is only valid in `accesses` clauses", o.span());
+                None
+            }
+            Owner::This => {
+                if env.kind_of(&Owner::This).is_some() {
+                    Some(owner)
+                } else {
+                    self.err("`this` is not available here", o.span());
+                    None
+                }
+            }
+            Owner::InitialRegion => {
+                if env.kind_of(&Owner::InitialRegion).is_some() {
+                    Some(owner)
+                } else {
+                    self.err(
+                        "`initialRegion` is only available inside method bodies",
+                        o.span(),
+                    );
+                    None
+                }
+            }
+            Owner::Heap | Owner::Immortal => Some(owner),
+            Owner::Formal(n) | Owner::Region(n) => {
+                if env.is_declared_owner_name(n) {
+                    Some(owner)
+                } else {
+                    self.err(format!("unknown owner `{n}`"), o.span());
+                    None
+                }
+            }
+        }
+    }
+
+    /// Resolves a surface type and checks it well-formed.
+    fn resolve_type(&mut self, env: &Env, ty: &Type) -> Option<SType> {
+        let st = match ty {
+            Type::Int(_) => SType::Int,
+            Type::Bool(_) => SType::Bool,
+            Type::Void(_) => SType::Void,
+            Type::Class(ct) => {
+                let mut owners = Vec::with_capacity(ct.owners.len());
+                for o in &ct.owners {
+                    owners.push(self.resolve_owner(env, o, false)?);
+                }
+                SType::Class {
+                    name: ct.name.name.clone(),
+                    owners,
+                }
+            }
+            Type::Handle(r, _) => SType::Handle(self.resolve_owner(env, r, false)?),
+        };
+        if self.wf_stype(env, &st, ty.span()) {
+            Some(st)
+        } else {
+            None
+        }
+    }
+
+    /// `[TYPE C]` / `[TYPE REGION HANDLE]`: type well-formedness.
+    fn wf_stype(&mut self, env: &Env, t: &SType, span: Span) -> bool {
+        match t {
+            SType::Int | SType::Bool | SType::Void | SType::Null | SType::Str => true,
+            SType::Handle(r) => match env.kind_of(r) {
+                Some(k) if k.is_region_kind() => true,
+                _ => {
+                    self.err(format!("`{r}` is not a region"), span);
+                    false
+                }
+            },
+            SType::Class { name, owners } => self.wf_class_type(env, name, owners, span),
+        }
+    }
+
+    fn wf_class_type(&mut self, env: &Env, name: &str, owners: &[Owner], span: Span) -> bool {
+        let (formal_names, formal_kinds, constraints): (Vec<String>, Vec<Kind>, Vec<SConstraint>) =
+            if name == "Object" {
+                (vec!["o".into()], vec![Kind::Owner], Vec::new())
+            } else {
+                match self.table.class(name) {
+                    Some(info) => (
+                        info.formal_names.clone(),
+                        info.formal_kinds.clone(),
+                        info.constraints.clone(),
+                    ),
+                    None => {
+                        self.err(format!("unknown class `{name}`"), span);
+                        return false;
+                    }
+                }
+            };
+        if owners.len() != formal_names.len() {
+            self.err(
+                format!(
+                    "class `{name}` expects {} owner argument(s), found {}",
+                    formal_names.len(),
+                    owners.len()
+                ),
+                span,
+            );
+            return false;
+        }
+        let s = Subst::from_formals(&formal_names, owners);
+        let mut ok = true;
+        let first = &owners[0];
+        for (o, dk) in owners.iter().zip(&formal_kinds) {
+            let declared = dk.subst(&s);
+            match env.kind_of(o) {
+                Some(k) if is_subkind(self.table, &k, &declared) => {}
+                Some(k) => {
+                    self.err(
+                        format!("owner `{o}` has kind `{k}`, which is not a subkind of `{declared}`"),
+                        span,
+                    );
+                    ok = false;
+                }
+                None => {
+                    self.err(format!("owner `{o}` has no kind here"), span);
+                    ok = false;
+                }
+            }
+            // Every owner in a legal type outlives the first owner.
+            if !env.outlives(o, first) {
+                self.err(
+                    format!(
+                        "owner `{o}` must outlive the first owner `{first}` \
+                         in type `{name}<...>`"
+                    ),
+                    span,
+                );
+                ok = false;
+            }
+        }
+        for c in &constraints {
+            let c = c.subst(&s);
+            if !self.constraint_holds(env, &c) {
+                self.err(
+                    format!(
+                        "constraint `{} {} {}` of class `{name}` is not satisfied",
+                        c.lhs, c.rel, c.rhs
+                    ),
+                    span,
+                );
+                ok = false;
+            }
+        }
+        ok
+    }
+
+    /// `[USER DECLARED SHARED REGION]`: well-formedness of a (named) region
+    /// kind used at a region-creation site.
+    fn wf_kind(&mut self, env: &Env, k: &Kind, span: Span) -> bool {
+        match k.without_lt() {
+            Kind::Named { name, owners } => {
+                let Some(info) = self.table.region_kind(name) else {
+                    self.err(format!("unknown region kind `{name}`"), span);
+                    return false;
+                };
+                if owners.len() != info.formal_names.len() {
+                    self.err(
+                        format!(
+                            "region kind `{name}` expects {} owner argument(s), found {}",
+                            info.formal_names.len(),
+                            owners.len()
+                        ),
+                        span,
+                    );
+                    return false;
+                }
+                let s = Subst::from_formals(&info.formal_names, owners);
+                let mut ok = true;
+                for (o, dk) in owners.iter().zip(&info.formal_kinds) {
+                    let declared = dk.subst(&s);
+                    match env.kind_of(o) {
+                        Some(ka) if is_subkind(self.table, &ka, &declared) => {}
+                        Some(ka) => {
+                            self.err(
+                                format!(
+                                    "owner `{o}` has kind `{ka}`, \
+                                     which is not a subkind of `{declared}`"
+                                ),
+                                span,
+                            );
+                            ok = false;
+                        }
+                        None => {
+                            self.err(format!("owner `{o}` has no kind here"), span);
+                            ok = false;
+                        }
+                    }
+                }
+                for c in &info.constraints {
+                    let c = c.subst(&s);
+                    if !self.constraint_holds(env, &c) {
+                        self.err(
+                            format!(
+                                "constraint `{} {} {}` of region kind `{name}` \
+                                 is not satisfied",
+                                c.lhs, c.rel, c.rhs
+                            ),
+                            span,
+                        );
+                        ok = false;
+                    }
+                }
+                ok
+            }
+            Kind::SharedRegion => true,
+            other => {
+                self.err(
+                    format!("`{other}` is not a shared region kind"),
+                    span,
+                );
+                false
+            }
+        }
+    }
+
+    fn constraint_holds(&self, env: &Env, c: &SConstraint) -> bool {
+        match c.rel {
+            ConstraintRel::Owns => env.owns(&c.lhs, &c.rhs),
+            ConstraintRel::Outlives => env.outlives(&c.lhs, &c.rhs),
+        }
+    }
+
+    fn assume_constraints(&mut self, env: &mut Env, cs: &[Constraint]) {
+        for c in cs {
+            let lhs = self.resolve_owner(env, &c.lhs, false);
+            let rhs = self.resolve_owner(env, &c.rhs, false);
+            if let (Some(lhs), Some(rhs)) = (lhs, rhs) {
+                match c.rel {
+                    ConstraintRel::Owns => env.add_owns(lhs, rhs),
+                    ConstraintRel::Outlives => env.add_outlives(lhs, rhs),
+                }
+            }
+        }
+    }
+
+    fn require_effect(&mut self, env: &Env, x: &Effects, o: &Owner, span: Span, what: &str) {
+        if !env.effect_covered(x, o) {
+            self.err(
+                format!(
+                    "the permitted effects do not cover {what} `{o}`; \
+                     add it (or an owner that outlives it) to the `accesses` clause"
+                ),
+                span,
+            );
+        }
+    }
+
+    fn require_subtype(&mut self, sub: &SType, sup: &SType, span: Span, what: &str) {
+        if !self.table.is_subtype(sub, sup) {
+            self.err(
+                format!("{what}: expected `{sup}`, found `{sub}`"),
+                span,
+            );
+        }
+    }
+
+    // ---------------------------------------------------------- declarations
+
+    /// `[REGION KIND DEF]`: portal field and subregion types are checked in
+    /// an environment where `this` denotes the region and every formal
+    /// outlives it.
+    fn check_region_kind(&mut self, rk: &RegionKindDecl) {
+        let mut env = Env::base();
+        let formal_owners: Vec<Owner> = rk
+            .formals
+            .iter()
+            .map(|f| Owner::Formal(f.name.name.clone()))
+            .collect();
+        for f in &rk.formals {
+            let k = resolve_kind(&f.kind, &|_| false);
+            env.declare_owner(Owner::Formal(f.name.name.clone()), k);
+        }
+        self.assume_constraints(&mut env, &rk.where_clauses);
+        env.set_this_region(
+            Kind::Named {
+                name: rk.name.name.clone(),
+                owners: formal_owners.clone(),
+            },
+            &formal_owners,
+        );
+        if let Some(ext) = &rk.extends {
+            let k = resolve_kind(ext, &|_| false);
+            self.wf_kind(&env, &k, ext.span());
+        }
+        for f in &rk.portals {
+            if let Some(t) = self.resolve_type(&env, &f.ty) {
+                if !matches!(t, SType::Class { .. }) {
+                    self.err(
+                        format!(
+                            "portal fields must have class type (they are the typed \
+                             hand-off points between threads), found `{t}`"
+                        ),
+                        f.span,
+                    );
+                }
+            }
+        }
+        for s in &rk.subregions {
+            let k = resolve_kind(&s.kind, &|_| false);
+            if matches!(k, Kind::Lt(_)) {
+                self.err(
+                    "subregion kinds take their LT/VT policy from the declaration, \
+                     not an `: LT` refinement",
+                    s.span,
+                );
+            }
+            self.wf_kind(&env, &k, s.span);
+        }
+    }
+
+    /// The environment of `[CLASS DEF]`.
+    fn class_env(&mut self, info: &ClassInfo) -> Env {
+        let mut env = Env::base();
+        for (name, kind) in info.formal_names.iter().zip(&info.formal_kinds) {
+            env.declare_owner(Owner::Formal(name.clone()), kind.clone());
+        }
+        self.assume_constraints(&mut env, &info.decl.where_clauses.clone());
+        let owners: Vec<Owner> = info
+            .formal_names
+            .iter()
+            .map(|n| Owner::Formal(n.clone()))
+            .collect();
+        env.set_this(info.decl.name.name.clone(), owners);
+        env
+    }
+
+    fn check_class(&mut self, c: &mut ClassDecl) {
+        let Some(info) = self.table.class(&c.name.name).cloned() else {
+            return; // table construction already reported this
+        };
+        let env = self.class_env(&info);
+        if let Some(ext) = &c.extends {
+            let owners: Vec<Owner> = ext
+                .owners
+                .iter()
+                .filter_map(|o| self.resolve_owner(&env, o, false))
+                .collect();
+            if owners.len() == ext.owners.len() {
+                self.wf_class_type(&env, &ext.name.name, &owners, ext.span);
+            }
+        }
+        for f in &c.fields {
+            self.resolve_type(&env, &f.ty);
+        }
+        for m in &mut c.methods {
+            self.check_method(&info, &env, m);
+        }
+    }
+
+    /// `[METHOD]`.
+    fn check_method(&mut self, info: &ClassInfo, class_env: &Env, m: &mut MethodDecl) {
+        let mut env = class_env.clone();
+        for f in &m.formals {
+            let k = resolve_kind(&f.kind, &|_| false);
+            env.declare_owner(Owner::Formal(f.name.name.clone()), k);
+        }
+        self.assume_constraints(&mut env, &m.where_clauses);
+        env.declare_owner(Owner::InitialRegion, Kind::Region);
+        env.add_handle(Owner::InitialRegion);
+        let ret = self
+            .resolve_type(&env, &m.ret)
+            .unwrap_or(SType::Void);
+        for p in &m.params {
+            match self.resolve_type(&env, &p.ty) {
+                Some(t) => env.bind_var(p.name.name.clone(), t),
+                None => env.bind_var(p.name.name.clone(), SType::Int),
+            }
+        }
+        // Effects: explicit clause or the default (all class and method
+        // owner parameters plus initialRegion).
+        let mut x: Effects = Effects::new();
+        match &m.effects {
+            Some(list) => {
+                for o in list {
+                    if let Some(owner) = self.resolve_owner(&env, o, true) {
+                        if owner != Owner::Rt && env.kind_of(&owner).is_none() {
+                            self.err(
+                                format!("effect owner `{owner}` has no kind here"),
+                                o.span(),
+                            );
+                        }
+                        x.insert(owner);
+                    }
+                }
+            }
+            None => {
+                for n in &info.formal_names {
+                    x.insert(Owner::Formal(n.clone()));
+                }
+                for f in &m.formals {
+                    x.insert(Owner::Formal(f.name.name.clone()));
+                }
+                x.insert(Owner::InitialRegion);
+            }
+        }
+        {
+            let mut env = env.clone();
+            for s in &mut m.body.stmts {
+                self.check_stmt(&mut env, &x, &Owner::InitialRegion, &ret, false, s);
+            }
+        }
+        if ret != SType::Void && !always_returns(&m.body) {
+            self.err(
+                format!(
+                    "method `{}` must return a value of type `{ret}` on all paths",
+                    m.name
+                ),
+                m.span,
+            );
+        }
+    }
+
+    /// `InheritanceOK` + `OverridesOK`.
+    fn check_inheritance(&mut self) {
+        let infos: Vec<ClassInfo> = self.table.classes().cloned().collect();
+        for info in &infos {
+            let Some(ext) = info.decl.extends.clone() else {
+                continue;
+            };
+            if ext.name.name == "Object" {
+                continue;
+            }
+            let env = self.class_env(info);
+            let sup_args: Vec<Owner> = ext
+                .owners
+                .iter()
+                .filter_map(|o| self.resolve_owner(&env, o, false))
+                .collect();
+            if sup_args.len() != ext.owners.len() {
+                continue;
+            }
+            let Some(sup_info) = self.table.class(&ext.name.name).cloned() else {
+                continue;
+            };
+            // Superclass constraints must be implied by the subclass's.
+            let s = Subst::from_formals(&sup_info.formal_names, &sup_args);
+            for c in &sup_info.constraints {
+                let c = c.subst(&s);
+                if !self.constraint_holds(&env, &c) {
+                    self.err(
+                        format!(
+                            "constraint `{} {} {}` of superclass `{}` is not implied \
+                             by the constraints of `{}`",
+                            c.lhs, c.rel, c.rhs, ext.name, info.decl.name
+                        ),
+                        ext.span,
+                    );
+                }
+            }
+            // Overriding methods.
+            for m in &info.decl.methods {
+                let Some(sup_sig) =
+                    self.table
+                        .method_sig(&ext.name.name, &sup_args, &m.name.name)
+                else {
+                    continue;
+                };
+                let my_sig = self
+                    .table
+                    .method_sig(
+                        &info.decl.name.name,
+                        &info
+                            .formal_names
+                            .iter()
+                            .map(|n| Owner::Formal(n.clone()))
+                            .collect::<Vec<_>>(),
+                        &m.name.name,
+                    )
+                    .expect("own method exists");
+                if my_sig.formals.len() != sup_sig.formals.len()
+                    || my_sig.params.len() != sup_sig.params.len()
+                {
+                    self.err(
+                        format!(
+                            "method `{}` overrides a superclass method with a \
+                             different shape",
+                            m.name
+                        ),
+                        m.span,
+                    );
+                    continue;
+                }
+                // Alpha-rename the super method's formals to ours.
+                let mut alpha = Subst::new();
+                for ((sn, _), (mn, _)) in sup_sig.formals.iter().zip(&my_sig.formals) {
+                    alpha.push(sn.clone(), Owner::Formal(mn.clone()));
+                }
+                for ((_, mine), (_, sup)) in my_sig.params.iter().zip(&sup_sig.params) {
+                    if *mine != sup.subst(&alpha) {
+                        self.err(
+                            format!(
+                                "method `{}`: parameter types must match the \
+                                 overridden method",
+                                m.name
+                            ),
+                            m.span,
+                        );
+                    }
+                }
+                if my_sig.ret != sup_sig.ret.subst(&alpha) {
+                    self.err(
+                        format!(
+                            "method `{}`: return type must match the overridden method",
+                            m.name
+                        ),
+                        m.span,
+                    );
+                }
+                // The overrider's effects must be included in the
+                // overridden method's effects.
+                let sup_fx: Effects = alpha.apply_all(&sup_sig.effects).into_iter().collect();
+                let my_fx: Effects = my_sig.effects.iter().cloned().collect();
+                if !env.effects_subsume(&sup_fx, &my_fx) {
+                    self.err(
+                        format!(
+                            "method `{}`: effects must be included among the \
+                             overridden method's effects",
+                            m.name
+                        ),
+                        m.span,
+                    );
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------ statements
+
+    #[allow(clippy::too_many_arguments)]
+    fn check_block(
+        &mut self,
+        env: &Env,
+        x: &Effects,
+        rcr: &Owner,
+        ret: &SType,
+        in_region: bool,
+        b: &mut Block,
+    ) {
+        let mut env = env.clone();
+        for s in &mut b.stmts {
+            self.check_stmt(&mut env, x, rcr, ret, in_region, s);
+        }
+    }
+
+    fn check_stmt(
+        &mut self,
+        env: &mut Env,
+        x: &Effects,
+        rcr: &Owner,
+        ret: &SType,
+        in_region: bool,
+        s: &mut Stmt,
+    ) {
+        match s {
+            Stmt::Let {
+                ty,
+                name,
+                init,
+                span,
+            } => {
+                let t_init = self.check_expr(env, x, rcr, init);
+                match ty {
+                    Some(t) => {
+                        if let Some(declared) = self.resolve_type(env, t) {
+                            if let Some(ti) = t_init {
+                                self.require_subtype(&ti, &declared, *span, "initializer");
+                            }
+                            env.bind_var(name.name.clone(), declared);
+                        }
+                    }
+                    None => match t_init {
+                        Some(SType::Null) => self.err(
+                            format!(
+                                "cannot infer a type for `{name}` from `null`; \
+                                 annotate the declaration"
+                            ),
+                            *span,
+                        ),
+                        Some(SType::Void) | Some(SType::Str) => self.err(
+                            format!("cannot bind `{name}` to a valueless expression"),
+                            *span,
+                        ),
+                        Some(t) => {
+                            *ty = t.to_surface();
+                            env.bind_var(name.name.clone(), t);
+                        }
+                        None => {}
+                    },
+                }
+            }
+            Stmt::AssignLocal { name, value, span } => {
+                let vt = self.check_expr(env, x, rcr, value);
+                match env.lookup_var(&name.name).cloned() {
+                    Some(SType::Handle(_)) => {
+                        self.err("region handles cannot be reassigned", *span);
+                    }
+                    Some(t) => {
+                        if let Some(vt) = vt {
+                            self.require_subtype(&vt, &t, *span, "assignment");
+                        }
+                    }
+                    None => self.err(format!("unknown variable `{name}`"), *span),
+                }
+            }
+            Stmt::AssignField {
+                recv,
+                field,
+                value,
+                span,
+            } => {
+                let ft = self.field_access(env, x, rcr, recv, field, *span);
+                let vt = self.check_expr(env, x, rcr, value);
+                if let (Some(ft), Some(vt)) = (ft, vt) {
+                    self.require_subtype(&vt, &ft, *span, "field assignment");
+                }
+            }
+            Stmt::Expr(e) => {
+                self.check_expr(env, x, rcr, e);
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                span,
+            } => {
+                if let Some(t) = self.check_expr(env, x, rcr, cond) {
+                    if t != SType::Bool {
+                        self.err(format!("`if` condition must be `bool`, found `{t}`"), *span);
+                    }
+                }
+                self.check_block(env, x, rcr, ret, in_region, then_blk);
+                if let Some(eb) = else_blk {
+                    self.check_block(env, x, rcr, ret, in_region, eb);
+                }
+            }
+            Stmt::While { cond, body, span } => {
+                if let Some(t) = self.check_expr(env, x, rcr, cond) {
+                    if t != SType::Bool {
+                        self.err(
+                            format!("`while` condition must be `bool`, found `{t}`"),
+                            *span,
+                        );
+                    }
+                }
+                self.check_block(env, x, rcr, ret, in_region, body);
+            }
+            Stmt::Return { value, span } => {
+                if in_region {
+                    self.err(
+                        "`return` inside a region block is not allowed \
+                         (region lifetimes are lexically scoped)",
+                        *span,
+                    );
+                }
+                match (value, ret) {
+                    (None, SType::Void) => {}
+                    (None, _) => {
+                        self.err(format!("expected a return value of type `{ret}`"), *span)
+                    }
+                    (Some(v), _) => {
+                        if *ret == SType::Void {
+                            self.err("`void` method cannot return a value", *span);
+                            self.check_expr(env, x, rcr, v);
+                        } else if let Some(vt) = self.check_expr(env, x, rcr, v) {
+                            self.require_subtype(&vt, ret, *span, "return value");
+                        }
+                    }
+                }
+            }
+            Stmt::LocalRegion {
+                region,
+                handle,
+                body,
+                span,
+            } => {
+                // [EXPR LOCALREGION] = [EXPR REGION] with LocalRegion : VT.
+                self.enter_new_region(
+                    env,
+                    x,
+                    ret,
+                    region,
+                    handle,
+                    Kind::LocalRegion,
+                    body,
+                    *span,
+                );
+            }
+            Stmt::NewRegion {
+                kind,
+                policy,
+                region,
+                handle,
+                body,
+                span,
+            } => {
+                let is_region = |n: &str| env.is_region_name(n);
+                let mut k = resolve_kind(kind, &is_region);
+                // Validate owner args of the kind annotation.
+                for o in kind_owner_refs(kind) {
+                    self.resolve_owner(env, &o, false);
+                }
+                if !self.wf_kind(env, &k, *span) {
+                    return;
+                }
+                if matches!(policy, Policy::Lt { .. }) {
+                    k = k.with_lt();
+                }
+                self.enter_new_region(env, x, ret, region, handle, k, body, *span);
+            }
+            Stmt::EnterSubregion {
+                kind,
+                region,
+                handle,
+                fresh,
+                parent,
+                sub,
+                body,
+                span,
+            } => {
+                self.enter_subregion(
+                    env, x, ret, kind, region, handle, *fresh, parent, sub, body, *span,
+                );
+            }
+            Stmt::Fork { rt, call, span } => {
+                self.check_fork(env, x, rcr, *rt, call, *span);
+            }
+        }
+    }
+
+    /// `[EXPR REGION]` / `[EXPR LOCALREGION]`: creates a top-level region.
+    #[allow(clippy::too_many_arguments)]
+    fn enter_new_region(
+        &mut self,
+        env: &Env,
+        x: &Effects,
+        ret: &SType,
+        region: &Ident,
+        handle: &Ident,
+        kind: Kind,
+        body: &mut Block,
+        span: Span,
+    ) {
+        if env.is_declared_owner_name(&region.name) {
+            self.err(
+                format!("region name `{region}` shadows an existing owner"),
+                region.span,
+            );
+        }
+        // Creating a region allocates memory: X ⊇ heap.
+        self.require_effect(env, x, &Owner::Heap, span, "region creation (allocates from)");
+        let r = Owner::Region(region.name.clone());
+        let mut env2 = env.clone();
+        // All existing regions outlive the new one.
+        for re in env.regions() {
+            env2.add_outlives(re, r.clone());
+        }
+        env2.declare_owner(r.clone(), kind);
+        env2.bind_var(handle.name.clone(), SType::Handle(r.clone()));
+        let mut x2 = x.clone();
+        x2.insert(r.clone());
+        self.check_block(&env2, &x2, &r, ret, true, body);
+    }
+
+    /// `[EXPR SUBREGION]`: enters (optionally recreating) a subregion.
+    #[allow(clippy::too_many_arguments)]
+    fn enter_subregion(
+        &mut self,
+        env: &Env,
+        x: &Effects,
+        ret: &SType,
+        kind_ann: &KindAnn,
+        region: &Ident,
+        handle: &Ident,
+        fresh: bool,
+        parent: &Ident,
+        sub: &Ident,
+        body: &mut Block,
+        span: Span,
+    ) {
+        let Some(parent_ty) = env.lookup_var(&parent.name).cloned() else {
+            self.err(format!("unknown variable `{parent}`"), parent.span);
+            return;
+        };
+        let SType::Handle(r2) = parent_ty else {
+            self.err(
+                format!("`{parent}` must be a region handle to enter a subregion"),
+                parent.span,
+            );
+            return;
+        };
+        let parent_kind = env.kind_of(&r2);
+        let Some(Kind::Named {
+            name: pk_name,
+            owners: pk_owners,
+        }) = parent_kind.as_ref().map(|k| k.without_lt().clone())
+        else {
+            self.err(
+                format!(
+                    "region `{r2}` has no user-declared region kind, \
+                     so it has no subregions"
+                ),
+                parent.span,
+            );
+            return;
+        };
+        let Some(info) = self.table.subregion(&pk_name, &pk_owners, &sub.name) else {
+            self.err(
+                format!("region kind `{pk_name}` has no subregion `{sub}`"),
+                sub.span,
+            );
+            return;
+        };
+        // Substitute the parent region for `this` in the subregion's kind.
+        let k3 = info.kind.subst(&Subst::new().with_this(r2.clone()));
+        // The declared kind annotation must match.
+        let is_region = |n: &str| env.is_region_name(n);
+        let declared = resolve_kind(kind_ann, &is_region);
+        if declared.without_lt() != k3.without_lt() {
+            self.err(
+                format!(
+                    "subregion `{sub}` has kind `{k3}`, but the block declares `{declared}`"
+                ),
+                kind_ann.span(),
+            );
+        }
+        // Effects preconditions.
+        if fresh || info.policy == Policy::Vt || info.thread == ThreadTag::NoRt {
+            self.require_effect(
+                env,
+                x,
+                &Owner::Heap,
+                span,
+                "entering this subregion (requires the heap effect because it may allocate \
+                 or synchronize with regular threads)",
+            );
+        }
+        if info.thread == ThreadTag::Rt && !x.contains(&Owner::Rt) {
+            self.err(
+                "entering an RT subregion requires the `RT` effect in the \
+                 method's `accesses` clause",
+                span,
+            );
+        }
+        if env.is_declared_owner_name(&region.name) {
+            self.err(
+                format!("region name `{region}` shadows an existing owner"),
+                region.span,
+            );
+        }
+        let r = Owner::Region(region.name.clone());
+        let kr = if matches!(info.policy, Policy::Lt { .. }) {
+            k3.with_lt()
+        } else {
+            k3
+        };
+        let mut env2 = env.clone();
+        env2.declare_owner(r.clone(), kr);
+        env2.add_outlives(r2.clone(), r.clone());
+        env2.bind_var(handle.name.clone(), SType::Handle(r.clone()));
+        let mut x2 = x.clone();
+        x2.insert(r.clone());
+        self.check_block(&env2, &x2, &r, ret, true, body);
+    }
+
+    /// `[EXPR FORK]` / `[EXPR RTFORK]`.
+    fn check_fork(
+        &mut self,
+        env: &Env,
+        x: &Effects,
+        rcr: &Owner,
+        rt: bool,
+        call: &mut Expr,
+        span: Span,
+    ) {
+        let x_callee: Effects = if rt {
+            // X' = owners of X living in SharedRegion:LT regions, plus RT.
+            let mut x2: Effects = x
+                .iter()
+                .filter(|o| {
+                    env.rkind_of(self.table, o)
+                        .is_some_and(|k| is_subkind(self.table, &k, &Kind::SharedRegion.with_lt()))
+                })
+                .cloned()
+                .collect();
+            x2.insert(Owner::Rt);
+            x2
+        } else {
+            let mut x2 = x.clone();
+            x2.remove(&Owner::Rt);
+            x2
+        };
+        let Some(call_info) = self.check_call_expr(env, &x_callee, rcr, call) else {
+            return;
+        };
+        let non_local = |ck: &Self, k: &Kind| {
+            is_subkind(ck.table, k, &Kind::SharedRegion) || is_subkind(ck.table, k, &Kind::GcRegion)
+        };
+        let bound_name = if rt { "SharedRegion" } else { "SharedRegion or GCRegion" };
+        // The current region must be shared (RT fork) or shared/heap (fork).
+        match env.rkind_of(self.table, rcr) {
+            Some(k) if rt && is_subkind(self.table, &k, &Kind::SharedRegion) => {}
+            Some(k) if !rt && non_local(self, &k) => {}
+            Some(k) => self.err(
+                format!(
+                    "cannot fork here: the current region `{rcr}` has kind `{k}`, \
+                     which is not a subkind of {bound_name}"
+                ),
+                span,
+            ),
+            None => self.err(
+                format!("cannot fork here: the kind of the current region `{rcr}` is unknown"),
+                span,
+            ),
+        }
+        // A real-time thread must not allocate in VT regions: every effect
+        // of the spawned method must live in an LT shared region. (Effect
+        // *subsumption* alone is not enough — `immortal` outlives every
+        // region and would cover a VT-region effect.)
+        if rt {
+            for fx in &call_info.callee_effects {
+                if *fx == Owner::Rt {
+                    continue;
+                }
+                match env.rkind_of(self.table, fx) {
+                    Some(k)
+                        if is_subkind(self.table, &k, &Kind::SharedRegion.with_lt()) => {}
+                    Some(k) => self.err(
+                        format!(
+                            "a real-time thread would access `{fx}`, which lives in a \
+                             region of kind `{k}`; real-time threads may only touch \
+                             preallocated (LT) shared regions"
+                        ),
+                        span,
+                    ),
+                    None => self.err(
+                        format!(
+                            "a real-time thread would access `{fx}`, whose region \
+                             kind is unknown"
+                        ),
+                        span,
+                    ),
+                }
+            }
+        }
+        // Every owner visible to the new thread must live in a shared
+        // region (or the heap, for regular forks).
+        for o in call_info
+            .recv_owners
+            .iter()
+            .chain(&call_info.owner_args)
+        {
+            match env.rkind_of(self.table, o) {
+                Some(k) if rt && is_subkind(self.table, &k, &Kind::SharedRegion) => {}
+                Some(k) if !rt && non_local(self, &k) => {}
+                Some(k) => self.err(
+                    format!(
+                        "cannot pass owner `{o}` to a forked thread: it lives in a \
+                         region of kind `{k}`, which is not a subkind of {bound_name}"
+                    ),
+                    span,
+                ),
+                None => self.err(
+                    format!(
+                        "cannot pass owner `{o}` to a forked thread: the kind of the \
+                         region it lives in is unknown"
+                    ),
+                    span,
+                ),
+            }
+        }
+    }
+
+    // ----------------------------------------------------------- expressions
+
+    fn check_expr(&mut self, env: &Env, x: &Effects, rcr: &Owner, e: &mut Expr) -> Option<SType> {
+        match e {
+            Expr::Int(..) => Some(SType::Int),
+            Expr::Bool(..) => Some(SType::Bool),
+            Expr::Str(..) => Some(SType::Str),
+            Expr::Null(_) => Some(SType::Null),
+            Expr::This(span) => match env.this_type() {
+                Some((name, owners)) => Some(SType::Class {
+                    name: name.to_string(),
+                    owners: owners.to_vec(),
+                }),
+                None => {
+                    self.err("`this` is not available here", *span);
+                    None
+                }
+            },
+            Expr::Var(id) => match env.lookup_var(&id.name) {
+                Some(t) => Some(t.clone()),
+                None => {
+                    self.err(format!("unknown variable `{id}`"), id.span);
+                    None
+                }
+            },
+            Expr::Unary { op, expr, span } => {
+                let t = self.check_expr(env, x, rcr, expr)?;
+                let (want, out) = match op {
+                    UnOp::Neg => (SType::Int, SType::Int),
+                    UnOp::Not => (SType::Bool, SType::Bool),
+                };
+                if t != want {
+                    self.err(format!("operand of `{op:?}` must be `{want}`, found `{t}`"), *span);
+                }
+                Some(out)
+            }
+            Expr::Binary { op, lhs, rhs, span } => {
+                let lt = self.check_expr(env, x, rcr, lhs);
+                let rt = self.check_expr(env, x, rcr, rhs);
+                let (lt, rt) = (lt?, rt?);
+                use BinOp::*;
+                match op {
+                    Add | Sub | Mul | Div | Rem => {
+                        if lt != SType::Int || rt != SType::Int {
+                            self.err(
+                                format!("arithmetic `{op}` requires `int` operands, found `{lt}` and `{rt}`"),
+                                *span,
+                            );
+                        }
+                        Some(SType::Int)
+                    }
+                    Lt | Le | Gt | Ge => {
+                        if lt != SType::Int || rt != SType::Int {
+                            self.err(
+                                format!("comparison `{op}` requires `int` operands, found `{lt}` and `{rt}`"),
+                                *span,
+                            );
+                        }
+                        Some(SType::Bool)
+                    }
+                    Eq | Ne => {
+                        let ok = (lt == SType::Int && rt == SType::Int)
+                            || (lt == SType::Bool && rt == SType::Bool)
+                            || (lt.is_reference() && rt.is_reference());
+                        if !ok {
+                            self.err(
+                                format!("cannot compare `{lt}` with `{rt}`"),
+                                *span,
+                            );
+                        }
+                        Some(SType::Bool)
+                    }
+                    And | Or => {
+                        if lt != SType::Bool || rt != SType::Bool {
+                            self.err(
+                                format!("logical `{op}` requires `bool` operands, found `{lt}` and `{rt}`"),
+                                *span,
+                            );
+                        }
+                        Some(SType::Bool)
+                    }
+                }
+            }
+            Expr::Field { recv, field, span } => {
+                let field = field.clone();
+                let span = *span;
+                self.field_access(env, x, rcr, recv, &field, span)
+            }
+            Expr::Call { .. } => self.check_call_expr(env, x, rcr, e).map(|i| i.ret),
+            Expr::New { class, span } => {
+                // Default completion for `new C` with no owner arguments:
+                // allocate in the current region.
+                if class.owners.is_empty() {
+                    let n = if class.name.name == "Object" {
+                        1
+                    } else {
+                        self.table
+                            .class(&class.name.name)
+                            .map(|i| i.formal_names.len())
+                            .unwrap_or(0)
+                    };
+                    class.owners = vec![rcr.to_ref(); n];
+                }
+                let mut owners = Vec::with_capacity(class.owners.len());
+                for o in &class.owners {
+                    owners.push(self.resolve_owner(env, o, false)?);
+                }
+                if !self.wf_class_type(env, &class.name.name, &owners, *span) {
+                    return None;
+                }
+                let first = owners.first().cloned()?;
+                // Allocating an object accesses its owner.
+                self.require_effect(env, x, &first, *span, "allocation owned by");
+                // The handle of the target region must be obtainable.
+                if !env.handle_available(&first) {
+                    self.err(
+                        format!(
+                            "no region handle is available for owner `{first}`; \
+                             pass an `RHandle` argument or allocate through `this`"
+                        ),
+                        *span,
+                    );
+                }
+                Some(SType::Class {
+                    name: class.name.name.clone(),
+                    owners,
+                })
+            }
+            Expr::IntrinsicCall {
+                intrinsic,
+                args,
+                span,
+            } => {
+                let tys: Vec<Option<SType>> = args
+                    .iter_mut()
+                    .map(|a| self.check_expr(env, x, rcr, a))
+                    .collect();
+                match intrinsic {
+                    Intrinsic::Print => {
+                        if args.len() != 1 {
+                            self.err("`print` takes exactly one argument", *span);
+                        } else if let Some(Some(SType::Void)) = tys.first() {
+                            self.err("cannot print a `void` value", *span);
+                        }
+                        Some(SType::Void)
+                    }
+                    Intrinsic::Io | Intrinsic::Workload => {
+                        if args.len() != 1 || !matches!(tys.first(), Some(Some(SType::Int))) {
+                            self.err(
+                                format!("`{}` takes exactly one `int` argument", intrinsic.name()),
+                                *span,
+                            );
+                        }
+                        Some(SType::Void)
+                    }
+                    Intrinsic::Yield => {
+                        if !args.is_empty() {
+                            self.err("`yield` takes no arguments", *span);
+                        }
+                        Some(SType::Void)
+                    }
+                }
+            }
+        }
+    }
+
+    /// `[EXPR REF READ]` / `[EXPR REF WRITE]` /
+    /// `[EXPR GET/SET REGION FIELD]`: resolves a field access (object field
+    /// or portal field) and returns the field's type as seen here. The
+    /// effects check (`X` must cover the owner of the referenced object)
+    /// applies to both reads and writes.
+    fn field_access(
+        &mut self,
+        env: &Env,
+        x: &Effects,
+        rcr: &Owner,
+        recv: &mut Expr,
+        field: &Ident,
+        span: Span,
+    ) -> Option<SType> {
+        let recv_is_this = matches!(recv, Expr::This(_));
+        let t_recv = self.check_expr(env, x, rcr, recv)?;
+        let ft = match &t_recv {
+            SType::Handle(r) => {
+                // Portal field.
+                let k = env.kind_of(r)?;
+                let Kind::Named {
+                    name: kn,
+                    owners: ko,
+                } = k.without_lt().clone()
+                else {
+                    self.err(
+                        format!("region `{r}` has no user-declared kind, so no portal fields"),
+                        span,
+                    );
+                    return None;
+                };
+                let Some(pt) = self.table.portal_type(&kn, &ko, &field.name) else {
+                    self.err(
+                        format!("region kind `{kn}` has no portal field `{field}`"),
+                        field.span,
+                    );
+                    return None;
+                };
+                // `this` in a portal type denotes the region itself.
+                pt.subst(&Subst::new().with_this(r.clone()))
+            }
+            SType::Class { name, owners } => {
+                let Some(ft) = self.table.field_type(name, owners, &field.name) else {
+                    self.err(
+                        format!("class `{name}` has no field `{field}`"),
+                        field.span,
+                    );
+                    return None;
+                };
+                // Fields whose declared type mentions `this` can only be
+                // accessed through `this` (otherwise the owner would be
+                // captured by the wrong object).
+                if !recv_is_this
+                    && self
+                        .table
+                        .field_declared_mentions_this(name, &field.name)
+                        .unwrap_or(false)
+                {
+                    self.err(
+                        format!(
+                            "field `{field}` is owned by its object (its type mentions \
+                             `this`) and can only be accessed through `this`"
+                        ),
+                        span,
+                    );
+                    return None;
+                }
+                ft
+            }
+            SType::Null => {
+                self.err("cannot access a field of `null`", span);
+                return None;
+            }
+            other => {
+                self.err(format!("type `{other}` has no fields"), span);
+                return None;
+            }
+        };
+        if let Some(owner) = ft.first_owner() {
+            self.require_effect(env, x, owner, span, "the referenced object's owner");
+        }
+        Some(ft)
+    }
+
+    /// `[EXPR INVOKE]`, shared by plain calls and forks. Also elaborates
+    /// inferred owner arguments into the AST.
+    fn check_call_expr(
+        &mut self,
+        env: &Env,
+        x: &Effects,
+        rcr: &Owner,
+        e: &mut Expr,
+    ) -> Option<CallInfo> {
+        let Expr::Call {
+            recv,
+            method,
+            owner_args,
+            args,
+            span,
+        } = e
+        else {
+            self.err("`fork` must be applied to a method invocation", e.span());
+            return None;
+        };
+        let span = *span;
+        let recv_is_this = matches!(**recv, Expr::This(_));
+        let t_recv = self.check_expr(env, x, rcr, recv)?;
+        let SType::Class {
+            name: cn,
+            owners: recv_owners,
+        } = t_recv
+        else {
+            self.err(
+                format!("type `{t_recv}` has no methods"),
+                span,
+            );
+            return None;
+        };
+        let Some(sig) = self.table.method_sig(&cn, &recv_owners, &method.name) else {
+            self.err(format!("class `{cn}` has no method `{method}`"), method.span);
+            return None;
+        };
+        if sig.declared_mentions_this && !recv_is_this {
+            self.err(
+                format!(
+                    "method `{method}`'s signature mentions `this` and can only be \
+                     invoked on `this`"
+                ),
+                span,
+            );
+            return None;
+        }
+        // Argument types first (also needed for owner-argument inference).
+        let mut arg_tys = Vec::with_capacity(args.len());
+        for a in args.iter_mut() {
+            arg_tys.push(self.check_expr(env, x, rcr, a)?);
+        }
+        if args.len() != sig.params.len() {
+            self.err(
+                format!(
+                    "method `{method}` expects {} argument(s), found {}",
+                    sig.params.len(),
+                    args.len()
+                ),
+                span,
+            );
+            return None;
+        }
+        // Owner arguments: explicit, or inferred by unification.
+        let oargs: Vec<Owner> = if owner_args.is_empty() && !sig.formals.is_empty() {
+            match infer::infer_call_owner_args(self.table, &sig, &arg_tys, rcr) {
+                Ok(inferred) => {
+                    *owner_args = inferred.iter().map(Owner::to_ref).collect();
+                    inferred
+                }
+                Err(msg) => {
+                    self.err(msg, span);
+                    return None;
+                }
+            }
+        } else {
+            if owner_args.len() != sig.formals.len() {
+                self.err(
+                    format!(
+                        "method `{method}` expects {} owner argument(s), found {}",
+                        sig.formals.len(),
+                        owner_args.len()
+                    ),
+                    span,
+                );
+                return None;
+            }
+            let mut out = Vec::with_capacity(owner_args.len());
+            for o in owner_args.iter() {
+                out.push(self.resolve_owner(env, o, false)?);
+            }
+            out
+        };
+        // Rename(·) = [owner args / method formals][rcr / initialRegion].
+        let mut rename = Subst::new().with_initial(rcr.clone());
+        for ((fname, _), o) in sig.formals.iter().zip(&oargs) {
+            rename.push(fname.clone(), o.clone());
+        }
+        // Kinds of the owner arguments.
+        for ((fname, fkind), o) in sig.formals.iter().zip(&oargs) {
+            let declared = fkind.subst(&rename);
+            match env.kind_of(o) {
+                Some(k) if is_subkind(self.table, &k, &declared) => {}
+                Some(k) => self.err(
+                    format!(
+                        "owner argument `{o}` for `{fname}` has kind `{k}`, \
+                         which is not a subkind of `{declared}`"
+                    ),
+                    span,
+                ),
+                None => self.err(format!("owner `{o}` has no kind here"), span),
+            }
+            // A formal instantiated with an *object* must own the receiver's
+            // owner (Section 2.1); regions are unconstrained.
+            let is_region = env
+                .kind_of(o)
+                .map(|k| k.is_region_kind())
+                .unwrap_or(false);
+            if !is_region {
+                if let Some(first) = recv_owners.first() {
+                    if !env.owns(o, first) {
+                        self.err(
+                            format!(
+                                "object owner argument `{o}` must (transitively) own \
+                                 the receiver's owner `{first}`"
+                            ),
+                            span,
+                        );
+                    }
+                }
+            }
+        }
+        // Method constraints.
+        for c in &sig.constraints {
+            let c = c.subst(&rename);
+            if !self.constraint_holds(env, &c) {
+                self.err(
+                    format!(
+                        "method constraint `{} {} {}` is not satisfied at this call",
+                        c.lhs, c.rel, c.rhs
+                    ),
+                    span,
+                );
+            }
+        }
+        // Value arguments.
+        for ((_, pt), (a, at)) in sig.params.iter().zip(args.iter().zip(&arg_tys)) {
+            let want = pt.subst(&rename);
+            self.require_subtype(at, &want, a.span(), "argument");
+        }
+        // Effects: X must subsume the callee's renamed effects.
+        for fx in &sig.effects {
+            let fx = rename.apply(fx);
+            if fx == Owner::Rt {
+                if !x.contains(&Owner::Rt) {
+                    self.err(
+                        format!(
+                            "method `{method}` has the `RT` effect, which the caller \
+                             does not have"
+                        ),
+                        span,
+                    );
+                }
+            } else {
+                self.require_effect(env, x, &fx, span, "the callee effect");
+            }
+        }
+        let callee_effects = sig.effects.iter().map(|fx| rename.apply(fx)).collect();
+        Some(CallInfo {
+            ret: sig.ret.subst(&rename),
+            recv_owners,
+            owner_args: oargs,
+            callee_effects,
+        })
+    }
+}
+
+struct CallInfo {
+    ret: SType,
+    recv_owners: Vec<Owner>,
+    owner_args: Vec<Owner>,
+    /// The callee's effects, renamed to the caller's context.
+    callee_effects: Vec<Owner>,
+}
+
+/// Collects the surface owner references inside a kind annotation (for
+/// scope validation).
+fn kind_owner_refs(k: &KindAnn) -> Vec<OwnerRef> {
+    match k {
+        KindAnn::Named { owners, .. } => owners.clone(),
+        KindAnn::Lt(inner, _) => kind_owner_refs(inner),
+        _ => Vec::new(),
+    }
+}
+
+/// Conservative "all paths return" analysis. Region blocks do not count:
+/// `return` is disallowed inside them.
+fn always_returns(b: &Block) -> bool {
+    b.stmts.iter().any(stmt_returns)
+}
+
+fn stmt_returns(s: &Stmt) -> bool {
+    match s {
+        Stmt::Return { .. } => true,
+        Stmt::If {
+            then_blk,
+            else_blk: Some(eb),
+            ..
+        } => always_returns(then_blk) && always_returns(eb),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtj_lang::parser::parse_program;
+
+    fn check(src: &str) -> Result<Checked, Vec<TypeError>> {
+        check_program(&parse_program(src).unwrap())
+    }
+
+    fn assert_err_containing(src: &str, needle: &str) {
+        match check(src) {
+            Ok(_) => panic!("expected a type error containing {needle:?}"),
+            Err(errs) => {
+                assert!(
+                    errs.iter().any(|e| e.message.contains(needle)),
+                    "no error contains {needle:?}; got: {:#?}",
+                    errs.iter().map(|e| &e.message).collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn minimal_program_checks() {
+        check("{ let x = 1 + 2; print(x); }").unwrap();
+    }
+
+    #[test]
+    fn region_nesting_and_outlives() {
+        // Figure 5's legality matrix: s1, s2, s3 legal; s6 illegal.
+        let ok = r#"
+            class TStack<Owner stackOwner, Owner TOwner> { int n; }
+            {
+                (RHandle<r1> h1) {
+                    (RHandle<r2> h2) {
+                        let TStack<r2, r2> s1 = new TStack<r2, r2>;
+                        let TStack<r2, r1> s2 = new TStack<r2, r1>;
+                        let TStack<r1, immortal> s3 = new TStack<r1, immortal>;
+                        let TStack<heap, immortal> s4 = new TStack<heap, immortal>;
+                        let TStack<immortal, heap> s5 = new TStack<immortal, heap>;
+                    }
+                }
+            }
+        "#;
+        check(ok).unwrap();
+        assert_err_containing(
+            r#"
+            class TStack<Owner stackOwner, Owner TOwner> { int n; }
+            {
+                (RHandle<r1> h1) {
+                    (RHandle<r2> h2) {
+                        let TStack<r1, r2> s6 = new TStack<r1, r2>;
+                    }
+                }
+            }
+            "#,
+            "must outlive the first owner",
+        );
+    }
+
+    #[test]
+    fn dangling_field_write_rejected() {
+        // Storing an inner-region object into an outer-region object's field
+        // would create a dangling reference.
+        assert_err_containing(
+            r#"
+            class Box<Owner o, Owner p> { Cell<p> c; }
+            class Cell<Owner o> { int v; }
+            {
+                (RHandle<r1> h1) {
+                    (RHandle<r2> h2) {
+                        let Box<r1, r2> b = new Box<r1, r2>;
+                    }
+                }
+            }
+            "#,
+            "must outlive the first owner",
+        );
+    }
+
+    #[test]
+    fn effects_are_enforced() {
+        assert_err_containing(
+            r#"
+            class C<Owner o> {
+                void leakyAlloc(RHandle<heap> hh) accesses o {
+                    let Object<heap> x = new Object<heap>;
+                }
+            }
+            { }
+            "#,
+            "do not cover",
+        );
+    }
+
+    #[test]
+    fn handle_required_for_allocation() {
+        assert_err_containing(
+            r#"
+            class C<Owner o> {
+                void alloc<Region q>() accesses q {
+                    let Object<q> x = new Object<q>;
+                }
+            }
+            { }
+            "#,
+            "no region handle",
+        );
+        // With the handle passed, it checks.
+        check(
+            r#"
+            class C<Owner o> {
+                void alloc<Region q>(RHandle<q> h) accesses q {
+                    let Object<q> x = new Object<q>;
+                }
+            }
+            { }
+            "#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn this_owned_fields_are_encapsulated() {
+        assert_err_containing(
+            r#"
+            class Stack<Owner o> {
+                Node<this> head;
+            }
+            class Node<Owner o> { int v; }
+            {
+                (RHandle<r> h) {
+                    let Stack<r> s = new Stack<r>;
+                    let x = s.head;
+                }
+            }
+            "#,
+            "can only be accessed through `this`",
+        );
+    }
+
+    #[test]
+    fn let_type_inference_elaborates() {
+        let checked = check(
+            r#"
+            class Cell<Owner o> { int v; }
+            {
+                (RHandle<r> h) {
+                    let c = new Cell<r>;
+                    c.v = 3;
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        // The `let` should now carry an explicit type.
+        let Stmt::LocalRegion { body, .. } = &checked.program.main.stmts[0] else {
+            panic!("expected region");
+        };
+        let Stmt::Let { ty, .. } = &body.stmts[0] else {
+            panic!("expected let");
+        };
+        assert!(ty.is_some(), "inferred type written back");
+    }
+
+    #[test]
+    fn return_inside_region_rejected() {
+        assert_err_containing(
+            r#"
+            class C<Owner o> {
+                int m() accesses heap {
+                    (RHandle<r> h) {
+                        return 1;
+                    }
+                    return 2;
+                }
+            }
+            { }
+            "#,
+            "region block",
+        );
+    }
+
+    #[test]
+    fn missing_return_rejected() {
+        assert_err_containing(
+            r#"
+            class C<Owner o> {
+                int m(bool b) {
+                    if (b) { return 1; }
+                }
+            }
+            { }
+            "#,
+            "on all paths",
+        );
+    }
+
+    #[test]
+    fn region_creation_requires_heap_effect() {
+        assert_err_containing(
+            r#"
+            class C<Owner o> {
+                void m() accesses o {
+                    (RHandle<r> h) { }
+                }
+            }
+            { }
+            "#,
+            "do not cover",
+        );
+        check(
+            r#"
+            class C<Owner o> {
+                void m() accesses o, heap {
+                    (RHandle<r> h) { }
+                }
+            }
+            { }
+            "#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn null_inference_requires_annotation() {
+        assert_err_containing("{ let x = null; }", "annotate");
+    }
+
+    #[test]
+    fn condition_must_be_bool() {
+        assert_err_containing("{ if (1) { } }", "must be `bool`");
+        assert_err_containing("{ while (0) { } }", "must be `bool`");
+    }
+}

@@ -1,0 +1,485 @@
+//! Typing environments and the deduction engine.
+//!
+//! An [`Env`] carries variable typings, owner-kind declarations, the
+//! ownership facts `o1 ≽ₒ o2` (o1 transitively owns o2), the outlives
+//! facts `o1 ≽ o2`, region-handle availability, and the type of `this`.
+//! Queries close the fact base under the paper's derivation rules:
+//!
+//! * `≽ₒ` and `≽` are reflexive and transitive, and `≽ₒ ⊆ ≽`;
+//! * `heap` and `immortal` outlive every region (property R1);
+//! * the first owner of `this`'s type owns `this`;
+//! * handle availability (`av RH`) propagates along `≽ₒ` in both
+//!   directions (owner and owned live in the same region);
+//! * `RKind(o)` finds the kind of the region `o` is (or is allocated in)
+//!   by walking up the ownership relation.
+
+use crate::kind::{Kind, RegionKindLookup};
+use crate::owner::Owner;
+use crate::stype::SType;
+use std::collections::BTreeSet;
+
+/// The set of permitted effects `X` (owners, possibly including `RT`).
+pub type Effects = BTreeSet<Owner>;
+
+/// A typing environment.
+#[derive(Debug, Clone, Default)]
+pub struct Env {
+    vars: Vec<(String, SType)>,
+    owner_kinds: Vec<(Owner, Kind)>,
+    owns_facts: Vec<(Owner, Owner)>,
+    outlives_facts: Vec<(Owner, Owner)>,
+    /// Regions whose handles are available through in-scope handle values.
+    handle_regions: Vec<Owner>,
+    this_type: Option<(String, Vec<Owner>)>,
+    /// The kind of the owner `this`: `ObjOwner` inside class methods,
+    /// the region kind itself inside `regionKind` declarations.
+    this_kind: Option<Kind>,
+}
+
+impl Env {
+    /// The base environment of `[PROG]`: `heap : GCRegion`,
+    /// `immortal : SharedRegion : LT`, with both handles available.
+    pub fn base() -> Env {
+        let mut e = Env::default();
+        e.owner_kinds.push((Owner::Heap, Kind::GcRegion));
+        e.owner_kinds
+            .push((Owner::Immortal, Kind::SharedRegion.with_lt()));
+        e.handle_regions.push(Owner::Heap);
+        e.handle_regions.push(Owner::Immortal);
+        e
+    }
+
+    // ------------------------------------------------------------- variables
+
+    /// Binds a variable (later bindings shadow earlier ones).
+    pub fn bind_var(&mut self, name: impl Into<String>, ty: SType) {
+        let name = name.into();
+        if let SType::Handle(r) = &ty {
+            self.handle_regions.push(r.clone());
+        }
+        self.vars.push((name, ty));
+    }
+
+    /// Looks up a variable.
+    pub fn lookup_var(&self, name: &str) -> Option<&SType> {
+        self.vars.iter().rev().find(|(n, _)| n == name).map(|(_, t)| t)
+    }
+
+    // ---------------------------------------------------------------- owners
+
+    /// Declares an owner with its kind.
+    pub fn declare_owner(&mut self, o: Owner, k: Kind) {
+        self.owner_kinds.push((o, k));
+    }
+
+    /// Whether `name` is an in-scope region name.
+    pub fn is_region_name(&self, name: &str) -> bool {
+        self.owner_kinds
+            .iter()
+            .any(|(o, _)| matches!(o, Owner::Region(n) if n == name))
+    }
+
+    /// Whether `name` is a declared owner (formal or region).
+    pub fn is_declared_owner_name(&self, name: &str) -> bool {
+        self.owner_kinds.iter().any(|(o, _)| match o {
+            Owner::Region(n) | Owner::Formal(n) => n == name,
+            _ => false,
+        })
+    }
+
+    /// The declared kind of an owner (`E ⊢ₖ o : k`). `this` has kind
+    /// `ObjOwner` when a `this` type is in scope.
+    pub fn kind_of(&self, o: &Owner) -> Option<Kind> {
+        match o {
+            Owner::This => self.this_kind.clone(),
+            Owner::Rt => None,
+            _ => self
+                .owner_kinds
+                .iter()
+                .rev()
+                .find(|(d, _)| d == o)
+                .map(|(_, k)| k.clone()),
+        }
+    }
+
+    /// All in-scope owners of region kind (`Regions(E)`), including `heap`
+    /// and `immortal`.
+    pub fn regions(&self) -> Vec<Owner> {
+        self.owner_kinds
+            .iter()
+            .filter(|(_, k)| k.is_region_kind())
+            .map(|(o, _)| o.clone())
+            .collect()
+    }
+
+    /// Sets the type of `this` to `cn<owners>`, recording that the first
+    /// owner owns `this` and that every owner outlives the first.
+    pub fn set_this(&mut self, class: impl Into<String>, owners: Vec<Owner>) {
+        if let Some(first) = owners.first() {
+            self.owns_facts.push((first.clone(), Owner::This));
+            for o in owners.iter().skip(1) {
+                self.outlives_facts.push((o.clone(), first.clone()));
+            }
+        }
+        self.this_type = Some((class.into(), owners));
+        self.this_kind = Some(Kind::ObjOwner);
+    }
+
+    /// Sets `this` to denote a *region* of the given kind (used when
+    /// checking `regionKind` declarations, where `this` is the region
+    /// itself and every formal outlives it).
+    pub fn set_this_region(&mut self, kind: Kind, formal_owners: &[Owner]) {
+        for f in formal_owners {
+            self.outlives_facts.push((f.clone(), Owner::This));
+        }
+        self.this_kind = Some(kind);
+    }
+
+    /// The type of `this`, if in a method context.
+    pub fn this_type(&self) -> Option<(&str, &[Owner])> {
+        self.this_type
+            .as_ref()
+            .map(|(c, os)| (c.as_str(), os.as_slice()))
+    }
+
+    // ----------------------------------------------------------------- facts
+
+    /// Records `o1 ≽ₒ o2` (o1 owns o2).
+    pub fn add_owns(&mut self, o1: Owner, o2: Owner) {
+        self.owns_facts.push((o1, o2));
+    }
+
+    /// Records `o1 ≽ o2` (o1 outlives o2).
+    pub fn add_outlives(&mut self, o1: Owner, o2: Owner) {
+        self.outlives_facts.push((o1, o2));
+    }
+
+    /// Records that a handle for region `r` is directly available.
+    pub fn add_handle(&mut self, r: Owner) {
+        self.handle_regions.push(r);
+    }
+
+    // --------------------------------------------------------------- queries
+
+    /// `E ⊢ o1 ≽ₒ o2`: o1 transitively owns o2 (reflexive).
+    pub fn owns(&self, o1: &Owner, o2: &Owner) -> bool {
+        if o1 == o2 {
+            return true;
+        }
+        // BFS downward from o1 along owns edges.
+        let mut frontier = vec![o1.clone()];
+        let mut seen = BTreeSet::new();
+        while let Some(cur) = frontier.pop() {
+            if !seen.insert(cur.clone()) {
+                continue;
+            }
+            for (a, b) in &self.owns_facts {
+                if a == &cur {
+                    if b == o2 {
+                        return true;
+                    }
+                    frontier.push(b.clone());
+                }
+            }
+        }
+        false
+    }
+
+    /// `E ⊢ o1 ≽ o2`: o1 outlives o2 (reflexive, transitive, includes
+    /// `≽ₒ`, and `heap`/`immortal` outlive all regions and each other).
+    pub fn outlives(&self, o1: &Owner, o2: &Owner) -> bool {
+        if o1 == o2 {
+            return true;
+        }
+        // BFS from o1 along outlives ∪ owns edges. Reaching an everlasting
+        // owner (heap/immortal) makes *every region* reachable (property
+        // R1), and from there anything those regions (transitively) own.
+        let mut frontier = vec![o1.clone()];
+        let mut seen = BTreeSet::new();
+        while let Some(cur) = frontier.pop() {
+            if !seen.insert(cur.clone()) {
+                continue;
+            }
+            if cur == *o2 {
+                return true;
+            }
+            if cur.is_everlasting() {
+                if o2.is_everlasting() {
+                    return true;
+                }
+                for (g, k) in &self.owner_kinds {
+                    if k.is_region_kind() {
+                        frontier.push(g.clone());
+                    }
+                }
+            }
+            for (a, b) in self.outlives_facts.iter().chain(&self.owns_facts) {
+                if a == &cur {
+                    frontier.push(b.clone());
+                }
+            }
+        }
+        false
+    }
+
+    /// `E ⊢ X ⊇ Y`: every owner in `needed` is outlived by some owner in
+    /// `allowed`; the `RT` pseudo-effect must be present verbatim.
+    pub fn effects_subsume(&self, allowed: &Effects, needed: &Effects) -> bool {
+        needed.iter().all(|o| self.effect_covered(allowed, o))
+    }
+
+    /// Whether a single effect `o` is covered by `allowed`.
+    ///
+    /// Two effects are special: `RT` must be present verbatim, and the
+    /// `heap` effect is only covered by `heap` itself. (In the outlives
+    /// relation `immortal ≽ heap` — that is what makes Figure 5's
+    /// `TStack<immortal, heap>` legal — but letting `immortal` *cover* the
+    /// heap effect would let real-time threads reach heap-effect methods,
+    /// defeating the `RT fork` rule's guarantee that the spawned method's
+    /// effects "do not contain the heap region".)
+    pub fn effect_covered(&self, allowed: &Effects, o: &Owner) -> bool {
+        if *o == Owner::Rt {
+            return allowed.contains(&Owner::Rt);
+        }
+        if *o == Owner::Heap {
+            return allowed.contains(&Owner::Heap);
+        }
+        allowed
+            .iter()
+            .filter(|g| **g != Owner::Rt)
+            .any(|g| self.outlives(g, o))
+    }
+
+    /// `E ⊢ av RH(o)`: the handle of the region `o` stands for (or is
+    /// allocated in) is available. Handles are available for `heap`,
+    /// `immortal`, `this`, every region with an in-scope handle value, and
+    /// anything connected to one of those through the ownership relation.
+    pub fn handle_available(&self, o: &Owner) -> bool {
+        let mut avail: BTreeSet<Owner> = self.handle_regions.iter().cloned().collect();
+        avail.insert(Owner::Heap);
+        avail.insert(Owner::Immortal);
+        if self.this_type.is_some() {
+            avail.insert(Owner::This);
+        }
+        if avail.contains(o) {
+            return true;
+        }
+        // Propagate along owns edges (in both directions) to a fixpoint:
+        // an object lives in the same region as its owner.
+        loop {
+            let mut changed = false;
+            for (a, b) in &self.owns_facts {
+                let ina = avail.contains(a);
+                let inb = avail.contains(b);
+                if ina != inb {
+                    avail.insert(if ina { b.clone() } else { a.clone() });
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        avail.contains(o)
+    }
+
+    /// `E ⊢ RKind(o) = k`: the kind of the region that `o` stands for (if a
+    /// region) or is allocated in (if an object, by walking up `≽ₒ`).
+    pub fn rkind_of(&self, kinds: &dyn RegionKindLookup, o: &Owner) -> Option<Kind> {
+        self.rkind_inner(kinds, o, &mut BTreeSet::new())
+    }
+
+    fn rkind_inner(
+        &self,
+        kinds: &dyn RegionKindLookup,
+        o: &Owner,
+        visited: &mut BTreeSet<Owner>,
+    ) -> Option<Kind> {
+        if !visited.insert(o.clone()) {
+            return None;
+        }
+        match o {
+            Owner::Heap => return Some(Kind::GcRegion),
+            Owner::Immortal => return Some(Kind::SharedRegion.with_lt()),
+            Owner::Rt => return None,
+            Owner::This => {
+                if let Some(k) = &self.this_kind {
+                    if k.is_region_kind() {
+                        return Some(k.clone());
+                    }
+                }
+                if let Some((_, owners)) = &self.this_type {
+                    if let Some(first) = owners.first() {
+                        return self.rkind_inner(kinds, first, visited);
+                    }
+                }
+                return None;
+            }
+            _ => {}
+        }
+        if let Some(k) = self.kind_of(o) {
+            if k.is_region_kind() {
+                return Some(k);
+            }
+        }
+        // An object is allocated in the same region as its owner: find any
+        // owner of `o` with a known region kind.
+        for (a, b) in &self.owns_facts {
+            if b == o && a != o {
+                if let Some(k) = self.rkind_inner(kinds, a, visited) {
+                    return Some(k);
+                }
+            }
+        }
+        let _ = kinds;
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::NoUserKinds;
+
+    fn r(n: &str) -> Owner {
+        Owner::Region(n.into())
+    }
+
+    fn f(n: &str) -> Owner {
+        Owner::Formal(n.into())
+    }
+
+    #[test]
+    fn outlives_is_preorder_with_facts() {
+        let mut e = Env::base();
+        e.declare_owner(r("r1"), Kind::LocalRegion);
+        e.declare_owner(r("r2"), Kind::LocalRegion);
+        e.add_outlives(r("r1"), r("r2"));
+        assert!(e.outlives(&r("r1"), &r("r2")));
+        assert!(!e.outlives(&r("r2"), &r("r1")));
+        assert!(e.outlives(&r("r1"), &r("r1")), "reflexive");
+        // heap and immortal outlive all regions (R1).
+        assert!(e.outlives(&Owner::Heap, &r("r2")));
+        assert!(e.outlives(&Owner::Immortal, &r("r1")));
+        assert!(e.outlives(&Owner::Heap, &Owner::Immortal));
+        assert!(e.outlives(&Owner::Immortal, &Owner::Heap));
+        // Regions do not outlive heap.
+        assert!(!e.outlives(&r("r1"), &Owner::Heap));
+    }
+
+    #[test]
+    fn outlives_transitivity() {
+        let mut e = Env::base();
+        for n in ["a", "b", "c"] {
+            e.declare_owner(r(n), Kind::LocalRegion);
+        }
+        e.add_outlives(r("a"), r("b"));
+        e.add_outlives(r("b"), r("c"));
+        assert!(e.outlives(&r("a"), &r("c")));
+        assert!(!e.outlives(&r("c"), &r("a")));
+    }
+
+    #[test]
+    fn owns_implies_outlives() {
+        let mut e = Env::base();
+        e.set_this("TStack", vec![f("stackOwner"), f("TOwner")]);
+        // stackOwner ≽ₒ this (first owner owns the object).
+        assert!(e.owns(&f("stackOwner"), &Owner::This));
+        assert!(e.outlives(&f("stackOwner"), &Owner::This));
+        // TOwner ≽ stackOwner (all owners outlive the first).
+        assert!(e.outlives(&f("TOwner"), &f("stackOwner")));
+        assert!(e.outlives(&f("TOwner"), &Owner::This), "via transitivity");
+        assert!(!e.owns(&f("TOwner"), &Owner::This));
+    }
+
+    #[test]
+    fn effects_subsumption() {
+        let mut e = Env::base();
+        e.declare_owner(r("r1"), Kind::LocalRegion);
+        e.set_this("C", vec![f("o")]);
+        let allowed: Effects = [f("o"), r("r1")].into_iter().collect();
+        let needed: Effects = [Owner::This].into_iter().collect();
+        // o ≽ₒ this ⇒ o ≽ this ⇒ X ⊇ {this}.
+        assert!(e.effects_subsume(&allowed, &needed));
+        let needed_heap: Effects = [Owner::Heap].into_iter().collect();
+        assert!(!e.effects_subsume(&allowed, &needed_heap));
+        // RT must be present verbatim.
+        let needed_rt: Effects = [Owner::Rt].into_iter().collect();
+        assert!(!e.effects_subsume(&allowed, &needed_rt));
+        let mut allowed_rt = allowed.clone();
+        allowed_rt.insert(Owner::Rt);
+        assert!(e.effects_subsume(&allowed_rt, &needed_rt));
+        // RT never covers a region effect.
+        let only_rt: Effects = [Owner::Rt].into_iter().collect();
+        let need_r1: Effects = [r("r1")].into_iter().collect();
+        assert!(!e.effects_subsume(&only_rt, &need_r1));
+    }
+
+    #[test]
+    fn handle_availability() {
+        let mut e = Env::base();
+        e.declare_owner(r("r1"), Kind::LocalRegion);
+        // No handle for r1 yet.
+        assert!(!e.handle_available(&r("r1")));
+        assert!(e.handle_available(&Owner::Heap));
+        assert!(e.handle_available(&Owner::Immortal));
+        e.bind_var("h1", SType::Handle(r("r1")));
+        assert!(e.handle_available(&r("r1")));
+        // this is available once a this-type is set, and availability
+        // propagates down the ownership relation.
+        e.set_this("C", vec![f("o")]);
+        assert!(e.handle_available(&Owner::This));
+        assert!(
+            e.handle_available(&f("o")),
+            "o owns this, so o's region handle is obtainable from this"
+        );
+    }
+
+    #[test]
+    fn rkind_walks_ownership() {
+        let mut e = Env::base();
+        e.declare_owner(r("r1"), Kind::SharedRegion.with_lt());
+        e.set_this("C", vec![r("r1")]);
+        assert_eq!(
+            e.rkind_of(&NoUserKinds, &Owner::This),
+            Some(Kind::SharedRegion.with_lt())
+        );
+        assert_eq!(e.rkind_of(&NoUserKinds, &Owner::Heap), Some(Kind::GcRegion));
+        assert_eq!(
+            e.rkind_of(&NoUserKinds, &Owner::Immortal),
+            Some(Kind::SharedRegion.with_lt())
+        );
+        // A formal with no ownership facts has no known region kind.
+        e.declare_owner(f("x"), Kind::Owner);
+        assert_eq!(e.rkind_of(&NoUserKinds, &f("x")), None);
+        // But one owned by a region does.
+        e.add_owns(r("r1"), f("x"));
+        assert_eq!(
+            e.rkind_of(&NoUserKinds, &f("x")),
+            Some(Kind::SharedRegion.with_lt())
+        );
+    }
+
+    #[test]
+    fn var_shadowing() {
+        let mut e = Env::base();
+        e.bind_var("x", SType::Int);
+        e.bind_var("x", SType::Bool);
+        assert_eq!(e.lookup_var("x"), Some(&SType::Bool));
+        assert_eq!(e.lookup_var("y"), None);
+    }
+
+    #[test]
+    fn regions_in_scope() {
+        let mut e = Env::base();
+        e.declare_owner(r("r1"), Kind::LocalRegion);
+        e.declare_owner(f("obj"), Kind::ObjOwner);
+        e.declare_owner(f("rgn"), Kind::Region);
+        let rs = e.regions();
+        assert!(rs.contains(&Owner::Heap));
+        assert!(rs.contains(&Owner::Immortal));
+        assert!(rs.contains(&r("r1")));
+        assert!(rs.contains(&f("rgn")), "region-kinded formals are regions");
+        assert!(!rs.contains(&f("obj")));
+    }
+}

@@ -1,0 +1,47 @@
+//! Type-checking errors.
+
+use rtj_lang::span::Span;
+use std::fmt;
+
+/// An error produced by the type checker.
+///
+/// The message is self-contained prose; `span` points at the offending
+/// source. Use [`rtj_lang::diag::render`] to render against the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeError {
+    /// What went wrong.
+    pub message: String,
+    /// Where it went wrong.
+    pub span: Span,
+}
+
+impl TypeError {
+    /// Creates a new error.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        TypeError {
+            message: message.into(),
+            span,
+        }
+    }
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_span_and_message() {
+        let e = TypeError::new("bad owner", Span::new(3, 9));
+        let s = e.to_string();
+        assert!(s.contains("3..9"));
+        assert!(s.contains("bad owner"));
+    }
+}

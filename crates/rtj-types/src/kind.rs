@@ -1,0 +1,262 @@
+//! Owner kinds and the subkinding relation (Figure 4 of the paper).
+//!
+//! ```text
+//!                 Owner
+//!               /       \
+//!        ObjOwner      Region
+//!                     /        \
+//!               GCRegion    NoGCRegion
+//!                           /         \
+//!                  LocalRegion     SharedRegion
+//!                                       |
+//!                              user-defined region kinds
+//! ```
+//!
+//! Additionally any region kind `k` has an `LT`-refined variant `k : LT`
+//! (regions whose memory is preallocated), with `k : LT ≤ k`
+//! (`[DELETE LT]`) and `k1 : LT ≤ k2 : LT` when `k1 ≤ k2` (`[ADD LT]`).
+
+use crate::owner::{Owner, Subst};
+use std::fmt;
+
+/// A (possibly user-defined, possibly LT-refined) owner kind.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Kind {
+    /// Any owner.
+    Owner,
+    /// Owners that are objects.
+    ObjOwner,
+    /// Any region.
+    Region,
+    /// The garbage-collected heap.
+    GcRegion,
+    /// Any non-heap region.
+    NoGcRegion,
+    /// Lexically scoped thread-local regions.
+    LocalRegion,
+    /// Root of the shared region-kind hierarchy.
+    SharedRegion,
+    /// A user-declared shared region kind, with its owner arguments.
+    Named {
+        /// Kind name.
+        name: String,
+        /// Owner arguments.
+        owners: Vec<Owner>,
+    },
+    /// `k : LT` — regions of kind `k` with preallocated (linear-time) memory.
+    Lt(Box<Kind>),
+}
+
+impl Kind {
+    /// Strips an `: LT` refinement, if present.
+    pub fn without_lt(&self) -> &Kind {
+        match self {
+            Kind::Lt(inner) => inner,
+            other => other,
+        }
+    }
+
+    /// Adds an `: LT` refinement (idempotent).
+    pub fn with_lt(self) -> Kind {
+        match self {
+            Kind::Lt(_) => self,
+            other => Kind::Lt(Box::new(other)),
+        }
+    }
+
+    /// Whether this kind classifies regions (as opposed to objects or
+    /// unconstrained owners).
+    pub fn is_region_kind(&self) -> bool {
+        match self.without_lt() {
+            Kind::Region
+            | Kind::GcRegion
+            | Kind::NoGcRegion
+            | Kind::LocalRegion
+            | Kind::SharedRegion
+            | Kind::Named { .. } => true,
+            Kind::Owner | Kind::ObjOwner => false,
+            Kind::Lt(_) => unreachable!("without_lt strips LT"),
+        }
+    }
+
+    /// Applies an owner substitution to the owner arguments of named kinds.
+    pub fn subst(&self, s: &Subst) -> Kind {
+        match self {
+            Kind::Named { name, owners } => Kind::Named {
+                name: name.clone(),
+                owners: s.apply_all(owners),
+            },
+            Kind::Lt(inner) => Kind::Lt(Box::new(inner.subst(s))),
+            other => other.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Kind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Kind::Owner => f.write_str("Owner"),
+            Kind::ObjOwner => f.write_str("ObjOwner"),
+            Kind::Region => f.write_str("Region"),
+            Kind::GcRegion => f.write_str("GCRegion"),
+            Kind::NoGcRegion => f.write_str("NoGCRegion"),
+            Kind::LocalRegion => f.write_str("LocalRegion"),
+            Kind::SharedRegion => f.write_str("SharedRegion"),
+            Kind::Named { name, owners } => {
+                if owners.is_empty() {
+                    f.write_str(name)
+                } else {
+                    let os: Vec<String> = owners.iter().map(|o| o.to_string()).collect();
+                    write!(f, "{name}<{}>", os.join(", "))
+                }
+            }
+            Kind::Lt(inner) => write!(f, "{inner} : LT"),
+        }
+    }
+}
+
+/// Access to the user region-kind hierarchy, provided by the program table.
+pub trait RegionKindLookup {
+    /// The declared super kind of `name`, with `owners` substituted for the
+    /// kind's formals. Returns `None` if `name` is not a declared kind.
+    fn super_kind_of(&self, name: &str, owners: &[Owner]) -> Option<Kind>;
+}
+
+/// An empty hierarchy (no user-declared region kinds); useful in tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoUserKinds;
+
+impl RegionKindLookup for NoUserKinds {
+    fn super_kind_of(&self, _name: &str, _owners: &[Owner]) -> Option<Kind> {
+        None
+    }
+}
+
+/// The subkinding judgment `P ⊢ k1 ≤ₖ k2`.
+///
+/// # Examples
+///
+/// ```
+/// use rtj_types::kind::{is_subkind, Kind, NoUserKinds};
+/// assert!(is_subkind(&NoUserKinds, &Kind::LocalRegion, &Kind::Region));
+/// assert!(is_subkind(&NoUserKinds, &Kind::SharedRegion.with_lt(), &Kind::SharedRegion));
+/// assert!(!is_subkind(&NoUserKinds, &Kind::Region, &Kind::GcRegion));
+/// ```
+pub fn is_subkind(kinds: &dyn RegionKindLookup, k1: &Kind, k2: &Kind) -> bool {
+    use Kind::*;
+    if k1 == k2 {
+        return true;
+    }
+    match (k1, k2) {
+        // [DELETE LT]: k : LT ≤ k (and transitively anything above k).
+        (Lt(inner), _) if !matches!(k2, Lt(_)) => is_subkind(kinds, inner, k2),
+        // [ADD LT]: k1 : LT ≤ k2 : LT when k1 ≤ k2.
+        (Lt(a), Lt(b)) => is_subkind(kinds, a, b),
+        (_, Lt(_)) => false,
+        // Everything is an Owner.
+        (_, Owner) => true,
+        (ObjOwner, _) => false,
+        (_, ObjOwner) => false,
+        // [SUBKIND REGION]
+        (GcRegion | NoGcRegion, Region) => true,
+        // [SUBKIND NOGCREGION]
+        (LocalRegion | SharedRegion, NoGcRegion | Region) => true,
+        // User kinds climb their `extends` chain (root is SharedRegion).
+        (Named { name, owners }, _) => match kinds.super_kind_of(name, owners) {
+            Some(sup) => is_subkind(kinds, &sup, k2),
+            None => false,
+        },
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct OneKind;
+    impl RegionKindLookup for OneKind {
+        fn super_kind_of(&self, name: &str, _owners: &[Owner]) -> Option<Kind> {
+            match name {
+                "BufferRegion" => Some(Kind::SharedRegion),
+                "RingRegion" => Some(Kind::Named {
+                    name: "BufferRegion".into(),
+                    owners: vec![],
+                }),
+                _ => None,
+            }
+        }
+    }
+
+    fn named(n: &str) -> Kind {
+        Kind::Named {
+            name: n.into(),
+            owners: vec![],
+        }
+    }
+
+    #[test]
+    fn lattice_spine() {
+        let k = NoUserKinds;
+        use Kind::*;
+        for sub in [ObjOwner, Region, GcRegion, NoGcRegion, LocalRegion, SharedRegion] {
+            assert!(is_subkind(&k, &sub, &Owner), "{sub} ≤ Owner");
+        }
+        assert!(is_subkind(&k, &GcRegion, &Region));
+        assert!(is_subkind(&k, &NoGcRegion, &Region));
+        assert!(is_subkind(&k, &LocalRegion, &NoGcRegion));
+        assert!(is_subkind(&k, &SharedRegion, &NoGcRegion));
+        assert!(!is_subkind(&k, &LocalRegion, &SharedRegion));
+        assert!(!is_subkind(&k, &LocalRegion, &GcRegion));
+        assert!(!is_subkind(&k, &GcRegion, &NoGcRegion));
+        assert!(!is_subkind(&k, &Region, &GcRegion));
+        assert!(!is_subkind(&k, &Owner, &Region));
+        assert!(!is_subkind(&k, &ObjOwner, &Region));
+        assert!(!is_subkind(&k, &Region, &ObjOwner));
+    }
+
+    #[test]
+    fn user_kind_chain() {
+        assert!(is_subkind(&OneKind, &named("BufferRegion"), &Kind::SharedRegion));
+        assert!(is_subkind(&OneKind, &named("RingRegion"), &Kind::SharedRegion));
+        assert!(is_subkind(&OneKind, &named("RingRegion"), &named("BufferRegion")));
+        assert!(!is_subkind(&OneKind, &named("BufferRegion"), &named("RingRegion")));
+        assert!(is_subkind(&OneKind, &named("RingRegion"), &Kind::Region));
+        assert!(!is_subkind(&OneKind, &named("Mystery"), &Kind::SharedRegion));
+    }
+
+    #[test]
+    fn lt_refinement() {
+        let k = NoUserKinds;
+        let shared_lt = Kind::SharedRegion.with_lt();
+        assert!(is_subkind(&k, &shared_lt, &Kind::SharedRegion));
+        assert!(is_subkind(&k, &shared_lt, &Kind::NoGcRegion));
+        assert!(is_subkind(&k, &shared_lt, &Kind::NoGcRegion.with_lt()));
+        assert!(!is_subkind(&k, &Kind::SharedRegion, &shared_lt));
+        assert!(is_subkind(
+            &OneKind,
+            &named("BufferRegion").with_lt(),
+            &Kind::SharedRegion.with_lt()
+        ));
+        // with_lt is idempotent.
+        assert_eq!(shared_lt.clone().with_lt(), shared_lt);
+    }
+
+    #[test]
+    fn region_kind_predicate() {
+        assert!(Kind::LocalRegion.is_region_kind());
+        assert!(Kind::SharedRegion.with_lt().is_region_kind());
+        assert!(!Kind::Owner.is_region_kind());
+        assert!(!Kind::ObjOwner.is_region_kind());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Kind::SharedRegion.with_lt().to_string(), "SharedRegion : LT");
+        let k = Kind::Named {
+            name: "Buf".into(),
+            owners: vec![Owner::Heap, Owner::This],
+        };
+        assert_eq!(k.to_string(), "Buf<heap, this>");
+    }
+}

@@ -1,0 +1,193 @@
+//! Resolved owners.
+//!
+//! An [`Owner`] is the checker's internal, span-free form of the surface
+//! [`OwnerRef`]: a class or method formal, a
+//! lexically scoped region name, `this`, or one of the built-in owners.
+
+use rtj_lang::ast::{Ident, OwnerRef};
+use rtj_lang::span::Span;
+use std::fmt;
+
+/// A resolved owner (the `o` of the paper's grammar).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Owner {
+    /// A class or method formal owner parameter.
+    Formal(String),
+    /// An in-scope region name.
+    Region(String),
+    /// The current object.
+    This,
+    /// The most recent region created before the current method was called.
+    InitialRegion,
+    /// The garbage-collected heap region.
+    Heap,
+    /// The immortal region.
+    Immortal,
+    /// The `RT` pseudo-effect (only meaningful inside effects clauses).
+    Rt,
+}
+
+impl Owner {
+    /// Converts a surface owner reference, using `is_region` to distinguish
+    /// in-scope region names from formal parameters.
+    pub fn resolve(r: &OwnerRef, is_region: impl Fn(&str) -> bool) -> Owner {
+        match r {
+            OwnerRef::Name(id) if is_region(&id.name) => Owner::Region(id.name.clone()),
+            OwnerRef::Name(id) => Owner::Formal(id.name.clone()),
+            OwnerRef::This(_) => Owner::This,
+            OwnerRef::InitialRegion(_) => Owner::InitialRegion,
+            OwnerRef::Heap(_) => Owner::Heap,
+            OwnerRef::Immortal(_) => Owner::Immortal,
+            OwnerRef::Rt(_) => Owner::Rt,
+        }
+    }
+
+    /// Converts back to a surface owner reference (with a dummy span), used
+    /// when the checker elaborates inferred owners into the AST.
+    pub fn to_ref(&self) -> OwnerRef {
+        match self {
+            Owner::Formal(n) | Owner::Region(n) => OwnerRef::Name(Ident::synthetic(n.clone())),
+            Owner::This => OwnerRef::This(Span::DUMMY),
+            Owner::InitialRegion => OwnerRef::InitialRegion(Span::DUMMY),
+            Owner::Heap => OwnerRef::Heap(Span::DUMMY),
+            Owner::Immortal => OwnerRef::Immortal(Span::DUMMY),
+            Owner::Rt => OwnerRef::Rt(Span::DUMMY),
+        }
+    }
+
+    /// Whether this owner is one of the two built-in everlasting regions.
+    pub fn is_everlasting(&self) -> bool {
+        matches!(self, Owner::Heap | Owner::Immortal)
+    }
+}
+
+impl fmt::Display for Owner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Owner::Formal(n) | Owner::Region(n) => f.write_str(n),
+            Owner::This => f.write_str("this"),
+            Owner::InitialRegion => f.write_str("initialRegion"),
+            Owner::Heap => f.write_str("heap"),
+            Owner::Immortal => f.write_str("immortal"),
+            Owner::Rt => f.write_str("RT"),
+        }
+    }
+}
+
+/// A substitution from formal owner names to owners, plus optional
+/// replacements for `this` and `initialRegion`.
+///
+/// Renaming (the paper's `Rename(·)`) is `subst ∪ {rcr/initialRegion}`,
+/// and field/portal accesses substitute the receiver (or the region) for
+/// `this`.
+#[derive(Debug, Clone, Default)]
+pub struct Subst {
+    pairs: Vec<(String, Owner)>,
+    /// Replacement for the literal owner `this`, if any.
+    pub this_to: Option<Owner>,
+    /// Replacement for `initialRegion`, if any.
+    pub initial_to: Option<Owner>,
+}
+
+impl Subst {
+    /// The empty substitution.
+    pub fn new() -> Self {
+        Subst::default()
+    }
+
+    /// Builds a substitution mapping each formal name to the matching owner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two slices have different lengths (callers check arity
+    /// first and report a proper type error).
+    pub fn from_formals(formals: &[String], owners: &[Owner]) -> Self {
+        assert_eq!(formals.len(), owners.len(), "substitution arity mismatch");
+        Subst {
+            pairs: formals.iter().cloned().zip(owners.iter().cloned()).collect(),
+            this_to: None,
+            initial_to: None,
+        }
+    }
+
+    /// Adds a formal↦owner pair.
+    pub fn push(&mut self, formal: impl Into<String>, owner: Owner) {
+        self.pairs.push((formal.into(), owner));
+    }
+
+    /// Sets the replacement for `this`.
+    pub fn with_this(mut self, o: Owner) -> Self {
+        self.this_to = Some(o);
+        self
+    }
+
+    /// Sets the replacement for `initialRegion`.
+    pub fn with_initial(mut self, o: Owner) -> Self {
+        self.initial_to = Some(o);
+        self
+    }
+
+    /// Applies the substitution to one owner.
+    pub fn apply(&self, o: &Owner) -> Owner {
+        match o {
+            Owner::Formal(n) => self
+                .pairs
+                .iter()
+                .find(|(f, _)| f == n)
+                .map(|(_, to)| to.clone())
+                .unwrap_or_else(|| o.clone()),
+            Owner::This => self.this_to.clone().unwrap_or(Owner::This),
+            Owner::InitialRegion => self.initial_to.clone().unwrap_or(Owner::InitialRegion),
+            _ => o.clone(),
+        }
+    }
+
+    /// Applies the substitution to a list of owners.
+    pub fn apply_all(&self, os: &[Owner]) -> Vec<Owner> {
+        os.iter().map(|o| self.apply(o)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_distinguishes_regions_from_formals() {
+        let r = OwnerRef::Name(Ident::synthetic("r1"));
+        assert_eq!(
+            Owner::resolve(&r, |n| n == "r1"),
+            Owner::Region("r1".into())
+        );
+        assert_eq!(Owner::resolve(&r, |_| false), Owner::Formal("r1".into()));
+    }
+
+    #[test]
+    fn subst_applies_formals_and_specials() {
+        let mut s = Subst::new().with_this(Owner::Region("r".into()));
+        s.push("a", Owner::Heap);
+        assert_eq!(s.apply(&Owner::Formal("a".into())), Owner::Heap);
+        assert_eq!(s.apply(&Owner::Formal("b".into())), Owner::Formal("b".into()));
+        assert_eq!(s.apply(&Owner::This), Owner::Region("r".into()));
+        assert_eq!(s.apply(&Owner::InitialRegion), Owner::InitialRegion);
+        let s2 = Subst::new().with_initial(Owner::Heap);
+        assert_eq!(s2.apply(&Owner::InitialRegion), Owner::Heap);
+        assert_eq!(s2.apply(&Owner::This), Owner::This);
+    }
+
+    #[test]
+    fn owner_ref_round_trip() {
+        for o in [
+            Owner::Formal("f".into()),
+            Owner::Region("r".into()),
+            Owner::This,
+            Owner::InitialRegion,
+            Owner::Heap,
+            Owner::Immortal,
+            Owner::Rt,
+        ] {
+            let back = Owner::resolve(&o.to_ref(), |n| n == "r");
+            assert_eq!(back, o);
+        }
+    }
+}

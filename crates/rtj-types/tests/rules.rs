@@ -1,0 +1,556 @@
+//! Rule-by-rule tests for the typing judgments of Appendix B: for each
+//! rule, at least one program that exercises it positively and one that
+//! violates exactly its premise.
+
+use rtj_lang::parse_program;
+use rtj_types::{check_program, Checked, TypeError};
+
+fn check(src: &str) -> Result<Checked, Vec<TypeError>> {
+    check_program(&parse_program(src).unwrap_or_else(|e| panic!("parse: {e}\n{src}")))
+}
+
+fn ok(src: &str) {
+    if let Err(errs) = check(src) {
+        panic!(
+            "expected well-typed, got: {:#?}\n{src}",
+            errs.iter().map(|e| &e.message).collect::<Vec<_>>()
+        );
+    }
+}
+
+fn err(src: &str, needle: &str) {
+    match check(src) {
+        Ok(_) => panic!("expected error containing {needle:?}\n{src}"),
+        Err(errs) => assert!(
+            errs.iter().any(|e| e.message.contains(needle)),
+            "no error contains {needle:?}; got {:#?}\n{src}",
+            errs.iter().map(|e| &e.message).collect::<Vec<_>>()
+        ),
+    }
+}
+
+// ----------------------------------------------------------------- [PROG]
+
+#[test]
+fn prog_main_runs_on_heap_with_heap_effects() {
+    // Region creation in main is fine (X ∋ heap)…
+    ok("{ (RHandle<r> h) { } }");
+    // …and allocation on the heap is fine for the main regular thread.
+    ok("class C<Owner o> { } { let C<heap> c = new C<heap>; }");
+}
+
+// ------------------------------------------------------------ [CLASS DEF]
+
+#[test]
+fn class_formals_scope_and_first_owner() {
+    ok("class C<Owner a, Owner b> { D<b> f; } class D<Owner x> { } { }");
+    err(
+        "class C<Owner a> { D<ghost> f; } class D<Owner x> { } { }",
+        "unknown owner",
+    );
+    // Every class formal outlives the first ([CLASS DEF] records
+    // fnᵢ ≽ fn₁), so Pair<a, b> is well-formed by assumption…
+    ok(
+        "class C<Owner a, Owner b> { Pair<a, b> f; } \
+         class Pair<Owner x, Owner y> { } { }",
+    );
+    // …but the reverse needs a ≽ b, which nothing provides.
+    err(
+        "class C<Owner a, Owner b> { Pair<b, a> f; } \
+         class Pair<Owner x, Owner y> { } { }",
+        "must outlive",
+    );
+    // A where-clause provides the missing fact.
+    ok(
+        "class C<Owner a, Owner b> where a outlives b { Pair<b, a> f; } \
+         class Pair<Owner x, Owner y> { } { }",
+    );
+}
+
+#[test]
+fn class_type_owner_kinds_are_checked() {
+    // A formal of Region kind cannot be instantiated with an object owner.
+    err(
+        r#"
+        class R<Region r> { }
+        class C<Owner o> {
+            void m() {
+                let R<this> x = new R<this>;
+            }
+        }
+        { }
+        "#,
+        "not a subkind",
+    );
+    ok(
+        r#"
+        class R<Region r> { }
+        {
+            (RHandle<q> h) {
+                let R<q> x = new R<q>;
+            }
+        }
+        "#,
+    );
+}
+
+// --------------------------------------------------------------- [METHOD]
+
+#[test]
+fn method_effects_must_have_kinds() {
+    err(
+        "class C<Owner o> { void m() accesses ghost { } } { }",
+        "unknown owner",
+    );
+    ok("class C<Owner o> { void m() accesses o, this, initialRegion { } } { }");
+}
+
+#[test]
+fn method_formals_with_constraints() {
+    ok(
+        r#"
+        class C<Owner o> {
+            void m<Owner p, Owner q>(D<p> x, D<q> y) where p outlives q { }
+        }
+        class D<Owner a> { }
+        {
+            (RHandle<r1> h1) {
+                (RHandle<r2> h2) {
+                    let c = new C<r2>;
+                    let a = new D<r1>;
+                    let b = new D<r2>;
+                    c.m<r1, r2>(a, b);
+                }
+            }
+        }
+        "#,
+    );
+    err(
+        r#"
+        class C<Owner o> {
+            void m<Owner p, Owner q>(D<p> x, D<q> y) where p outlives q { }
+        }
+        class D<Owner a> { }
+        {
+            (RHandle<r1> h1) {
+                (RHandle<r2> h2) {
+                    let c = new C<r1>;
+                    let a = new D<r2>;
+                    let b = new D<r1>;
+                    c.m<r2, r1>(a, b);
+                }
+            }
+        }
+        "#,
+        "not satisfied",
+    );
+}
+
+// ------------------------------------------------------------- [EXPR LET]
+
+#[test]
+fn let_subsumption() {
+    ok(
+        r#"
+        class B<Owner o> { }
+        class A<Owner o> extends B<o> { }
+        {
+            (RHandle<r> h) {
+                let B<r> b = new A<r>;
+                let Object<r> any = new A<r>;
+            }
+        }
+        "#,
+    );
+    err(
+        r#"
+        class B<Owner o> { }
+        class A<Owner o> extends B<o> { }
+        { (RHandle<r> h) { let A<r> a = new B<r>; } }
+        "#,
+        "expected",
+    );
+}
+
+// ------------------------------------------------------------- [EXPR NEW]
+
+#[test]
+fn new_requires_effect_and_handle() {
+    // `this`-owned allocation inside a method: handle via [AV THIS].
+    ok(
+        r#"
+        class S<Owner o> {
+            N<this> mk() { return new N<this>; }
+        }
+        class N<Owner o> { }
+        { }
+        "#,
+    );
+    // Allocating through an owner whose handle is reachable through the
+    // ownership relation ([AV TRANS]): o owns this, handle of this known.
+    ok(
+        r#"
+        class S<Owner o> {
+            void m() accesses o {
+                let Object<o> x = new Object<o>;
+            }
+        }
+        { }
+        "#,
+    );
+}
+
+// -------------------------------------------------- [EXPR REF READ/WRITE]
+
+#[test]
+fn field_rules() {
+    ok(
+        r#"
+        class C<Owner o> { int n; D<o> d; }
+        class D<Owner o> { }
+        {
+            (RHandle<r> h) {
+                let c = new C<r>;
+                c.n = 3;
+                c.d = new D<r>;
+                let x = c.d;
+                let y = c.n + 1;
+            }
+        }
+        "#,
+    );
+    err(
+        "class C<Owner o> { int n; } { (RHandle<r> h) { let c = new C<r>; let x = c.ghost; } }",
+        "no field",
+    );
+    err(
+        "class C<Owner o> { int n; } { (RHandle<r> h) { let c = new C<r>; c.n = true; } }",
+        "expected",
+    );
+    err("{ let x = null; }", "annotate");
+    err(
+        "class C<Owner o> { int n; } { let x = null.n; }",
+        "field of `null`",
+    );
+}
+
+// ----------------------------------------------------------- [EXPR INVOKE]
+
+#[test]
+fn invoke_rules() {
+    // Renaming initialRegion to the caller's current region.
+    ok(
+        r#"
+        class F<Owner o> {
+            C<initialRegion> mk() accesses initialRegion {
+                return new C<initialRegion>;
+            }
+        }
+        class C<Owner o> { }
+        {
+            (RHandle<r> h) {
+                let f = new F<r>;
+                let c = f.mk();
+                let C<r> typed = c;
+            }
+        }
+        "#,
+    );
+    // Wrong arity of owner arguments.
+    err(
+        r#"
+        class C<Owner o> { void m<Owner p>(D<p> x) { } }
+        class D<Owner a> { }
+        {
+            (RHandle<r> h) {
+                let c = new C<r>;
+                let d = new D<r>;
+                c.m<r, r>(d);
+            }
+        }
+        "#,
+        "owner argument",
+    );
+    // Wrong arity of value arguments.
+    err(
+        "class C<Owner o> { void m(int x) { } } \
+         { (RHandle<r> h) { let c = new C<r>; c.m(); } }",
+        "argument",
+    );
+    // Object owner arguments must own the receiver's owner.
+    err(
+        r#"
+        class C<Owner o> { void m<Owner p>() { } }
+        class D<Owner a> { }
+        class Outer<Owner o> {
+            D<this> rep;
+            void go(C<o> c) {
+                c.m<this>();
+            }
+        }
+        { }
+        "#,
+        "own the receiver's owner",
+    );
+}
+
+// ----------------------------------------- [EXPR REGION] / [LOCALREGION]
+
+#[test]
+fn region_rules() {
+    // Nested regions: names must not shadow.
+    err(
+        "{ (RHandle<r> h) { (RHandle<r> h2) { } } }",
+        "shadows",
+    );
+    // The new region is inside everything that already exists.
+    ok(
+        r#"
+        class P<Owner a, Owner b> { }
+        {
+            (RHandle<r1> h1) {
+                (RHandle<r2> h2) {
+                    let P<r2, r1> p = new P<r2, r1>;
+                    let P<r2, heap> q = new P<r2, heap>;
+                    let P<r2, immortal> s = new P<r2, immortal>;
+                }
+            }
+        }
+        "#,
+    );
+}
+
+// --------------------------------------------------------- [EXPR SUBREGION]
+
+#[test]
+fn subregion_rules() {
+    let decls = r#"
+        regionKind K extends SharedRegion {
+            subregion S : LT(128) NoRT s;
+        }
+        regionKind S extends SharedRegion {
+            C<this> slot;
+        }
+        class C<Owner o> { int v; }
+    "#;
+    ok(&format!(
+        "{decls}
+        {{
+            (RHandle<K : VT r> h) {{
+                (RHandle<S r2> h2 = h.s) {{
+                    let c = new C<r2>;
+                    h2.slot = c;
+                    h2.slot = null;
+                }}
+                (RHandle<S r3> h3 = new h.s) {{ }}
+            }}
+        }}"
+    ));
+    // The handle variable must really be a handle.
+    err(
+        &format!(
+            "{decls}
+            {{
+                let x = 1;
+                (RHandle<S r2> h2 = x.s) {{ }}
+            }}"
+        ),
+        "region handle",
+    );
+    // Portal reads are typed: no downcast from Object needed, and wrong
+    // uses are caught statically.
+    err(
+        &format!(
+            "{decls}
+            {{
+                (RHandle<K : VT r> h) {{
+                    (RHandle<S r2> h2 = h.s) {{
+                        let bad = h2.slot + 1;
+                    }}
+                }}
+            }}"
+        ),
+        "requires `int`",
+    );
+}
+
+// ----------------------------------------------------- [EXPR FORK/RTFORK]
+
+#[test]
+fn fork_rules() {
+    let worker = r#"
+        class W<SharedRegion r> {
+            void run(RHandle<r> h) accesses r { }
+        }
+    "#;
+    // Forking with a shared region is fine from main (rcr = heap).
+    ok(&format!(
+        "{worker}
+        {{
+            (RHandle<SharedRegion : VT r> h) {{
+                fork (new W<r>).run(h);
+            }}
+        }}"
+    ));
+    // RT fork cannot target a heap-owned worker (GCRegion is not a
+    // subkind of SharedRegion).
+    err(
+        &format!(
+            "{worker}
+            {{
+                (RHandle<SharedRegion : LT(64) r> h) {{
+                    RT fork (new W<heap>).run(h);
+                }}
+            }}"
+        ),
+        "not a subkind",
+    );
+    // RT fork from inside a shared LT region works.
+    ok(&format!(
+        "{worker}
+        {{
+            (RHandle<SharedRegion : LT(1024) r> h) {{
+                RT fork (new W<r>).run(h);
+            }}
+        }}"
+    ));
+    // …but not if the region is VT-allocated and the callee's effects
+    // mention it (an RT thread may not allocate in a VT region).
+    err(
+        &format!(
+            "{worker}
+            {{
+                (RHandle<SharedRegion : VT r> h) {{
+                    RT fork (new W<r>).run(h);
+                }}
+            }}"
+        ),
+        "may only touch preallocated",
+    );
+}
+
+// ------------------------------------------------------- kind refinement
+
+#[test]
+fn lt_kind_refinement_flows_through() {
+    // A class can demand an LT shared region for its owner, so its
+    // methods can be called from real-time threads.
+    ok(
+        r#"
+        class Scratch<SharedRegion : LT r> {
+            void fill(RHandle<r> h) accesses r {
+                let Object<r> x = new Object<r>;
+            }
+        }
+        {
+            (RHandle<SharedRegion : LT(4096) r> h) {
+                let s = new Scratch<r>;
+                s.fill(h);
+            }
+        }
+        "#,
+    );
+    err(
+        r#"
+        class Scratch<SharedRegion : LT r> { }
+        {
+            (RHandle<SharedRegion : VT r> h) {
+                let s = new Scratch<r>;
+            }
+        }
+        "#,
+        "not a subkind",
+    );
+}
+
+// ------------------------------------------------------- inheritance
+
+#[test]
+fn inheritance_rules() {
+    // Inherited methods see the superclass's owners correctly.
+    ok(
+        r#"
+        class B<Owner o> {
+            C<o> mk() { return null; }
+        }
+        class A<Owner o, Owner p> extends B<o> { }
+        class C<Owner x> { }
+        {
+            (RHandle<r> h) {
+                let a = new A<r, heap>;
+                let c = a.mk();
+                let C<r> typed = c;
+            }
+        }
+        "#,
+    );
+    // Handles are never null.
+    err(
+        "class B<Owner o> { } { let RHandle<heap> x = null; }",
+        "expected",
+    );
+    // Override with different return type is rejected.
+    err(
+        r#"
+        class B<Owner o> { int m() { return 1; } }
+        class A<Owner o> extends B<o> { bool m() { return true; } }
+        { }
+        "#,
+        "return type",
+    );
+    // Constraint on superclass must be implied.
+    err(
+        r#"
+        class B<Owner o, Owner p> where p owns o { }
+        class A<Owner o, Owner p> extends B<o, p> { }
+        { }
+        "#,
+        "not implied",
+    );
+    ok(
+        r#"
+        class B<Owner o, Owner p> where p outlives o { }
+        class A<Owner o, Owner p> extends B<o, p> where p outlives o { }
+        { }
+        "#,
+    );
+}
+
+// ------------------------------------------------------- parameterized kinds
+
+#[test]
+fn region_kinds_with_owner_parameters() {
+    ok(
+        r#"
+        regionKind Mail<Owner sender> extends SharedRegion {
+            Msg<sender> inbox;
+        }
+        class Msg<Owner o> { int payload; }
+        {
+            (RHandle<Mail<heap> : VT r> h) {
+                let m = new Msg<heap>;
+                h.inbox = m;
+                let got = h.inbox;
+                got.payload = 1;
+            }
+        }
+        "#,
+    );
+    err(
+        r#"
+        regionKind Mail<Owner sender> extends SharedRegion {
+            Msg<sender> inbox;
+        }
+        class Msg<Owner o> { int payload; }
+        {
+            (RHandle<r0> h0) {
+                (RHandle<Mail<heap> : VT r> h) {
+                    let m = new Msg<r0>;
+                    h.inbox = m;
+                }
+            }
+        }
+        "#,
+        "expected",
+    );
+}

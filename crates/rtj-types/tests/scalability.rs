@@ -1,0 +1,64 @@
+//! "Its typechecking is fast and scalable": checking time grows roughly
+//! linearly with program size, and a 600-class program checks in well
+//! under a second.
+
+use std::time::Instant;
+
+fn synth_program(n_classes: usize) -> String {
+    let mut src = String::new();
+    for i in 0..n_classes {
+        let prev = if i == 0 {
+            String::new()
+        } else {
+            format!("C{}<o> prev;", i - 1)
+        };
+        src.push_str(&format!(
+            "class C{i}<Owner o> {{
+                int v;
+                {prev}
+                int get() {{ return this.v; }}
+                void set(int x) {{ this.v = x; }}
+            }}\n"
+        ));
+    }
+    src.push_str("{ (RHandle<r> h) {\n");
+    for i in 0..n_classes.min(64) {
+        src.push_str(&format!("let c{i} = new C{i}<r>;\nc{i}.set({i});\n"));
+    }
+    src.push_str("} }\n");
+    src
+}
+
+#[test]
+fn checking_is_fast_and_scales() {
+    let src = synth_program(600);
+    let program = rtj_lang::parse_program(&src).unwrap();
+    let start = Instant::now();
+    rtj_types::check_program(&program).unwrap();
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed.as_millis() < 2_000,
+        "600 classes took {elapsed:?} (debug build budget: 2 s)"
+    );
+}
+
+#[test]
+fn checking_grows_roughly_linearly() {
+    let time = |n: usize| {
+        let src = synth_program(n);
+        let program = rtj_lang::parse_program(&src).unwrap();
+        let start = Instant::now();
+        rtj_types::check_program(&program).unwrap();
+        start.elapsed().as_secs_f64()
+    };
+    // Warm up, then compare 150 vs 600 classes: a quadratic checker would
+    // blow the 16x envelope for a 4x input.
+    let _ = time(50);
+    let t1 = time(150).max(1e-4);
+    let t4 = time(600);
+    assert!(
+        t4 / t1 < 16.0,
+        "growth factor {:.1} for 4x the classes (t150={t1:.4}s t600={t4:.4}s)",
+        t4 / t1
+    );
+}

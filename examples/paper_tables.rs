@@ -1,0 +1,26 @@
+//! Regenerates the paper's evaluation tables (Figures 11 and 12) at a
+//! reduced scale and prints them side by side with the paper's numbers.
+//!
+//! For the full-scale run use the CLI: `cargo run -p rtj-cli --release -- fig12`.
+//!
+//! ```sh
+//! cargo run --release --example paper_tables
+//! ```
+
+use rtjava::corpus::{fig11, fig12, render_fig11, render_fig12, Scale};
+
+fn main() {
+    println!("{}", render_fig11(&fig11()));
+    let scale = if std::env::args().any(|a| a == "--paper") {
+        Scale::Paper
+    } else {
+        Scale::Smoke
+    };
+    println!(
+        "{}",
+        render_fig12(&fig12(scale))
+    );
+    if scale == Scale::Smoke {
+        println!("(smoke scale; pass --paper for the full-size workloads)");
+    }
+}

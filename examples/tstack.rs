@@ -1,0 +1,119 @@
+//! The paper's running example (Figures 5 and 6): `TStack`, a stack whose
+//! nodes are **owned by the stack** (encapsulated) while the stack and its
+//! elements live in **regions** chosen by the client.
+//!
+//! Demonstrates the legality matrix of Figure 5: `s1..s5` are legal,
+//! `s6`/`s7` are rejected because an owner must outlive the first owner.
+//!
+//! ```sh
+//! cargo run --example tstack
+//! ```
+
+use rtjava::interp::{build, run_source, RunConfig};
+use rtjava::runtime::CheckMode;
+
+const TSTACK_DECLS: &str = r#"
+    class TStack<Owner stackOwner, Owner TOwner> {
+        TNode<this, TOwner> head;
+        void push(T<TOwner> value) {
+            let TNode<this, TOwner> n = new TNode<this, TOwner>;
+            n.init(value, this.head);
+            this.head = n;
+        }
+        T<TOwner> pop() {
+            let TNode<this, TOwner> h = this.head;
+            if (h == null) { return null; }
+            this.head = h.next;
+            return h.value;
+        }
+    }
+    class TNode<Owner nodeOwner, Owner TOwner> {
+        T<TOwner> value;
+        TNode<nodeOwner, TOwner> next;
+        void init(T<TOwner> v, TNode<nodeOwner, TOwner> n) {
+            this.value = v;
+            this.next = n;
+        }
+    }
+    class T<Owner o> { int x; }
+"#;
+
+fn main() {
+    // Figure 5, lines 25-33: which TStack instantiations are legal?
+    let legal = format!(
+        "{TSTACK_DECLS}
+        {{
+            (RHandle<r1> h1) {{
+                (RHandle<r2> h2) {{
+                    let TStack<r2, r2> s1 = new TStack<r2, r2>;
+                    let TStack<r2, r1> s2 = new TStack<r2, r1>;
+                    let TStack<r1, immortal> s3 = new TStack<r1, immortal>;
+                    let TStack<heap, immortal> s4 = new TStack<heap, immortal>;
+                    let TStack<immortal, heap> s5 = new TStack<immortal, heap>;
+                    print(\"s1..s5 all legal\");
+                }}
+            }}
+        }}"
+    );
+    let out = run_source(&legal, RunConfig::new(CheckMode::Static)).unwrap();
+    println!("{}", out.trace.join("\n"));
+
+    for (name, ty) in [("s6", "TStack<r1, r2>"), ("s7", "TStack<heap, r1>")] {
+        let illegal = format!(
+            "{TSTACK_DECLS}
+            {{
+                (RHandle<r1> h1) {{
+                    (RHandle<r2> h2) {{
+                        let {ty} {name} = new {ty};
+                    }}
+                }}
+            }}"
+        );
+        match build(&illegal) {
+            Err(_) => println!("{name}: {ty:<20} rejected (as the paper requires)"),
+            Ok(_) => println!("{name}: {ty:<20} UNEXPECTEDLY ACCEPTED"),
+        }
+    }
+
+    // Encapsulation (property O3): the stack's nodes cannot be touched
+    // from outside the stack.
+    let poke = format!(
+        "{TSTACK_DECLS}
+        {{
+            (RHandle<r> h) {{
+                let TStack<r, r> s = new TStack<r, r>;
+                let n = s.head; // forbidden: head is owned by s
+            }}
+        }}"
+    );
+    match build(&poke) {
+        Err(_) => println!("s.head from outside   rejected (ownership encapsulation)"),
+        Ok(_) => println!("s.head from outside   UNEXPECTEDLY ACCEPTED"),
+    }
+
+    // And of course the stack actually works.
+    let run = format!(
+        "{TSTACK_DECLS}
+        {{
+            (RHandle<r1> h1) {{
+                (RHandle<r2> h2) {{
+                    let TStack<r2, r1> s = new TStack<r2, r1>;
+                    let i = 0;
+                    while (i < 5) {{
+                        let t = new T<r1>;
+                        t.x = i * 10;
+                        s.push(t);
+                        i = i + 1;
+                    }}
+                    let p = s.pop();
+                    while (p != null) {{
+                        print(p.x);
+                        p = s.pop();
+                    }}
+                }}
+            }}
+        }}"
+    );
+    let out = run_source(&run, RunConfig::new(CheckMode::Static)).unwrap();
+    println!("popped: {}", out.trace.join(", "));
+}

@@ -1,0 +1,59 @@
+//! **rtjava** — a from-scratch reproduction of *Ownership Types for Safe
+//! Region-Based Memory Management in Real-Time Java* (Boyapati, Sălcianu,
+//! Beebee, Rinard; PLDI 2003).
+//!
+//! The system has four layers, re-exported here:
+//!
+//! * [`lang`] — the core real-time Java-like language: lexer, parser,
+//!   AST, pretty-printer (paper Figures 3/7/9/13);
+//! * [`types`] — the ownership/region type system: the paper's primary
+//!   contribution (Section 2, Appendix B). Well-typed programs never
+//!   create dangling references and real-time threads never touch the
+//!   garbage-collected heap (Theorems 3 and 4);
+//! * [`runtime`] — a simulated RTSJ platform: LT/VT regions, shared
+//!   regions with reference counts, subregions with typed portal fields,
+//!   the RTSJ dynamic checks, a virtual clock, and a collector that
+//!   pauses only regular threads;
+//! * [`interp`] — an interpreter running checked programs on the runtime
+//!   with the dynamic checks enabled (`Dynamic`, the RTSJ baseline),
+//!   elided (`Static`, the paper's payoff), or verified at zero cost
+//!   (`Audit`, used to validate the soundness theorems);
+//! * [`corpus`] — the paper's evaluation programs and the harnesses that
+//!   regenerate Figure 11 (annotation overhead) and Figure 12 (dynamic
+//!   checking overhead).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rtjava::interp::{run_source, RunConfig};
+//! use rtjava::runtime::CheckMode;
+//!
+//! let src = r#"
+//!     class Cell<Owner o> { int v; }
+//!     {
+//!         (RHandle<r> h) {
+//!             let c = new Cell<r>;
+//!             c.v = 42;
+//!             print(c.v);
+//!         }
+//!     }
+//! "#;
+//! // RTSJ mode: dynamic checks run and cost time.
+//! let dynamic = run_source(src, RunConfig::new(CheckMode::Dynamic)).unwrap();
+//! // Statically-checked mode: the type system removed the checks.
+//! let fast = run_source(src, RunConfig::new(CheckMode::Static)).unwrap();
+//! assert_eq!(dynamic.trace, fast.trace);
+//! assert!(dynamic.cycles >= fast.cycles);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use rtj_corpus as corpus;
+pub use rtj_interp as interp;
+pub use rtj_lang as lang;
+pub use rtj_runtime as runtime;
+pub use rtj_types as types;
+
+pub use rtj_interp::{build, run_checked, run_source, RunConfig, RunOutcome};
+pub use rtj_runtime::CheckMode;
+pub use rtj_types::check_program;

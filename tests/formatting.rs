@@ -1,0 +1,39 @@
+//! The pretty-printer is a usable formatter: every corpus program
+//! round-trips through `fmt` to a fixpoint, and the formatted form still
+//! type-checks and runs identically.
+
+use rtjava::corpus::{all, Scale};
+use rtjava::interp::{build, run_checked, RunConfig};
+use rtjava::lang::{parse_program, pretty_program};
+use rtjava::runtime::CheckMode;
+
+#[test]
+fn corpus_formats_to_a_fixpoint() {
+    for bench in all(Scale::Smoke) {
+        let p1 = parse_program(&bench.source).unwrap();
+        let formatted = pretty_program(&p1);
+        let p2 = parse_program(&formatted)
+            .unwrap_or_else(|e| panic!("{}: reparse failed: {e}", bench.name));
+        assert_eq!(
+            pretty_program(&p2),
+            formatted,
+            "{}: fmt is not a fixpoint",
+            bench.name
+        );
+    }
+}
+
+#[test]
+fn formatted_corpus_behaves_identically() {
+    for bench in all(Scale::Smoke).into_iter().take(4) {
+        let original = build(&bench.source).unwrap();
+        let formatted_src = pretty_program(&parse_program(&bench.source).unwrap());
+        let formatted = build(&formatted_src)
+            .unwrap_or_else(|e| panic!("{}: formatted form fails to check: {e}", bench.name));
+        let a = run_checked(&original, RunConfig::new(CheckMode::Dynamic));
+        let b = run_checked(&formatted, RunConfig::new(CheckMode::Dynamic));
+        assert!(a.error.is_none() && b.error.is_none(), "{}", bench.name);
+        assert_eq!(a.trace, b.trace, "{}", bench.name);
+        assert_eq!(a.cycles, b.cycles, "{}: formatting changed cost", bench.name);
+    }
+}

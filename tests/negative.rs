@@ -1,0 +1,447 @@
+//! A battery of ill-typed programs, one per typing rule family, asserting
+//! both that they are rejected and that the error message points at the
+//! right concept.
+
+use rtjava::interp::{build, BuildError};
+
+fn errors_containing(src: &str, needle: &str) {
+    match build(src) {
+        Ok(_) => panic!("expected rejection ({needle}) for:\n{src}"),
+        Err(BuildError::Type(errs)) => {
+            assert!(
+                errs.iter().any(|e| e.message.contains(needle)),
+                "no error contains {needle:?}; got {:#?}",
+                errs.iter().map(|e| &e.message).collect::<Vec<_>>()
+            );
+        }
+        Err(BuildError::Parse(e)) => panic!("unexpected parse error: {e}"),
+    }
+}
+
+// ------------------------------------------------------------- region types
+
+#[test]
+fn dangling_type_rejected() {
+    errors_containing(
+        r#"
+        class P<Owner o, Owner q> { }
+        { (RHandle<a> ha) { (RHandle<b> hb) {
+            let P<a, b> p = new P<a, b>;
+        } } }
+        "#,
+        "must outlive the first owner",
+    );
+}
+
+#[test]
+fn unknown_owner_rejected() {
+    errors_containing(
+        "class C<Owner o> { } { let C<ghost> c = new C<ghost>; }",
+        "unknown owner",
+    );
+}
+
+#[test]
+fn region_names_are_lexically_scoped() {
+    errors_containing(
+        r#"
+        class C<Owner o> { }
+        {
+            (RHandle<a> ha) { }
+            let C<a> c = new C<a>;
+        }
+        "#,
+        "unknown owner",
+    );
+}
+
+#[test]
+fn arity_mismatch_rejected() {
+    errors_containing(
+        "class C<Owner o, Owner p> { } { (RHandle<r> h) { let C<r> c = new C<r>; } }",
+        "expects 2 owner argument",
+    );
+}
+
+// ---------------------------------------------------------- ownership types
+
+#[test]
+fn this_owned_field_not_readable_outside() {
+    errors_containing(
+        r#"
+        class S<Owner o> { N<this> rep; }
+        class N<Owner o> { int v; }
+        { (RHandle<r> h) { let S<r> s = new S<r>; let x = s.rep; } }
+        "#,
+        "can only be accessed through `this`",
+    );
+}
+
+#[test]
+fn this_owned_field_not_writable_outside() {
+    errors_containing(
+        r#"
+        class S<Owner o> { N<this> rep; }
+        class N<Owner o> { int v; }
+        { (RHandle<r> h) { let S<r> s = new S<r>; s.rep = null; } }
+        "#,
+        "can only be accessed through `this`",
+    );
+}
+
+#[test]
+fn method_mentioning_this_needs_this_receiver() {
+    errors_containing(
+        r#"
+        class S<Owner o> {
+            N<this> make() { return new N<this>; }
+        }
+        class N<Owner o> { int v; }
+        { (RHandle<r> h) { let S<r> s = new S<r>; let n = s.make(); } }
+        "#,
+        "can only be invoked on `this`",
+    );
+}
+
+// ------------------------------------------------------------------ effects
+
+#[test]
+fn allocation_needs_effect() {
+    errors_containing(
+        r#"
+        class C<Owner o> {
+            void m(RHandle<heap> hh) accesses o {
+                let Object<heap> x = new Object<heap>;
+            }
+        }
+        { }
+        "#,
+        "do not cover",
+    );
+}
+
+#[test]
+fn callee_effects_must_be_subsumed() {
+    errors_containing(
+        r#"
+        class A<Owner o> {
+            void helper(RHandle<heap> hh) accesses heap {
+                let Object<heap> x = new Object<heap>;
+            }
+        }
+        class B<Owner o> {
+            void m(A<o> a, RHandle<heap> hh) accesses o {
+                a.helper(hh);
+            }
+        }
+        { }
+        "#,
+        "do not cover",
+    );
+}
+
+#[test]
+fn immortal_does_not_cover_the_heap_effect() {
+    // immortal ≽ heap in the outlives relation (Figure 5's s5), but the
+    // heap *effect* is special: only `heap` covers it.
+    errors_containing(
+        r#"
+        class C<Owner o> {
+            void m(RHandle<heap> hh) accesses o, immortal {
+                let Object<heap> x = new Object<heap>;
+            }
+        }
+        { }
+        "#,
+        "do not cover",
+    );
+}
+
+#[test]
+fn region_creation_needs_heap_effect() {
+    errors_containing(
+        r#"
+        class C<Owner o> {
+            void m() accesses o { (RHandle<r> h) { } }
+        }
+        { }
+        "#,
+        "do not cover",
+    );
+}
+
+#[test]
+fn handle_required_to_allocate_in_formal_region() {
+    errors_containing(
+        r#"
+        class C<Owner o> {
+            void m<Region q>() accesses q {
+                let Object<q> x = new Object<q>;
+            }
+        }
+        { }
+        "#,
+        "no region handle",
+    );
+}
+
+// ------------------------------------------------- multithreaded extensions
+
+#[test]
+fn fork_cannot_capture_local_regions() {
+    errors_containing(
+        r#"
+        class W<Owner r> {
+            void run(RHandle<r> h) accesses r { }
+        }
+        {
+            (RHandle<r> h) {
+                fork (new W<r>).run(h);
+            }
+        }
+        "#,
+        "forked thread",
+    );
+}
+
+#[test]
+fn fork_of_rt_method_from_regular_thread_rejected() {
+    errors_containing(
+        r#"
+        regionKind K extends SharedRegion {
+            subregion S : LT(64) RT s;
+        }
+        regionKind S extends SharedRegion { }
+        class W<K r> {
+            void run(RHandle<r> h) accesses r, RT {
+                (RHandle<S s> hs = h.s) { }
+            }
+        }
+        {
+            (RHandle<K : VT r> h) {
+                fork (new W<r>).run(h);
+            }
+        }
+        "#,
+        "RT",
+    );
+}
+
+#[test]
+fn subregion_kind_must_match_declaration() {
+    errors_containing(
+        r#"
+        regionKind K extends SharedRegion {
+            subregion S : VT NoRT s;
+        }
+        regionKind S extends SharedRegion { }
+        regionKind Other extends SharedRegion { }
+        {
+            (RHandle<K : VT r> h) {
+                (RHandle<Other s2> h2 = h.s) { }
+            }
+        }
+        "#,
+        "declares",
+    );
+}
+
+#[test]
+fn unknown_subregion_member() {
+    errors_containing(
+        r#"
+        regionKind K extends SharedRegion { }
+        {
+            (RHandle<K : VT r> h) {
+                (RHandle<K s2> h2 = h.nope) { }
+            }
+        }
+        "#,
+        "no subregion",
+    );
+}
+
+#[test]
+fn portal_values_must_outlive_their_region() {
+    errors_containing(
+        r#"
+        regionKind K extends SharedRegion {
+            Cell<this> slot;
+        }
+        class Cell<Owner o> { int v; }
+        {
+            (RHandle<K : VT r> h) {
+                (RHandle<inner> hi) {
+                    let Cell<inner> c = new Cell<inner>;
+                    h.slot = c;
+                }
+            }
+        }
+        "#,
+        "expected",
+    );
+}
+
+#[test]
+fn portals_must_be_class_typed() {
+    errors_containing(
+        r#"
+        regionKind K extends SharedRegion {
+            int counter;
+        }
+        { }
+        "#,
+        "portal fields must have class type",
+    );
+}
+
+// --------------------------------------------------------- real-time rules
+
+#[test]
+fn rt_fork_callee_cannot_need_heap() {
+    errors_containing(
+        r#"
+        class W<Owner r> {
+            void run() accesses r, heap { }
+        }
+        {
+            (RHandle<SharedRegion : LT(1024) r> h) {
+                RT fork (new W<r>).run();
+            }
+        }
+        "#,
+        "do not cover",
+    );
+}
+
+#[test]
+fn rt_fork_owner_must_live_in_shared_region() {
+    errors_containing(
+        r#"
+        class W<Owner r> {
+            void run() accesses r { }
+        }
+        {
+            RT fork (new W<heap>).run();
+        }
+        "#,
+        "fork",
+    );
+}
+
+#[test]
+fn entering_rt_subregion_needs_rt_effect() {
+    errors_containing(
+        r#"
+        regionKind K extends SharedRegion {
+            subregion S : LT(64) RT s;
+        }
+        regionKind S extends SharedRegion { }
+        class W<K r> {
+            void run(RHandle<r> h) accesses r {
+                (RHandle<S hs_r> hs = h.s) { }
+            }
+        }
+        { }
+        "#,
+        "RT",
+    );
+}
+
+#[test]
+fn entering_nort_subregion_needs_heap_effect() {
+    errors_containing(
+        r#"
+        regionKind K extends SharedRegion {
+            subregion S : LT(64) NoRT s;
+        }
+        regionKind S extends SharedRegion { }
+        class W<K r> {
+            void run(RHandle<r> h) accesses r {
+                (RHandle<S hs_r> hs = h.s) { }
+            }
+        }
+        { }
+        "#,
+        "do not cover",
+    );
+}
+
+// ----------------------------------------------------------- miscellaneous
+
+#[test]
+fn return_inside_region_block() {
+    errors_containing(
+        r#"
+        class C<Owner o> {
+            int m() accesses heap {
+                (RHandle<r> h) { return 1; }
+                return 0;
+            }
+        }
+        { }
+        "#,
+        "region block",
+    );
+}
+
+#[test]
+fn handles_are_immutable() {
+    errors_containing(
+        r#"
+        {
+            (RHandle<a> ha) {
+                (RHandle<b> hb) {
+                    ha = hb;
+                }
+            }
+        }
+        "#,
+        "cannot be reassigned",
+    );
+}
+
+#[test]
+fn subregion_cycles_rejected() {
+    errors_containing(
+        r#"
+        regionKind A extends SharedRegion { subregion B : VT NoRT b; }
+        regionKind B extends SharedRegion { subregion A : VT NoRT a; }
+        { }
+        "#,
+        "infinite",
+    );
+}
+
+#[test]
+fn where_clause_constraints_enforced() {
+    errors_containing(
+        r#"
+        class C<Owner o, Owner p> where p owns o { }
+        {
+            (RHandle<a> ha) {
+                (RHandle<b> hb) {
+                    let C<b, a> c = new C<b, a>;
+                }
+            }
+        }
+        "#,
+        "not satisfied",
+    );
+}
+
+#[test]
+fn override_with_wider_effects_rejected() {
+    errors_containing(
+        r#"
+        class Base<Owner o> {
+            void m() accesses o { }
+        }
+        class Derived<Owner o> extends Base<o> {
+            void m() accesses o, heap { }
+        }
+        { }
+        "#,
+        "overridden",
+    );
+}

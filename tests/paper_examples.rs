@@ -1,0 +1,264 @@
+//! Integration tests reproducing the paper's worked examples:
+//! Figure 5/6 (TStack legality and encapsulation) and Figure 8
+//! (producer/consumer through a subregion portal), plus dynamic audits of
+//! Theorems 3 and 4.
+
+use rtjava::interp::{build, run_source, RunConfig, RunOutcome};
+use rtjava::runtime::CheckMode;
+
+const TSTACK: &str = r#"
+    class TStack<Owner stackOwner, Owner TOwner> {
+        TNode<this, TOwner> head;
+        void push(T<TOwner> value) {
+            let TNode<this, TOwner> n = new TNode<this, TOwner>;
+            n.init(value, this.head);
+            this.head = n;
+        }
+        T<TOwner> pop() {
+            let TNode<this, TOwner> h = this.head;
+            if (h == null) { return null; }
+            this.head = h.next;
+            return h.value;
+        }
+    }
+    class TNode<Owner nodeOwner, Owner TOwner> {
+        T<TOwner> value;
+        TNode<nodeOwner, TOwner> next;
+        void init(T<TOwner> v, TNode<nodeOwner, TOwner> n) {
+            this.value = v;
+            this.next = n;
+        }
+    }
+    class T<Owner o> { int x; }
+"#;
+
+fn tstack_main(body: &str) -> String {
+    format!(
+        "{TSTACK}\n{{ (RHandle<r1> h1) {{ (RHandle<r2> h2) {{ {body} }} }} }}"
+    )
+}
+
+fn assert_well_typed(src: &str) {
+    if let Err(e) = build(src) {
+        panic!("expected well-typed, got: {e}");
+    }
+}
+
+fn assert_ill_typed(src: &str) {
+    assert!(build(src).is_err(), "expected a type error");
+}
+
+fn run_ok(src: &str, mode: CheckMode) -> RunOutcome {
+    let out = run_source(src, RunConfig::new(mode)).unwrap();
+    assert!(out.error.is_none(), "runtime error: {:?}", out.error);
+    out
+}
+
+#[test]
+fn figure5_legal_stacks() {
+    // s1..s5 from Figure 5 lines 27-31.
+    for decl in [
+        "let TStack<r2, r2> s1 = new TStack<r2, r2>;",
+        "let TStack<r2, r1> s2 = new TStack<r2, r1>;",
+        "let TStack<r1, immortal> s3 = new TStack<r1, immortal>;",
+        "let TStack<heap, immortal> s4 = new TStack<heap, immortal>;",
+        "let TStack<immortal, heap> s5 = new TStack<immortal, heap>;",
+    ] {
+        assert_well_typed(&tstack_main(decl));
+    }
+}
+
+#[test]
+fn figure5_illegal_stacks() {
+    // s6 and s7 from Figure 5 lines 32-33.
+    for decl in [
+        "let TStack<r1, r2> s6 = new TStack<r1, r2>;",
+        "let TStack<heap, r1> s7 = new TStack<heap, r1>;",
+    ] {
+        assert_ill_typed(&tstack_main(decl));
+    }
+}
+
+#[test]
+fn figure6_ownership_runs() {
+    // The TStack works, and every node lives in the stack's region.
+    let src = tstack_main(
+        r#"
+        let TStack<r2, r1> s2 = new TStack<r2, r1>;
+        let i = 0;
+        while (i < 3) {
+            let t = new T<r1>;
+            t.x = i;
+            s2.push(t);
+            i = i + 1;
+        }
+        print(s2.pop().x);
+        print(s2.pop().x);
+        print(s2.pop().x);
+        "#,
+    );
+    for mode in [CheckMode::Dynamic, CheckMode::Static, CheckMode::Audit] {
+        let out = run_ok(&src, mode);
+        assert_eq!(out.trace, vec!["2", "1", "0"]);
+    }
+}
+
+#[test]
+fn encapsulation_blocks_outside_access() {
+    // O3: the nodes are inside the stack's encapsulation boundary.
+    assert_ill_typed(&tstack_main(
+        "let TStack<r2, r2> s = new TStack<r2, r2>; let n = s.head;",
+    ));
+    assert_ill_typed(&tstack_main(
+        "let TStack<r2, r2> s = new TStack<r2, r2>; s.head = null;",
+    ));
+}
+
+#[test]
+fn figure8_producer_consumer() {
+    let src = r#"
+        regionKind BufferRegion extends SharedRegion {
+            subregion BufferSubRegion : LT(4096) NoRT b;
+            Token<this> produced;
+            Token<this> consumed;
+        }
+        regionKind BufferSubRegion extends SharedRegion {
+            Frame<this> f;
+        }
+        class Token<Owner o> { int n; }
+        class Frame<Owner o> { int data; }
+        class Producer<BufferRegion r> {
+            void run(RHandle<r> h, int iters) accesses r, heap {
+                let i = 0;
+                while (i < iters) {
+                    let c = h.consumed;
+                    while (c == null || c.n != i) { yield(); c = h.consumed; }
+                    (RHandle<BufferSubRegion r2> h2 = h.b) {
+                        let frame = new Frame<r2>;
+                        frame.data = 10 + i;
+                        h2.f = frame;
+                    }
+                    let t = new Token<r>;
+                    t.n = i + 1;
+                    h.produced = t;
+                    i = i + 1;
+                }
+            }
+        }
+        class Consumer<BufferRegion r> {
+            void run(RHandle<r> h, int iters) accesses r, heap {
+                let i = 0;
+                while (i < iters) {
+                    let p = h.produced;
+                    while (p == null || p.n != i + 1) { yield(); p = h.produced; }
+                    (RHandle<BufferSubRegion r2> h2 = h.b) {
+                        let frame = h2.f;
+                        print(frame.data);
+                        h2.f = null;
+                    }
+                    let t = new Token<r>;
+                    t.n = i + 1;
+                    h.consumed = t;
+                    i = i + 1;
+                }
+            }
+        }
+        {
+            (RHandle<BufferRegion : VT r> h) {
+                let kick = new Token<r>;
+                kick.n = 0;
+                h.consumed = kick;
+                fork (new Producer<r>).run(h, 4);
+                fork (new Consumer<r>).run(h, 4);
+            }
+        }
+    "#;
+    for mode in [CheckMode::Dynamic, CheckMode::Static, CheckMode::Audit] {
+        let out = run_ok(src, mode);
+        assert_eq!(out.trace, vec!["10", "11", "12", "13"], "{mode:?}");
+        // The subregion is flushed once per iteration: no memory leak for
+        // long-lived threads (the point of Section 2.2).
+        assert!(out.stats.regions_flushed >= 4, "{mode:?}");
+    }
+}
+
+#[test]
+fn theorem3_audit_no_dangling_and_encapsulation() {
+    // A busy well-typed program audited at runtime: every store satisfies
+    // "the target's region outlives the holder's region" (Theorem 3.2)
+    // and no check ever fires.
+    let src = tstack_main(
+        r#"
+        let TStack<r2, r1> a = new TStack<r2, r1>;
+        let TStack<r2, immortal> b = new TStack<r2, immortal>;
+        let i = 0;
+        while (i < 16) {
+            let t = new T<r1>;
+            t.x = i;
+            a.push(t);
+            let u = new T<immortal>;
+            u.x = i;
+            b.push(u);
+            if (i % 3 == 0) { a.pop(); }
+            i = i + 1;
+        }
+        print(a.pop().x);
+        print(b.pop().x);
+        "#,
+    );
+    let out = run_ok(&src, CheckMode::Audit);
+    assert!(out.stats.store_checks > 0, "the audit actually checked stores");
+    assert_eq!(out.stats.check_cycles, 0, "audit mode is free");
+}
+
+#[test]
+fn region_deletion_is_lifo_and_complete() {
+    let src = r#"
+        class Cell<Owner o> { Cell<o> next; int v; }
+        class Link<Owner o, Owner p> { Cell<p> out; }
+        {
+            let outer_alive = 0;
+            (RHandle<a> ha) {
+                (RHandle<b> hb) {
+                    let Link<b, a> x = new Link<b, a>;
+                    let Cell<a> y = new Cell<a>;
+                    x.out = y; // inner may point out
+                    outer_alive = outer_alive + 1;
+                }
+                (RHandle<c> hc) {
+                    let Cell<c> z = new Cell<c>;
+                    outer_alive = outer_alive + 1;
+                }
+            }
+            print(outer_alive);
+        }
+    "#;
+    let out = run_ok(src, CheckMode::Dynamic);
+    assert_eq!(out.trace, vec!["2"]);
+    assert_eq!(out.stats.regions_deleted, 3);
+    // Everything region-allocated is gone by the end.
+    assert_eq!(out.stats.objects_allocated, 3);
+}
+
+#[test]
+fn outer_to_inner_store_fails_only_statically() {
+    // The defining difference between the two systems: the same bug is a
+    // compile-time error with the type system and a runtime check failure
+    // without it. We express the bug in a program that *is* type-correct
+    // per annotations but whose annotation the checker rejects — so here
+    // we just confirm the checker rejects it; the runtime side of the coin
+    // is exercised by the rtj-runtime unit tests.
+    assert_ill_typed(
+        r#"
+        class Box<Owner o, Owner p> { Cell<p> kept; }
+        class Cell<Owner o> { int v; }
+        {
+            (RHandle<outer> ho) {
+                (RHandle<inner> hi) {
+                    let Box<outer, inner> b = new Box<outer, inner>;
+                }
+            }
+        }
+        "#,
+    );
+}

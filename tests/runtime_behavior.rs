@@ -1,0 +1,240 @@
+//! Language-level tests of the runtime claims: GC interference (or the
+//! lack of it), dynamic dispatch, fresh subregion instances, LT reuse.
+
+use rtjava::interp::{run_source, RunConfig};
+use rtjava::runtime::CheckMode;
+
+fn cfg_gc(mode: CheckMode) -> RunConfig {
+    let mut cfg = RunConfig::new(mode);
+    cfg.gc_enabled = true;
+    cfg
+}
+
+#[test]
+fn heap_allocation_triggers_collections_region_allocation_does_not() {
+    // Heap-allocating loop: the collector runs and charges pauses.
+    let heap_src = r#"
+        class Blob<Owner o> { int a; int b; int c; int d; int e; int f; int g; int hh; }
+        {
+            let i = 0;
+            while (i < 40000) {
+                let b = new Blob<heap>;
+                b.a = i;
+                i = i + 1;
+            }
+            print(i);
+        }
+    "#;
+    let out = run_source(heap_src, cfg_gc(CheckMode::Static)).unwrap();
+    assert!(out.error.is_none(), "{:?}", out.error);
+    assert!(
+        out.stats.gc_collections > 0,
+        "heap churn must trigger the collector: {:?}",
+        out.stats
+    );
+    assert!(out.stats.gc_pause_cycles > 0);
+
+    // The same loop into a region: the collector never runs. This is the
+    // paper's core runtime motivation.
+    let region_src = r#"
+        class Blob<Owner o> { int a; int b; int c; int d; int e; int f; int g; int hh; }
+        {
+            (RHandle<r> h) {
+                let i = 0;
+                while (i < 40000) {
+                    let b = new Blob<r>;
+                    b.a = i;
+                    i = i + 1;
+                }
+                print(i);
+            }
+        }
+    "#;
+    let out = run_source(region_src, cfg_gc(CheckMode::Static)).unwrap();
+    assert!(out.error.is_none());
+    assert_eq!(out.stats.gc_collections, 0, "regions avoid the collector");
+    assert_eq!(out.trace, vec!["40000"]);
+}
+
+#[test]
+fn rt_thread_completes_through_gc_storms() {
+    // A regular thread hammers the heap (driving collections) while a
+    // real-time thread does periodic region work. The RT thread's lock
+    // waits stay zero and everything completes.
+    let src = r#"
+        regionKind SensorRegion extends SharedRegion {
+            subregion ScratchRegion : LT(4096) RT scratch;
+            Reading<this> latest;
+        }
+        regionKind ScratchRegion extends SharedRegion { }
+        class Reading<Owner o> { int seq; }
+        class Blob<Owner o> { int a; int b; int c; int d; }
+        class Churner<Owner o> {
+            void run(int n) accesses heap {
+                let i = 0;
+                while (i < n) {
+                    let b = new Blob<heap>;
+                    b.a = i;
+                    i = i + 1;
+                }
+            }
+        }
+        class Sensor<SensorRegion r> {
+            void run(RHandle<r> h, int periods) accesses r, RT {
+                let p = 0;
+                while (p < periods) {
+                    (RHandle<ScratchRegion s> hs = h.scratch) {
+                        let rd = new Reading<r>;
+                        rd.seq = p + 1;
+                        h.latest = rd;
+                    }
+                    p = p + 1;
+                }
+            }
+        }
+        {
+            (RHandle<SensorRegion : LT(65536) r> h) {
+                fork (new Churner<heap>).run(30000);
+                RT fork (new Sensor<r>).run(h, 8);
+                let done = false;
+                while (!done) {
+                    let rd = h.latest;
+                    if (rd != null && rd.seq == 8) { done = true; }
+                    yield();
+                }
+                print("rt finished");
+            }
+        }
+    "#;
+    let out = run_source(src, cfg_gc(CheckMode::Static)).unwrap();
+    assert!(out.error.is_none(), "{:?}", out.error);
+    assert_eq!(out.trace, vec!["rt finished"]);
+    assert!(out.stats.gc_collections > 0, "the collector did run");
+    assert_eq!(
+        out.stats.rt_max_lock_wait, 0,
+        "the RT thread never waited on a region lock"
+    );
+}
+
+#[test]
+fn dynamic_dispatch_uses_the_allocated_class() {
+    let src = r#"
+        class Shape<Owner o> {
+            int area() { return 0; }
+        }
+        class Square<Owner o> extends Shape<o> {
+            int side;
+            int area() { return this.side * this.side; }
+        }
+        {
+            (RHandle<r> h) {
+                let sq = new Square<r>;
+                sq.side = 5;
+                let Shape<r> s = sq;
+                print(s.area());
+            }
+        }
+    "#;
+    let out = run_source(src, RunConfig::new(CheckMode::Dynamic)).unwrap();
+    assert!(out.error.is_none(), "{:?}", out.error);
+    assert_eq!(out.trace, vec!["25"], "dispatch on the dynamic class");
+}
+
+#[test]
+fn fresh_subregion_instances_are_independent() {
+    let src = r#"
+        regionKind K extends SharedRegion {
+            subregion S : LT(4096) NoRT s;
+        }
+        regionKind S extends SharedRegion {
+            Cell<this> keep;
+        }
+        class Cell<Owner o> { int v; }
+        {
+            (RHandle<K : VT r> h) {
+                (RHandle<S s1> h1 = h.s) {
+                    let c = new Cell<s1>;
+                    c.v = 1;
+                    h1.keep = c;   // pin the old instance via its portal
+                }
+                (RHandle<S s2> h2 = new h.s) {
+                    // A fresh instance: its portal starts null.
+                    if (h2.keep == null) { print("fresh"); }
+                    let d = new Cell<s2>;
+                    d.v = 2;
+                    print(d.v);
+                }
+            }
+        }
+    "#;
+    let out = run_source(src, RunConfig::new(CheckMode::Dynamic)).unwrap();
+    assert!(out.error.is_none(), "{:?}", out.error);
+    assert_eq!(out.trace, vec!["fresh", "2"]);
+}
+
+#[test]
+fn lt_subregion_reuse_never_grows_memory() {
+    // Re-entering a flushed LT subregion commits no new memory; the
+    // whole loop runs in one 4 KiB arena.
+    let src = r#"
+        regionKind K extends SharedRegion {
+            subregion S : LT(4096) NoRT s;
+        }
+        regionKind S extends SharedRegion { }
+        class Chunk<Owner o> { int a; int b; int c; }
+        {
+            (RHandle<K : VT r> h) {
+                let round = 0;
+                while (round < 50) {
+                    (RHandle<S sc> hs = h.s) {
+                        let i = 0;
+                        let Chunk<sc> last = null;
+                        while (i < 80) {
+                            let c = new Chunk<sc>;
+                            c.a = i;
+                            last = c;
+                            i = i + 1;
+                        }
+                    }
+                    round = round + 1;
+                }
+                print(round);
+            }
+        }
+    "#;
+    let out = run_source(src, RunConfig::new(CheckMode::Dynamic)).unwrap();
+    assert!(out.error.is_none(), "{:?}", out.error);
+    assert_eq!(out.trace, vec!["50"]);
+    // 50 rounds * 80 chunks were allocated…
+    assert_eq!(out.stats.objects_allocated, 4000);
+    // …but flushed every round.
+    assert!(out.stats.regions_flushed >= 50);
+}
+
+#[test]
+fn lt_overflow_is_a_runtime_error_even_when_well_typed() {
+    // LT sizing is the programmer's responsibility; the paper's system
+    // throws when the bound is too small. (Static sizing is cited as
+    // separate work [31, 32].)
+    let src = r#"
+        regionKind K extends SharedRegion {
+            subregion S : LT(64) NoRT s;
+        }
+        regionKind S extends SharedRegion { }
+        class Chunk<Owner o> { int a; int b; int c; }
+        {
+            (RHandle<K : VT r> h) {
+                (RHandle<S sc> hs = h.s) {
+                    let i = 0;
+                    while (i < 10) {
+                        let c = new Chunk<sc>;
+                        i = i + 1;
+                    }
+                }
+            }
+        }
+    "#;
+    let out = run_source(src, RunConfig::new(CheckMode::Static)).unwrap();
+    let err = out.error.expect("LT overflow must surface");
+    assert!(err.to_string().contains("capacity exceeded"), "{err}");
+}

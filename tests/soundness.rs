@@ -1,0 +1,244 @@
+//! Property-based soundness testing (Theorems 3 and 4).
+//!
+//! The generator produces random region/ownership programs — legal and
+//! illegal — from a template space where legality is *independently
+//! decidable*: regions are created in a known LIFO order, so we can
+//! predict exactly which owner instantiations and stores the type system
+//! must accept. The properties:
+//!
+//! 1. **Differential**: the checker's verdict equals the oracle's.
+//! 2. **Soundness**: every accepted program runs to completion in `Audit`
+//!    mode — the RTSJ dynamic checks never fail (Theorem 3) — and the
+//!    three check modes produce identical traces.
+
+use proptest::prelude::*;
+use rtjava::interp::{build, run_checked, RunConfig};
+use rtjava::runtime::CheckMode;
+
+/// An owner in the template space: rank 0 owners live forever, rank `k`
+/// owners are the `k`-th nested region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum O {
+    Heap,
+    Immortal,
+    R(usize),
+}
+
+impl O {
+    fn rank(self) -> usize {
+        match self {
+            O::Heap | O::Immortal => 0,
+            O::R(k) => k + 1,
+        }
+    }
+
+    fn name(self) -> String {
+        match self {
+            O::Heap => "heap".into(),
+            O::Immortal => "immortal".into(),
+            O::R(k) => format!("r{k}"),
+        }
+    }
+
+    /// Whether `self` is guaranteed to outlive `other`.
+    fn outlives(self, other: O) -> bool {
+        self.rank() <= other.rank()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Holder {
+    own: O,
+    item_owner: O,
+}
+
+#[derive(Debug, Clone)]
+struct Store {
+    holder: usize,
+    item: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Template {
+    depth: usize,
+    holders: Vec<Holder>,
+    items: Vec<O>,
+    stores: Vec<Store>,
+}
+
+impl Template {
+    /// Repairs a template into a legal one: holder item-owners are
+    /// clamped to outlive the holder, and stores are filtered to
+    /// type-matching pairs.
+    fn legalize(mut self) -> Template {
+        for h in &mut self.holders {
+            if !h.item_owner.outlives(h.own) {
+                h.item_owner = h.own;
+            }
+        }
+        let holders = &self.holders;
+        let items = &self.items;
+        self.stores
+            .retain(|s| items[s.item] == holders[s.holder].item_owner);
+        self
+    }
+
+    /// The oracle: exactly when must the type system accept?
+    fn legal(&self) -> bool {
+        self.holders
+            .iter()
+            .all(|h| h.item_owner.outlives(h.own))
+            && self
+                .stores
+                .iter()
+                .all(|s| self.items[s.item] == self.holders[s.holder].item_owner)
+    }
+
+    fn source(&self) -> String {
+        let mut body = String::new();
+        for (i, h) in self.holders.iter().enumerate() {
+            let (a, b) = (h.own.name(), h.item_owner.name());
+            body.push_str(&format!(
+                "let Holder<{a}, {b}> x{i} = new Holder<{a}, {b}>;\n"
+            ));
+        }
+        for (k, o) in self.items.iter().enumerate() {
+            let c = o.name();
+            body.push_str(&format!("let Item<{c}> y{k} = new Item<{c}>;\n"));
+            body.push_str(&format!("y{k}.v = {k};\n"));
+        }
+        for s in &self.stores {
+            body.push_str(&format!("x{}.item = y{};\n", s.holder, s.item));
+        }
+        body.push_str("let live = 0;\n");
+        for i in 0..self.holders.len() {
+            body.push_str(&format!(
+                "if (x{i}.item != null) {{ live = live + x{i}.item.v + 1; }}\n"
+            ));
+        }
+        body.push_str("print(live);\n");
+
+        let mut src = String::from(
+            "class Holder<Owner o, Owner p> { Item<p> item; }\n\
+             class Item<Owner q> { int v; }\n{\n",
+        );
+        for k in 0..self.depth {
+            src.push_str(&format!("(RHandle<r{k}> h{k}) {{\n"));
+        }
+        src.push_str(&body);
+        for _ in 0..self.depth {
+            src.push_str("}\n");
+        }
+        src.push_str("}\n");
+        src
+    }
+}
+
+fn owner_strategy(depth: usize) -> impl Strategy<Value = O> {
+    prop_oneof![
+        Just(O::Heap),
+        Just(O::Immortal),
+        (0..depth).prop_map(O::R),
+    ]
+}
+
+fn template_strategy() -> impl Strategy<Value = Template> {
+    (1usize..=3).prop_flat_map(|depth| {
+        let holders = prop::collection::vec(
+            (owner_strategy(depth), owner_strategy(depth))
+                .prop_map(|(own, item_owner)| Holder { own, item_owner }),
+            1..5,
+        );
+        let items = prop::collection::vec(owner_strategy(depth), 1..5);
+        (holders, items).prop_flat_map(move |(holders, items)| {
+            let (nh, ni) = (holders.len(), items.len());
+            let stores = prop::collection::vec(
+                (0..nh, 0..ni).prop_map(|(holder, item)| Store { holder, item }),
+                0..6,
+            );
+            stores.prop_map(move |stores| Template {
+                depth,
+                holders: holders.clone(),
+                items: items.clone(),
+                stores,
+            })
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The checker accepts exactly the programs the oracle says are legal.
+    #[test]
+    fn checker_matches_oracle(t in template_strategy()) {
+        let src = t.source();
+        let verdict = build(&src).is_ok();
+        prop_assert_eq!(
+            verdict,
+            t.legal(),
+            "oracle/checker disagreement on:\n{}",
+            src
+        );
+    }
+
+    /// Well-typed programs never fail the RTSJ dynamic checks, and check
+    /// mode never changes behaviour.
+    #[test]
+    fn accepted_programs_are_audit_clean(t0 in template_strategy()) {
+        let t = t0.legalize();
+        prop_assert!(t.legal(), "legalize must produce a legal template");
+        let src = t.source();
+        let checked = build(&src).expect("oracle says legal");
+        let audit = run_checked(&checked, RunConfig::new(CheckMode::Audit));
+        prop_assert!(audit.error.is_none(), "audit failed: {:?}\n{}", audit.error, src);
+        let dynamic = run_checked(&checked, RunConfig::new(CheckMode::Dynamic));
+        let static_ = run_checked(&checked, RunConfig::new(CheckMode::Static));
+        prop_assert!(dynamic.error.is_none());
+        prop_assert!(static_.error.is_none());
+        prop_assert_eq!(&dynamic.trace, &audit.trace);
+        prop_assert_eq!(&dynamic.trace, &static_.trace);
+        prop_assert!(dynamic.cycles >= static_.cycles);
+    }
+}
+
+/// The generator space really does contain both legal and illegal
+/// programs (so the differential test is not vacuous).
+#[test]
+fn template_space_is_two_sided() {
+    let legal = Template {
+        depth: 2,
+        holders: vec![Holder {
+            own: O::R(1),
+            item_owner: O::R(0),
+        }],
+        items: vec![O::R(0)],
+        stores: vec![Store { holder: 0, item: 0 }],
+    };
+    assert!(legal.legal());
+    assert!(build(&legal.source()).is_ok());
+
+    let illegal_type = Template {
+        depth: 2,
+        holders: vec![Holder {
+            own: O::R(0),
+            item_owner: O::R(1),
+        }],
+        items: vec![],
+        stores: vec![],
+    };
+    assert!(!illegal_type.legal());
+    assert!(build(&illegal_type.source()).is_err());
+
+    let illegal_store = Template {
+        depth: 2,
+        holders: vec![Holder {
+            own: O::R(1),
+            item_owner: O::R(1),
+        }],
+        items: vec![O::R(0)],
+        stores: vec![Store { holder: 0, item: 0 }],
+    };
+    assert!(!illegal_store.legal());
+    assert!(build(&illegal_store.source()).is_err());
+}
