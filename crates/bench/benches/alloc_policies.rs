@@ -8,9 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rtj_bench::{alloc_sweep, lt_flush_retains_memory};
-use rtj_runtime::{
-    AllocPolicy, CheckMode, CostModel, RegionSpec, Runtime, RuntimeOwner,
-};
+use rtj_runtime::{AllocPolicy, CheckMode, CostModel, RegionSpec, Runtime, RuntimeOwner};
 use std::hint::black_box;
 
 fn alloc_policies(c: &mut Criterion) {
@@ -49,7 +47,8 @@ fn alloc_policies(c: &mut Criterion) {
                 |(mut rt, t, r)| {
                     for _ in 0..1000 {
                         black_box(
-                            rt.alloc(t, RuntimeOwner::Region(r), "Obj", vec![], fields).unwrap(),
+                            rt.alloc(t, RuntimeOwner::Region(r), "Obj", vec![], fields)
+                                .unwrap(),
                         );
                     }
                 },
@@ -67,7 +66,8 @@ fn alloc_policies(c: &mut Criterion) {
                 |(mut rt, t, r)| {
                     for _ in 0..1000 {
                         black_box(
-                            rt.alloc(t, RuntimeOwner::Region(r), "Obj", vec![], fields).unwrap(),
+                            rt.alloc(t, RuntimeOwner::Region(r), "Obj", vec![], fields)
+                                .unwrap(),
                         );
                     }
                 },

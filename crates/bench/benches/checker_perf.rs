@@ -2,7 +2,8 @@
 //! ownership/region type checker over the corpus.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rtj_corpus::{all, Scale};
+use rtj_corpus::{all, scaled_classes, Scale};
+use rtj_types::{check_program_in, CheckOptions};
 use std::hint::black_box;
 
 fn checker_perf(c: &mut Criterion) {
@@ -27,9 +28,40 @@ fn checker_perf(c: &mut Criterion) {
     group.finish();
 }
 
+/// Checker throughput over the replicated-class corpus at 1x / 8x / 64x:
+/// the scaling story of the interned + memoized + parallel pipeline.
+///
+/// `serial` pins `jobs = 1` (the fully serial driver); `parallel` uses
+/// `jobs = 0` (one worker per core), so on a multi-core host the gap
+/// between the two rows is the parallel speedup. Throughput is reported
+/// in class-family replicas per second.
+fn scaled_corpus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checker-scaled");
+    for copies in [1usize, 8, 64] {
+        let src = scaled_classes(copies);
+        let parsed = rtj_lang::parse_program(&src).unwrap();
+        group.throughput(Throughput::Elements(copies as u64));
+        group.bench_with_input(BenchmarkId::new("serial", copies), &parsed, |b, p| {
+            b.iter(|| {
+                black_box(
+                    check_program_in(black_box(p.clone()), &CheckOptions { jobs: 1 }).unwrap(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", copies), &parsed, |b, p| {
+            b.iter(|| {
+                black_box(
+                    check_program_in(black_box(p.clone()), &CheckOptions { jobs: 0 }).unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = checker_perf
+    targets = checker_perf, scaled_corpus
 }
 criterion_main!(benches);

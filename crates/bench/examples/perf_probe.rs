@@ -1,0 +1,41 @@
+//! Quick checker-throughput probe over the replicated-class corpus.
+//!
+//! ```text
+//! cargo run --release -p rtj-bench --example perf_probe [copies] [dump.rtj]
+//! ```
+//!
+//! Times the serial (`jobs = 1`) and auto-parallel (`jobs = 0`) drivers on
+//! `scaled_classes(copies)`; with a second argument, also writes the
+//! generated source to a file (handy for feeding external tools).
+
+use rtj_types::{check_program_in, CheckOptions};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let copies: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    let src = rtj_corpus::scaled_classes(copies);
+    if let Some(out) = args.next() {
+        std::fs::write(&out, &src).unwrap();
+    }
+    let p = rtj_lang::parse_program(&src).unwrap();
+    println!("copies={copies} ({} bytes)", src.len());
+    for jobs in [1usize, 0] {
+        let opts = CheckOptions { jobs };
+        for _ in 0..3 {
+            check_program_in(p.clone(), &opts).unwrap();
+        }
+        let iters = 30u32;
+        let t = std::time::Instant::now();
+        let mut threads = 0;
+        for _ in 0..iters {
+            let c = std::hint::black_box(
+                check_program_in(std::hint::black_box(p.clone()), &opts).unwrap(),
+            );
+            threads = c.stats.threads_used;
+        }
+        println!(
+            "jobs={jobs} ({threads} thread(s)): {:?} per check",
+            t.elapsed() / iters
+        );
+    }
+}

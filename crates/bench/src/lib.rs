@@ -221,7 +221,8 @@ pub fn lt_flush_retains_memory() -> (u64, u64) {
         let s = rt.enter_subregion_locked(t, parent, "s", false).unwrap();
         rt.unlock_region(t, lock).unwrap();
         for _ in 0..32 {
-            rt.alloc(t, RuntimeOwner::Region(s), "Obj", vec![], 4).unwrap();
+            rt.alloc(t, RuntimeOwner::Region(s), "Obj", vec![], 4)
+                .unwrap();
         }
         let committed = rt.region(s).committed;
         assert!(rt.try_lock_region(t, s));

@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! rtjc check <file.rtj>        type-check a program
+//! rtjc check --stats <file>    …and print checker-pipeline statistics
+//! rtjc check --jobs N <file>   …with N worker threads (1 = serial, 0 = auto)
 //! rtjc run <file.rtj>          check then run (static mode)
 //! rtjc run --dynamic <file>    run with the RTSJ dynamic checks
 //! rtjc fmt <file.rtj>          parse and pretty-print
@@ -20,18 +22,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str);
     match cmd {
-        Some("check") => with_file(&args, |src| {
-            match build(src) {
-                Ok(_) => {
-                    println!("ok");
-                    ExitCode::SUCCESS
-                }
-                Err(e) => {
-                    report_build_error(src, &e);
-                    ExitCode::FAILURE
-                }
-            }
-        }),
+        Some("check") => check_cmd(&args[1..]),
         Some("run") => {
             let dynamic = args.iter().any(|a| a == "--dynamic");
             with_file(&args, |src| match build(src) {
@@ -105,12 +96,14 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
                 println!("LT sizing advice (peak usage observed on this run)");
-                println!("{:<24} {:>10} {:>10}   suggestion", "region", "peak", "capacity");
+                println!(
+                    "{:<24} {:>10} {:>10}   suggestion",
+                    "region", "peak", "capacity"
+                );
                 let mut any = false;
                 for (label, policy, peak, capacity) in &out.region_peaks {
                     // Only user LT regions: immortal is LT-like but unbounded.
-                    if !matches!(policy, rtj_runtime::AllocPolicy::Lt { .. })
-                        || label == "immortal"
+                    if !matches!(policy, rtj_runtime::AllocPolicy::Lt { .. }) || label == "immortal"
                     {
                         continue;
                     }
@@ -191,7 +184,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: rtjc <check|run|fmt|fig11|fig12|bench> [args]\n\
                  \n\
-                 check <file>        type-check a program\n\
+                 check [--stats] [--jobs N] <file>  type-check a program\n\
                  run [--dynamic] <file>  check then interpret\n\
                  fmt <file>          parse and pretty-print\n\
                  graph <file>        run and emit the ownership graph (DOT, Fig. 6)\n\
@@ -204,6 +197,88 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// `rtjc check [--stats] [--jobs N] <file>`: type-check, optionally
+/// reporting pipeline statistics and controlling the worker-thread count
+/// (`--jobs 1` forces the serial driver, `--jobs 0` one thread per core).
+fn check_cmd(args: &[String]) -> ExitCode {
+    let mut stats = false;
+    let mut jobs = 0usize;
+    let mut file = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--stats" {
+            stats = true;
+        } else if let Some(n) = a.strip_prefix("--jobs=") {
+            match n.parse() {
+                Ok(n) => jobs = n,
+                Err(_) => {
+                    eprintln!("--jobs expects a number, got `{n}`");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if a == "--jobs" {
+            match it.next().map(|n| n.parse()) {
+                Some(Ok(n)) => jobs = n,
+                _ => {
+                    eprintln!("--jobs expects a number");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if a.starts_with("--") {
+            eprintln!("unknown flag `{a}`; usage: rtjc check [--stats] [--jobs N] <file>");
+            return ExitCode::FAILURE;
+        } else {
+            file = Some(a.clone());
+        }
+    }
+    let Some(path) = file else {
+        eprintln!("missing file argument");
+        return ExitCode::FAILURE;
+    };
+    let src = match std::fs::read_to_string(&path) {
+        Ok(src) => src,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let program = match rtj_lang::parse_program(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{}", rtj_lang::diag::render(&src, e.span, &e.message));
+            return ExitCode::FAILURE;
+        }
+    };
+    match rtj_types::check_program_in(program, &rtj_types::CheckOptions { jobs }) {
+        Ok(checked) => {
+            println!("ok");
+            if stats {
+                print_stats(&checked.stats);
+            }
+            ExitCode::SUCCESS
+        }
+        Err(errs) => {
+            for t in &errs {
+                eprintln!("{}", rtj_lang::diag::render(&src, t.span, &t.message));
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_stats(s: &rtj_types::CheckStats) {
+    eprintln!("classes checked : {}", s.classes_checked);
+    eprintln!("methods checked : {}", s.methods_checked);
+    eprintln!(
+        "judgment cache  : {} hits / {} misses ({:.1}% hit rate)",
+        s.cache_hits,
+        s.cache_misses,
+        s.hit_rate() * 100.0
+    );
+    eprintln!("threads used    : {}", s.threads_used);
+    eprintln!("wall time       : {:?}", s.elapsed);
 }
 
 fn with_file(args: &[String], f: impl FnOnce(&str) -> ExitCode) -> ExitCode {

@@ -113,8 +113,8 @@ pub struct Fig12Row {
 /// Panics if the benchmark fails to build or run — corpus programs are
 /// supposed to be well-typed and terminate.
 pub fn fig12_row(bench: &BenchProgram) -> Fig12Row {
-    let checked = build(&bench.source)
-        .unwrap_or_else(|e| panic!("{}: failed to build: {e}", bench.name));
+    let checked =
+        build(&bench.source).unwrap_or_else(|e| panic!("{}: failed to build: {e}", bench.name));
     let run = |mode: CheckMode| -> RunOutcome {
         let out = run_checked(&checked, RunConfig::new(mode));
         assert!(
@@ -157,15 +157,20 @@ pub fn fig12(scale: Scale) -> Vec<Fig12Row> {
 /// ratio, and the spread shows how strongly each benchmark's overhead is
 /// driven by check cost (micro-benchmarks: strongly; servers: not at all).
 pub fn check_cost_ablation(bench: &BenchProgram, costs: &[u64]) -> Vec<(u64, f64)> {
-    let checked = build(&bench.source)
-        .unwrap_or_else(|e| panic!("{}: failed to build: {e}", bench.name));
+    let checked =
+        build(&bench.source).unwrap_or_else(|e| panic!("{}: failed to build: {e}", bench.name));
     costs
         .iter()
         .map(|&store_check| {
             let mut cfg = RunConfig::new(CheckMode::Dynamic);
             cfg.cost.store_check = store_check;
             let dynamic = run_checked(&checked, cfg);
-            assert!(dynamic.error.is_none(), "{}: {:?}", bench.name, dynamic.error);
+            assert!(
+                dynamic.error.is_none(),
+                "{}: {:?}",
+                bench.name,
+                dynamic.error
+            );
             let mut cfg = RunConfig::new(CheckMode::Static);
             cfg.cost.store_check = store_check;
             let static_ = run_checked(&checked, cfg);
@@ -295,8 +300,7 @@ pub fn render_fig12(rows: &[Fig12Row]) -> String {
             r.static_cycles,
             r.dynamic_cycles,
             r.overhead,
-            r.paper_overhead
-                .map_or("-".into(), |v| format!("{v:.2}")),
+            r.paper_overhead.map_or("-".into(), |v| format!("{v:.2}")),
             r.checks,
         ));
     }
@@ -340,8 +344,18 @@ mod tests {
         let get = |n: &str| rows.iter().find(|r| r.name == n).unwrap().overhead;
         // Shape: micro-benchmarks dominate scientific codes dominate
         // servers (even at smoke scale).
-        assert!(get("Array") > get("Water"), "Array {} vs Water {}", get("Array"), get("Water"));
-        assert!(get("Tree") > get("Barnes"), "Tree {} vs Barnes {}", get("Tree"), get("Barnes"));
+        assert!(
+            get("Array") > get("Water"),
+            "Array {} vs Water {}",
+            get("Array"),
+            get("Water")
+        );
+        assert!(
+            get("Tree") > get("Barnes"),
+            "Tree {} vs Barnes {}",
+            get("Tree"),
+            get("Barnes")
+        );
         assert!(get("http") < 1.1, "http {}", get("http"));
         assert!(get("game") < 1.1);
         assert!(get("phone") < 1.1);

@@ -27,4 +27,4 @@ pub use experiments::{
     PAPER_FIG11, PAPER_FIG12,
 };
 pub use metrics::{annotation_report, AnnotationReport};
-pub use programs::{all, BenchProgram, Category, ImageStage, Scale};
+pub use programs::{all, negatives, scaled_classes, BenchProgram, Category, ImageStage, Scale};

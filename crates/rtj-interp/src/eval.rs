@@ -11,9 +11,7 @@
 use crate::layout::{resolve_method_chain, Layouts};
 use crate::machine::{Machine, RunError};
 use rtj_lang::ast::*;
-use rtj_runtime::{
-    ObjId, RegionId, Runtime, RuntimeOwner, ThreadClass, ThreadId, Value,
-};
+use rtj_runtime::{ObjId, RegionId, Runtime, RuntimeOwner, ThreadClass, ThreadId, Value};
 use rtj_types::ProgramTable;
 use std::sync::Arc;
 
@@ -52,7 +50,11 @@ pub struct Frame {
 
 impl Frame {
     fn lookup(&self, name: &str) -> Option<&Value> {
-        self.vars.iter().rev().find(|(n, _)| n == name).map(|(_, v)| v)
+        self.vars
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
     }
 
     fn assign(&mut self, name: &str, v: Value) -> bool {
@@ -243,12 +245,12 @@ impl Evaluator {
         match s {
             Stmt::Let { name, init, .. } => {
                 let v = self.eval_expr(frame, init)?;
-                frame.vars.push((name.name.clone(), v));
+                frame.vars.push((name.name.to_string(), v));
                 Ok(Flow::Normal)
             }
             Stmt::AssignLocal { name, value, .. } => {
                 let v = self.eval_expr(frame, value)?;
-                if !frame.assign(&name.name, v) {
+                if !frame.assign(name.name.as_str(), v) {
                     return Err(RunError::Interp(format!("unbound variable `{name}`")));
                 }
                 Ok(Flow::Normal)
@@ -260,22 +262,20 @@ impl Evaluator {
                 let v = self.eval_expr(frame, value)?;
                 match recv_v {
                     Value::Ref(obj) => {
-                        let idx = self.field_index(obj, &field.name)?;
+                        let idx = self.field_index(obj, field.name.as_str())?;
                         let t = self.tid;
                         self.rt_op(|rt| rt.store_field(t, obj, idx, v))?;
                     }
                     Value::Handle(r) => {
                         let t = self.tid;
-                        let name = field.name.clone();
-                        self.rt_op(|rt| rt.store_portal(t, r, &name, v))?;
+                        let name = field.name;
+                        self.rt_op(|rt| rt.store_portal(t, r, name.as_str(), v))?;
                     }
                     Value::Null => {
                         return Err(RunError::Interp("null dereference in field write".into()))
                     }
                     other => {
-                        return Err(RunError::Interp(format!(
-                            "cannot write field of `{other}`"
-                        )))
+                        return Err(RunError::Interp(format!("cannot write field of `{other}`")))
                     }
                 }
                 Ok(Flow::Normal)
@@ -332,9 +332,8 @@ impl Evaluator {
                 ..
             } => {
                 let t = self.tid;
-                let r = self.rt_op(|rt| {
-                    rt.create_region(t, rtj_runtime::RegionSpec::plain_vt(), false)
-                })?;
+                let r = self
+                    .rt_op(|rt| rt.create_region(t, rtj_runtime::RegionSpec::plain_vt(), false))?;
                 let flow = self.with_region(frame, region, handle, r, body);
                 let exit = self.rt_op(|rt| rt.exit_created_region(t, r));
                 let flow = flow?;
@@ -350,13 +349,13 @@ impl Evaluator {
                 ..
             } => {
                 let kind_name = match kind {
-                    KindAnn::Named { name, .. } => Some(name.name.clone()),
+                    KindAnn::Named { name, .. } => Some(name.name),
                     _ => None,
                 };
                 let spec = self
                     .data
                     .layouts
-                    .region_spec(kind_name.as_deref(), *policy);
+                    .region_spec(kind_name.map(|k| k.as_str()), *policy);
                 let t = self.tid;
                 let r = self.rt_op(|rt| rt.create_region(t, spec, true))?;
                 let flow = self.with_region(frame, region, handle, r, body);
@@ -374,12 +373,12 @@ impl Evaluator {
                 body,
                 ..
             } => {
-                let Some(Value::Handle(pr)) = frame.lookup(&parent.name).cloned() else {
+                let Some(Value::Handle(pr)) = frame.lookup(parent.name.as_str()).cloned() else {
                     return Err(RunError::Interp(format!(
                         "`{parent}` is not a region handle"
                     )));
                 };
-                let r = self.locked_enter(pr, &sub.name, *fresh)?;
+                let r = self.locked_enter(pr, sub.name.as_str(), *fresh)?;
                 let flow = self.with_region(frame, region, handle, r, body);
                 let exit = self.locked_exit(pr, r);
                 let flow = flow?;
@@ -403,8 +402,8 @@ impl Evaluator {
         r: RegionId,
         body: &Block,
     ) -> Result<Flow, RunError> {
-        frame.regions.push((region.name.clone(), r));
-        frame.vars.push((handle.name.clone(), Value::Handle(r)));
+        frame.regions.push((region.name.to_string(), r));
+        frame.vars.push((handle.name.to_string(), Value::Handle(r)));
         let saved = frame.current_region;
         frame.current_region = Some(r);
         let flow = self.eval_block(frame, body);
@@ -425,8 +424,7 @@ impl Evaluator {
         fresh: bool,
     ) -> Result<RegionId, RunError> {
         let t = self.tid;
-        let target =
-            self.rt_op(|rt| rt.subregion_lock_target(parent, member, fresh))?;
+        let target = self.rt_op(|rt| rt.subregion_lock_target(parent, member, fresh))?;
         self.acquire_lock(target)?;
         // Safepoint while holding the lock: a regular thread can be paused
         // by the collector right here, which is exactly the inversion the
@@ -491,7 +489,7 @@ impl Evaluator {
                 .map(Value::Ref)
                 .ok_or_else(|| RunError::Interp("`this` outside a method".into())),
             Expr::Var(id) => frame
-                .lookup(&id.name)
+                .lookup(id.name.as_str())
                 .cloned()
                 .ok_or_else(|| RunError::Interp(format!("unbound variable `{id}`"))),
             Expr::Unary { op, expr, .. } => {
@@ -507,21 +505,17 @@ impl Evaluator {
                 let recv_v = self.eval_expr(frame, recv)?;
                 match recv_v {
                     Value::Ref(obj) => {
-                        let idx = self.field_index(obj, &field.name)?;
+                        let idx = self.field_index(obj, field.name.as_str())?;
                         let t = self.tid;
                         self.rt_op(|rt| rt.load_field(t, obj, idx))
                     }
                     Value::Handle(r) => {
                         let t = self.tid;
-                        let name = field.name.clone();
-                        self.rt_op(|rt| rt.load_portal(t, r, &name))
+                        let name = field.name;
+                        self.rt_op(|rt| rt.load_portal(t, r, name.as_str()))
                     }
-                    Value::Null => {
-                        Err(RunError::Interp("null dereference in field read".into()))
-                    }
-                    other => Err(RunError::Interp(format!(
-                        "cannot read field of `{other}`"
-                    ))),
+                    Value::Null => Err(RunError::Interp("null dereference in field read".into())),
+                    other => Err(RunError::Interp(format!("cannot read field of `{other}`"))),
                 }
             }
             Expr::Call {
@@ -541,8 +535,13 @@ impl Evaluator {
                 for a in args {
                     arg_vals.push(self.eval_expr(frame, a)?);
                 }
-                let (callee_frame, decl_class, mname) =
-                    self.build_callee_frame(frame, obj, &method.name, owner_args, arg_vals)?;
+                let (callee_frame, decl_class, mname) = self.build_callee_frame(
+                    frame,
+                    obj,
+                    method.name.as_str(),
+                    owner_args,
+                    arg_vals,
+                )?;
                 self.charge(self.call_cost);
                 self.safepoint()?;
                 if self.call_depth >= MAX_CALL_DEPTH {
@@ -553,9 +552,7 @@ impl Evaluator {
                 let body = self
                     .data
                     .method_body(&decl_class, &mname)
-                    .ok_or_else(|| {
-                        RunError::Interp(format!("no method {decl_class}.{mname}"))
-                    })?
+                    .ok_or_else(|| RunError::Interp(format!("no method {decl_class}.{mname}")))?
                     .body
                     .clone();
                 let mut callee_frame = callee_frame;
@@ -578,10 +575,8 @@ impl Evaluator {
                 let layout = self
                     .data
                     .layouts
-                    .class(&class.name.name)
-                    .ok_or_else(|| {
-                        RunError::Interp(format!("unknown class `{}`", class.name))
-                    })?;
+                    .class(class.name.name.as_str())
+                    .ok_or_else(|| RunError::Interp(format!("unknown class `{}`", class.name)))?;
                 let n_fields = layout.field_defaults.len();
                 let defaults: Vec<(usize, Value)> = layout
                     .field_defaults
@@ -591,9 +586,9 @@ impl Evaluator {
                     .map(|(i, v)| (i, v.clone()))
                     .collect();
                 let t = self.tid;
-                let name = class.name.name.clone();
+                let name = class.name.name;
                 let obj = self.rt_op(move |rt| {
-                    let obj = rt.alloc(t, first, &name, owners, n_fields)?;
+                    let obj = rt.alloc(t, first, name.as_str(), owners, n_fields)?;
                     for (i, v) in defaults {
                         rt.init_field_raw(obj, i, v);
                     }
@@ -603,31 +598,29 @@ impl Evaluator {
             }
             Expr::IntrinsicCall {
                 intrinsic, args, ..
-            } => {
-                match intrinsic {
-                    Intrinsic::Print => {
-                        let v = self.eval_expr(frame, &args[0])?;
-                        self.flush()?;
-                        self.machine.with(|rt| rt.print(v.to_string()));
-                        Ok(Value::Null)
-                    }
-                    Intrinsic::Io | Intrinsic::Workload => {
-                        let v = self.eval_expr(frame, &args[0])?;
-                        let n = v
-                            .as_int()
-                            .ok_or_else(|| RunError::Interp("io/workload needs int".into()))?;
-                        self.charge(n.max(0) as u64);
-                        if matches!(intrinsic, Intrinsic::Io) {
-                            self.safepoint()?;
-                        }
-                        Ok(Value::Null)
-                    }
-                    Intrinsic::Yield => {
-                        self.safepoint()?;
-                        Ok(Value::Null)
-                    }
+            } => match intrinsic {
+                Intrinsic::Print => {
+                    let v = self.eval_expr(frame, &args[0])?;
+                    self.flush()?;
+                    self.machine.with(|rt| rt.print(v.to_string()));
+                    Ok(Value::Null)
                 }
-            }
+                Intrinsic::Io | Intrinsic::Workload => {
+                    let v = self.eval_expr(frame, &args[0])?;
+                    let n = v
+                        .as_int()
+                        .ok_or_else(|| RunError::Interp("io/workload needs int".into()))?;
+                    self.charge(n.max(0) as u64);
+                    if matches!(intrinsic, Intrinsic::Io) {
+                        self.safepoint()?;
+                    }
+                    Ok(Value::Null)
+                }
+                Intrinsic::Yield => {
+                    self.safepoint()?;
+                    Ok(Value::Null)
+                }
+            },
         }
     }
 
@@ -674,11 +667,7 @@ impl Evaluator {
             (Ge, Value::Int(a), Value::Int(b)) => Value::Bool(a >= b),
             (Eq, a, b) => Value::Bool(a == b),
             (Ne, a, b) => Value::Bool(a != b),
-            (op, a, b) => {
-                return Err(RunError::Interp(format!(
-                    "bad operands {a}, {b} for {op}"
-                )))
-            }
+            (op, a, b) => return Err(RunError::Interp(format!("bad operands {a}, {b} for {op}"))),
         };
         Ok(out)
     }
@@ -704,9 +693,12 @@ impl Evaluator {
         owner_arg_refs: &[OwnerRef],
         arg_vals: Vec<Value>,
     ) -> Result<(Frame, String, String), RunError> {
-        let (class, mut cur_owners) = self
-            .machine
-            .with(|rt| (rt.object(obj).class_name.clone(), rt.object(obj).owners.clone()));
+        let (class, mut cur_owners) = self.machine.with(|rt| {
+            (
+                rt.object(obj).class_name.clone(),
+                rt.object(obj).owners.clone(),
+            )
+        });
         let (chain, mdecl) = resolve_method_chain(&self.data.table, &class, method)
             .ok_or_else(|| RunError::Interp(format!("no method `{method}` on `{class}`")))?;
         let mut cur_class = class;
@@ -751,7 +743,7 @@ impl Evaluator {
         let mut owners: Vec<(String, RuntimeOwner)> = decl_layout
             .formal_names
             .iter()
-            .cloned()
+            .map(|n| n.as_str().to_owned())
             .zip(cur_owners)
             .collect();
         if owner_arg_refs.len() != mdecl.formals.len() {
@@ -763,7 +755,7 @@ impl Evaluator {
             )));
         }
         for (f, r) in mdecl.formals.iter().zip(owner_arg_refs) {
-            owners.push((f.name.name.clone(), self.resolve_owner(caller, r)?));
+            owners.push((f.name.name.to_string(), self.resolve_owner(caller, r)?));
         }
         if arg_vals.len() != mdecl.params.len() {
             return Err(RunError::Interp(format!(
@@ -775,10 +767,10 @@ impl Evaluator {
         let vars = mdecl
             .params
             .iter()
-            .map(|p| p.name.name.clone())
+            .map(|p| p.name.name.to_string())
             .zip(arg_vals)
             .collect();
-        let mname = mdecl.name.name.clone();
+        let mname = mdecl.name.name.to_string();
         Ok((
             Frame {
                 vars,
@@ -816,7 +808,7 @@ impl Evaluator {
             arg_vals.push(self.eval_expr(frame, a)?);
         }
         let (child_frame, decl_class, mname) =
-            self.build_callee_frame(frame, obj, &method.name, owner_args, arg_vals)?;
+            self.build_callee_frame(frame, obj, method.name.as_str(), owner_args, arg_vals)?;
         let class = if rt {
             ThreadClass::RealTime
         } else {

@@ -6,6 +6,7 @@
 //! and ready-made [`RegionSpec`]s for each region kind.
 
 use rtj_lang::ast::{MethodDecl, OwnerRef, Policy, ThreadTag};
+use rtj_lang::intern::Symbol;
 use rtj_runtime::{AllocPolicy, RegionSpec, Reservation, Value};
 use rtj_types::{Owner, ProgramTable, SType};
 use std::collections::HashMap;
@@ -19,8 +20,8 @@ pub struct ClassLayout {
     pub field_index: HashMap<String, usize>,
     /// Default value per slot (`Int(0)`, `Bool(false)`, or `Null`).
     pub field_defaults: Vec<Value>,
-    /// The class's formal owner parameter names.
-    pub formal_names: Vec<String>,
+    /// The class's formal owner parameter names (interned).
+    pub formal_names: Vec<Symbol>,
 }
 
 /// All layouts for a program.
@@ -52,14 +53,15 @@ impl Layouts {
             },
         );
         for info in table.classes() {
-            let name = info.decl.name.name.clone();
+            let name = info.decl.name.name.to_string();
             let formals: Vec<Owner> = info
                 .formal_names
                 .iter()
-                .map(|n| Owner::Formal(n.clone()))
+                .map(|n| Owner::Formal(*n))
                 .collect();
-            let fields = table.all_fields(&name, &formals);
-            let field_names: Vec<String> = fields.iter().map(|(n, _)| n.clone()).collect();
+            let fields = table.all_fields(name.as_str(), &formals);
+            let field_names: Vec<String> =
+                fields.iter().map(|(n, _)| n.as_str().to_owned()).collect();
             let field_index = field_names
                 .iter()
                 .enumerate()
@@ -78,9 +80,9 @@ impl Layouts {
         }
         let mut region_specs = HashMap::new();
         for info in table.region_kinds() {
-            let name = info.decl.name.name.clone();
-            let spec = build_region_spec(table, &name, AllocPolicy::Vt, Reservation::Any, 0);
-            region_specs.insert(name, spec);
+            let name = info.decl.name.name;
+            let spec = build_region_spec(table, name, AllocPolicy::Vt, Reservation::Any, 0);
+            region_specs.insert(name.to_string(), spec);
         }
         Layouts {
             classes,
@@ -128,13 +130,13 @@ fn convert_tag(t: ThreadTag) -> Reservation {
 /// safety net; the checker guarantees finiteness).
 fn build_region_spec(
     table: &ProgramTable,
-    kind: &str,
+    kind: Symbol,
     policy: AllocPolicy,
     reservation: Reservation,
     depth: usize,
 ) -> RegionSpec {
     let mut spec = RegionSpec {
-        kind_name: Some(kind.to_string()),
+        kind_name: Some(kind.as_str().to_owned()),
         policy,
         reservation,
         portals: Vec::new(),
@@ -149,24 +151,24 @@ fn build_region_spec(
     let formals: Vec<Owner> = info
         .formal_names
         .iter()
-        .map(|n| Owner::Formal(n.clone()))
+        .map(|n| Owner::Formal(*n))
         .collect();
     for (name, _) in table.all_portals(kind, &formals) {
-        spec.portals.push(name);
+        spec.portals.push(name.as_str().to_owned());
     }
     for (member, sub) in table.all_subregions(kind, &formals) {
         let sub_kind = match &sub.kind {
-            rtj_types::Kind::Named { name, .. } => name.clone(),
+            rtj_types::Kind::Named { name, .. } => *name,
             _ => continue,
         };
         let sub_spec = build_region_spec(
             table,
-            &sub_kind,
+            sub_kind,
             convert_policy(sub.policy),
             convert_tag(sub.thread),
             depth + 1,
         );
-        spec.subregions.push((member, sub_spec));
+        spec.subregions.push((member.as_str().to_owned(), sub_spec));
     }
     spec
 }
@@ -197,8 +199,8 @@ pub fn resolve_method_chain<'t>(
         }
         match &info.decl.extends {
             Some(ct) if ct.name.name != "Object" => {
-                chain.push((ct.name.name.clone(), ct.owners.clone()));
-                cur = ct.name.name.clone();
+                chain.push((ct.name.name.to_string(), ct.owners.clone()));
+                cur = ct.name.name.to_string();
             }
             _ => return None,
         }

@@ -13,9 +13,9 @@
 //! platform. If *only* regular threads exist, the clock jumps over the
 //! pause (and the pause is charged to the run).
 
-use parking_lot::{Condvar, Mutex};
 use rtj_runtime::{Runtime, ThreadClass, ThreadId};
 use std::fmt;
+use std::sync::{Condvar, Mutex};
 
 /// An error that halts a run.
 #[derive(Debug, Clone, PartialEq)]
@@ -96,13 +96,13 @@ impl Machine {
     /// Runs `f` with exclusive access to the runtime. The caller must be
     /// the token holder (i.e. the currently executing thread).
     pub fn with<R>(&self, f: impl FnOnce(&mut Runtime) -> R) -> R {
-        let mut g = self.inner.lock();
+        let mut g = self.inner.lock().unwrap();
         f(&mut g.rt)
     }
 
     /// Registers a newly spawned program thread with the scheduler.
     pub fn register_thread(&self, tid: ThreadId, class: ThreadClass) {
-        let mut g = self.inner.lock();
+        let mut g = self.inner.lock().unwrap();
         debug_assert_eq!(tid.0 as usize, g.threads.len());
         g.threads.push(TState {
             class,
@@ -113,7 +113,7 @@ impl Machine {
 
     /// Charges interpreter steps and enforces the step budget.
     pub fn charge_steps(&self, cycles: u64, steps: u64) -> Result<(), RunError> {
-        let mut g = self.inner.lock();
+        let mut g = self.inner.lock().unwrap();
         g.rt.charge(cycles);
         g.steps += steps;
         if g.steps > g.max_steps && g.halted.is_none() {
@@ -128,7 +128,7 @@ impl Machine {
 
     /// Halts every thread with the given error (first error wins).
     pub fn halt(&self, err: RunError) {
-        let mut g = self.inner.lock();
+        let mut g = self.inner.lock().unwrap();
         if g.halted.is_none() {
             g.halted = Some(err);
         }
@@ -137,7 +137,7 @@ impl Machine {
 
     /// The error that halted the run, if any.
     pub fn halt_error(&self) -> Option<RunError> {
-        self.inner.lock().halted.clone()
+        self.inner.lock().unwrap().halted.clone()
     }
 
     fn runnable(g: &Inner, idx: usize, gc_blocking: bool) -> bool {
@@ -174,7 +174,7 @@ impl Machine {
     /// [`RunError::Deadlock`] when no thread can ever run again.
     pub fn safepoint(&self, tid: ThreadId) -> Result<(), RunError> {
         let me = tid.0 as usize;
-        let mut g = self.inner.lock();
+        let mut g = self.inner.lock().unwrap();
         // If another thread currently holds the token, this thread has
         // already "yielded" by virtue of having waited.
         let mut yielded = g.token != me;
@@ -237,7 +237,7 @@ impl Machine {
                     }
                 }
             }
-            self.cv.wait(&mut g);
+            g = self.cv.wait(g).unwrap();
         }
     }
 
@@ -246,7 +246,7 @@ impl Machine {
     /// pause so the token can land on a runnable thread.
     pub fn finish(&self, tid: ThreadId) {
         let me = tid.0 as usize;
-        let mut g = self.inner.lock();
+        let mut g = self.inner.lock().unwrap();
         g.threads[me].finished = true;
         if g.token == me {
             loop {
@@ -281,7 +281,7 @@ impl Machine {
     pub fn join_all(&self, tid: ThreadId) -> Result<(), RunError> {
         loop {
             {
-                let mut g = self.inner.lock();
+                let mut g = self.inner.lock().unwrap();
                 let all_done = g
                     .threads
                     .iter()
@@ -295,7 +295,7 @@ impl Machine {
                 }
                 if g.halted.is_some() {
                     // Children are draining; wait for their finish signals.
-                    self.cv.wait(&mut g);
+                    g = self.cv.wait(g).unwrap();
                     continue;
                 }
             }
@@ -327,14 +327,8 @@ mod tests {
     fn step_limit_halts() {
         let m = Arc::new(Machine::new(Runtime::with_mode(CheckMode::Dynamic), 10));
         assert!(m.charge_steps(1, 5).is_ok());
-        assert!(matches!(
-            m.charge_steps(1, 6),
-            Err(RunError::StepLimit)
-        ));
-        assert!(matches!(
-            m.safepoint(ThreadId(0)),
-            Err(RunError::StepLimit)
-        ));
+        assert!(matches!(m.charge_steps(1, 6), Err(RunError::StepLimit)));
+        assert!(matches!(m.safepoint(ThreadId(0)), Err(RunError::StepLimit)));
     }
 
     #[test]
@@ -398,14 +392,14 @@ mod tests {
         m.register_thread(rt_tid, ThreadClass::RealTime);
         let reg_tid = m.with(|r| r.spawn_thread(r.main_thread(), ThreadClass::Regular));
         m.register_thread(reg_tid, ThreadClass::Regular);
-        let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let order = Arc::new(std::sync::Mutex::new(Vec::new()));
         let mut handles = Vec::new();
         for (tid, name) in [(rt_tid, "rt"), (reg_tid, "regular")] {
             let m2 = Arc::clone(&m);
             let order2 = Arc::clone(&order);
             handles.push(std::thread::spawn(move || {
                 m2.safepoint(tid).unwrap();
-                order2.lock().push(name);
+                order2.lock().unwrap().push(name);
                 m2.with(|r| r.finish_thread(tid).unwrap());
                 m2.finish(tid);
             }));
@@ -415,7 +409,7 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        let order = order.lock().clone();
+        let order = order.lock().unwrap().clone();
         assert_eq!(
             order,
             vec!["rt", "regular"],
@@ -427,13 +421,7 @@ mod tests {
     fn halt_propagates_to_all() {
         let m = machine();
         m.halt(RunError::Interp("boom".into()));
-        assert!(matches!(
-            m.safepoint(ThreadId(0)),
-            Err(RunError::Interp(_))
-        ));
-        assert_eq!(
-            m.halt_error(),
-            Some(RunError::Interp("boom".into()))
-        );
+        assert!(matches!(m.safepoint(ThreadId(0)), Err(RunError::Interp(_))));
+        assert_eq!(m.halt_error(), Some(RunError::Interp("boom".into())));
     }
 }

@@ -13,21 +13,25 @@
 //! * `fork` / `RT fork`, and
 //! * method `accesses` (effects) clauses.
 
+use crate::intern::Symbol;
 use crate::span::Span;
 use std::fmt;
 
 /// An identifier with its source span.
-#[derive(Debug, Clone, Eq)]
+///
+/// The text is interned at parse time: every later phase compares, hashes,
+/// and copies identifiers as [`Symbol`]s without touching the characters.
+#[derive(Debug, Clone, Copy, Eq)]
 pub struct Ident {
-    /// The identifier text.
-    pub name: String,
+    /// The identifier text (interned).
+    pub name: Symbol,
     /// Where it appears.
     pub span: Span,
 }
 
 impl Ident {
     /// Creates an identifier with a dummy span (for synthesized nodes).
-    pub fn synthetic(name: impl Into<String>) -> Self {
+    pub fn synthetic(name: impl Into<Symbol>) -> Self {
         Ident {
             name: name.into(),
             span: Span::DUMMY,
@@ -49,7 +53,7 @@ impl std::hash::Hash for Ident {
 
 impl fmt::Display for Ident {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.name)
+        f.write_str(self.name.as_str())
     }
 }
 
@@ -749,9 +753,6 @@ mod tests {
     #[test]
     fn owner_display() {
         assert_eq!(OwnerRef::Heap(Span::DUMMY).to_string(), "heap");
-        assert_eq!(
-            OwnerRef::Name(Ident::synthetic("r1")).to_string(),
-            "r1"
-        );
+        assert_eq!(OwnerRef::Name(Ident::synthetic("r1")).to_string(), "r1");
     }
 }

@@ -141,7 +141,10 @@ impl<'a> Lexer<'a> {
     }
 
     fn ident(&mut self, start: usize) {
-        while matches!(self.peek(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')) {
+        while matches!(
+            self.peek(),
+            Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')
+        ) {
             self.bump();
         }
         let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii ident");
@@ -218,10 +221,9 @@ impl<'a> Lexer<'a> {
                 }
             }
             other => {
-                return Err(self.error(
-                    format!("unrecognized character `{}`", other as char),
-                    start,
-                ));
+                return Err(
+                    self.error(format!("unrecognized character `{}`", other as char), start)
+                );
             }
         };
         self.push(kind, start);
@@ -290,10 +292,7 @@ mod tests {
 
     #[test]
     fn lex_string_escapes() {
-        assert_eq!(
-            kinds(r#""a\nb\"c""#),
-            vec![Str("a\nb\"c".into()), Eof]
-        );
+        assert_eq!(kinds(r#""a\nb\"c""#), vec![Str("a\nb\"c".into()), Eof]);
     }
 
     #[test]
@@ -306,7 +305,10 @@ mod tests {
 
     #[test]
     fn lex_numbers() {
-        assert_eq!(kinds("0 42 123456789"), vec![Int(0), Int(42), Int(123456789), Eof]);
+        assert_eq!(
+            kinds("0 42 123456789"),
+            vec![Int(0), Int(42), Int(123456789), Eof]
+        );
     }
 
     #[test]

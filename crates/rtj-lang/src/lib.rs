@@ -39,6 +39,7 @@
 
 pub mod ast;
 pub mod diag;
+pub mod intern;
 pub mod lexer;
 pub mod parser;
 pub mod pretty;
@@ -46,6 +47,7 @@ pub mod span;
 pub mod token;
 
 pub use ast::Program;
+pub use intern::Symbol;
 pub use parser::{parse_expr, parse_program, ParseError};
 pub use pretty::pretty_program;
 pub use span::Span;

@@ -7,6 +7,7 @@
 //! `fork` / `RT fork`, `accesses` clauses, and `where` constraints.
 
 use crate::ast::*;
+use crate::intern::Symbol;
 use crate::lexer::{lex, LexError};
 use crate::span::Span;
 use crate::token::{Token, TokenKind};
@@ -133,7 +134,10 @@ impl Parser {
         match self.peek().clone() {
             TokenKind::Ident(name) => {
                 let t = self.bump();
-                Ok(Ident { name, span: t.span })
+                Ok(Ident {
+                    name: Symbol::intern(&name),
+                    span: t.span,
+                })
             }
             other => Err(self.err(format!("expected identifier, found `{other}`"))),
         }
@@ -357,9 +361,9 @@ impl Parser {
                         n as u64
                     }
                     other => {
-                        return Err(
-                            self.err(format!("expected LT size (non-negative int), found `{other}`"))
-                        );
+                        return Err(self.err(format!(
+                            "expected LT size (non-negative int), found `{other}`"
+                        )));
                     }
                 };
                 self.expect(&TokenKind::RParen)?;
@@ -412,7 +416,8 @@ impl Parser {
         };
         // `kind : LT` (without a size) denotes the LT-refined kind; a size
         // makes it a policy, which is handled by callers that expect one.
-        if self.peek() == &TokenKind::Colon && self.peek_at(1) == &TokenKind::Lt
+        if self.peek() == &TokenKind::Colon
+            && self.peek_at(1) == &TokenKind::Lt
             && self.peek_at(2) != &TokenKind::LParen
         {
             self.bump();
@@ -1069,7 +1074,12 @@ mod tests {
         "#;
         let p = parse_program(src).unwrap();
         match &p.main.stmts[0] {
-            Stmt::LocalRegion { region, handle, body, .. } => {
+            Stmt::LocalRegion {
+                region,
+                handle,
+                body,
+                ..
+            } => {
                 assert_eq!(region.name, "r1");
                 assert_eq!(handle.name, "h1");
                 assert!(matches!(body.stmts[0], Stmt::LocalRegion { .. }));
@@ -1151,13 +1161,7 @@ mod tests {
             other => panic!("expected call, got {other:?}"),
         }
         let e = parse_expr("a.f < b").unwrap();
-        assert!(matches!(
-            e,
-            Expr::Binary {
-                op: BinOp::Lt,
-                ..
-            }
-        ));
+        assert!(matches!(e, Expr::Binary { op: BinOp::Lt, .. }));
     }
 
     #[test]
@@ -1183,13 +1187,7 @@ mod tests {
     fn parse_precedence() {
         let e = parse_expr("1 + 2 * 3 < 4 && !x || y").unwrap();
         // ((1 + (2*3)) < 4) && (!x) || y — just check the top is `||`.
-        assert!(matches!(
-            e,
-            Expr::Binary {
-                op: BinOp::Or,
-                ..
-            }
-        ));
+        assert!(matches!(e, Expr::Binary { op: BinOp::Or, .. }));
     }
 
     #[test]
@@ -1214,7 +1212,13 @@ mod tests {
         match &p.main.stmts[0] {
             Stmt::If { else_blk, .. } => {
                 let inner = &else_blk.as_ref().unwrap().stmts[0];
-                assert!(matches!(inner, Stmt::If { else_blk: Some(_), .. }));
+                assert!(matches!(
+                    inner,
+                    Stmt::If {
+                        else_blk: Some(_),
+                        ..
+                    }
+                ));
             }
             other => panic!("expected if, got {other:?}"),
         }
@@ -1237,9 +1241,6 @@ mod tests {
             { }
         "#;
         let p = parse_program(src).unwrap();
-        assert!(matches!(
-            p.classes[0].formals[0].kind,
-            KindAnn::Lt(_, _)
-        ));
+        assert!(matches!(p.classes[0].formals[0].kind, KindAnn::Lt(_, _)));
     }
 }

@@ -171,7 +171,10 @@ impl Printer {
     fn stmt(&mut self, s: &Stmt) {
         match s {
             Stmt::Let { ty, name, init, .. } => {
-                let tystr = ty.as_ref().map(|t| format!("{} ", type_str(t))).unwrap_or_default();
+                let tystr = ty
+                    .as_ref()
+                    .map(|t| format!("{} ", type_str(t)))
+                    .unwrap_or_default();
                 self.line(&format!("let {tystr}{name} = {};", expr_str(init)));
             }
             Stmt::AssignLocal { name, value, .. } => {
@@ -302,7 +305,7 @@ fn kind_str(k: &KindAnn) -> String {
         KindAnn::SharedRegion(_) => "SharedRegion".into(),
         KindAnn::Named { name, owners } => {
             if owners.is_empty() {
-                name.name.clone()
+                name.to_string()
             } else {
                 let os: Vec<String> = owners.iter().map(|o| o.to_string()).collect();
                 format!("{}<{}>", name, os.join(", "))
@@ -314,7 +317,7 @@ fn kind_str(k: &KindAnn) -> String {
 
 fn class_type_str(ct: &ClassType) -> String {
     if ct.owners.is_empty() {
-        ct.name.name.clone()
+        ct.name.to_string()
     } else {
         let os: Vec<String> = ct.owners.iter().map(|o| o.to_string()).collect();
         format!("{}<{}>", ct.name, os.join(", "))
@@ -345,7 +348,7 @@ fn expr_str(e: &Expr) -> String {
         Expr::Str(s, _) => format!("{s:?}"),
         Expr::Null(_) => "null".into(),
         Expr::This(_) => "this".into(),
-        Expr::Var(id) => id.name.clone(),
+        Expr::Var(id) => id.name.to_string(),
         Expr::Unary { op, expr, .. } => {
             let o = match op {
                 UnOp::Neg => "-",
@@ -404,11 +407,7 @@ mod tests {
         let printed = pretty_program(&p1);
         let p2 = parse_program(&printed)
             .unwrap_or_else(|e| panic!("reparse failed: {e}\n--- printed ---\n{printed}"));
-        assert_eq!(
-            pretty_program(&p2),
-            printed,
-            "pretty-print not a fixpoint"
-        );
+        assert_eq!(pretty_program(&p2), printed, "pretty-print not a fixpoint");
     }
 
     #[test]
@@ -476,12 +475,6 @@ mod tests {
         let e2 = parse_expr(&printed).unwrap();
         assert_eq!(pretty_expr(&e2), printed);
         // The structure must be Mul at the top.
-        assert!(matches!(
-            e2,
-            Expr::Binary {
-                op: BinOp::Mul,
-                ..
-            }
-        ));
+        assert!(matches!(e2, Expr::Binary { op: BinOp::Mul, .. }));
     }
 }

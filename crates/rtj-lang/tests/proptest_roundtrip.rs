@@ -18,8 +18,7 @@ fn ident(name: String) -> Ident {
 fn var_name() -> impl Strategy<Value = String> {
     // Avoid keywords and intrinsic names.
     "[a-z][a-z0-9]{0,4}".prop_filter("keyword-free", |s| {
-        rtj_lang::token::TokenKind::keyword(s).is_none()
-            && Intrinsic::from_name(s).is_none()
+        rtj_lang::token::TokenKind::keyword(s).is_none() && Intrinsic::from_name(s).is_none()
     })
 }
 
@@ -77,12 +76,14 @@ fn expr_strategy() -> BoxedStrategy<Expr> {
                     args,
                     span: Span::DUMMY,
                 }),
-            (var_name(), prop::collection::vec(owner_ref(), 1..3)).prop_map(
-                |(c, owners)| Expr::New {
+            (var_name(), prop::collection::vec(owner_ref(), 1..3)).prop_map(|(c, owners)| {
+                Expr::New {
                     class: ClassType {
                         name: Ident::synthetic({
                             let mut s = c;
-                            if let Some(f) = s.get_mut(0..1) { f.make_ascii_uppercase(); }
+                            if let Some(f) = s.get_mut(0..1) {
+                                f.make_ascii_uppercase();
+                            }
                             s
                         }),
                         owners,
@@ -90,7 +91,7 @@ fn expr_strategy() -> BoxedStrategy<Expr> {
                     },
                     span: Span::DUMMY,
                 }
-            ),
+            }),
             inner.clone().prop_map(|e| Expr::Unary {
                 op: UnOp::Not,
                 expr: Box::new(e),
@@ -122,16 +123,18 @@ fn stmt_strategy() -> impl Strategy<Value = Stmt> {
             span: Span::DUMMY,
         }),
         e.clone().prop_map(Stmt::Expr),
-        (e.clone(), prop::collection::vec(e.clone().prop_map(Stmt::Expr), 0..3)).prop_map(
-            |(cond, stmts)| Stmt::While {
+        (
+            e.clone(),
+            prop::collection::vec(e.clone().prop_map(Stmt::Expr), 0..3)
+        )
+            .prop_map(|(cond, stmts)| Stmt::While {
                 cond,
                 body: Block {
                     stmts,
                     span: Span::DUMMY,
                 },
                 span: Span::DUMMY,
-            }
-        ),
+            }),
     ]
 }
 

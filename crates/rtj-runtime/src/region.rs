@@ -178,7 +178,9 @@ impl RegionTable {
                 sub_outlives,
             );
             created += n;
-            self.records[id.0 as usize].subs.insert(member.clone(), sub_id);
+            self.records[id.0 as usize]
+                .subs
+                .insert(member.clone(), sub_id);
         }
         (id, created)
     }
@@ -236,9 +238,9 @@ impl RegionTable {
         if r.portals.values().any(|v| *v != Value::Null) {
             return false;
         }
-        r.subs.values().all(|s| {
-            self.get(*s).state == RegionState::Flushed || self.can_flush(*s)
-        })
+        r.subs
+            .values()
+            .all(|s| self.get(*s).state == RegionState::Flushed || self.can_flush(*s))
     }
 
     /// Flushes a region: recursively flushes subregion instances, then

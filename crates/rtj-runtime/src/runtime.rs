@@ -443,9 +443,7 @@ impl Runtime {
             let mut outlives = self.regions.get(parent).outlived_by.clone();
             outlives.insert(parent);
             let gen = self.regions.get(cur).generation + 1;
-            if self.mode.checks_run()
-                && self.threads[t.0 as usize].class == ThreadClass::RealTime
-            {
+            if self.mode.checks_run() && self.threads[t.0 as usize].class == ThreadClass::RealTime {
                 // Creating a fresh instance allocates memory.
                 return Err(RtError::HeapAllocFromRealTime { thread: t });
             }
@@ -590,8 +588,7 @@ impl Runtime {
                     let needed = rec.used + size - rec.committed;
                     let chunks = needed.div_ceil(self.cost.vt_chunk_bytes);
                     cycles += self.cost.vt_chunk * chunks;
-                    self.regions.get_mut(region).committed +=
-                        chunks * self.cost.vt_chunk_bytes;
+                    self.regions.get_mut(region).committed += chunks * self.cost.vt_chunk_bytes;
                 }
             }
         }
@@ -698,13 +695,19 @@ impl Runtime {
         }
         if holder_region == self.heap {
             if let Value::Ref(o) = v {
-                return Err(RtError::HeapRefFromRealTime { thread: t, object: *o });
+                return Err(RtError::HeapRefFromRealTime {
+                    thread: t,
+                    object: *o,
+                });
             }
             return Err(RtError::HeapAllocFromRealTime { thread: t });
         }
         if let Value::Ref(o) = v {
             if self.objects.get(*o).region == self.heap {
-                return Err(RtError::HeapRefFromRealTime { thread: t, object: *o });
+                return Err(RtError::HeapRefFromRealTime {
+                    thread: t,
+                    object: *o,
+                });
             }
         }
         Ok(())
@@ -718,8 +721,7 @@ impl Runtime {
         old: &Value,
         new: &Value,
     ) -> Result<(), RtError> {
-        if !self.mode.checks_run()
-            || !(Self::value_is_reflike(new) || Self::value_is_reflike(old))
+        if !self.mode.checks_run() || !(Self::value_is_reflike(new) || Self::value_is_reflike(old))
         {
             return Ok(());
         }
@@ -748,7 +750,10 @@ impl Runtime {
             for v in [old, new] {
                 if let Value::Ref(o) = v {
                     if self.objects.get(*o).region == self.heap {
-                        return Err(RtError::HeapRefFromRealTime { thread: t, object: *o });
+                        return Err(RtError::HeapRefFromRealTime {
+                            thread: t,
+                            object: *o,
+                        });
                     }
                 }
             }
@@ -951,7 +956,8 @@ mod tests {
             .unwrap();
         // No check fires in static mode (the type system would have
         // rejected this program).
-        r.store_field(t, outer_obj, 0, Value::Ref(inner_obj)).unwrap();
+        r.store_field(t, outer_obj, 0, Value::Ref(inner_obj))
+            .unwrap();
         assert_eq!(r.stats().store_checks, 0);
         // But dangling access still fails hard.
         r.exit_created_region(t, inner).unwrap();
@@ -998,8 +1004,10 @@ mod tests {
             )
             .unwrap();
         // 16 header + 8 = 24 bytes each; two fit (48), the third does not.
-        r.alloc(t, RuntimeOwner::Region(region), "C", vec![], 1).unwrap();
-        r.alloc(t, RuntimeOwner::Region(region), "C", vec![], 1).unwrap();
+        r.alloc(t, RuntimeOwner::Region(region), "C", vec![], 1)
+            .unwrap();
+        r.alloc(t, RuntimeOwner::Region(region), "C", vec![], 1)
+            .unwrap();
         let e = r
             .alloc(t, RuntimeOwner::Region(region), "C", vec![], 1)
             .unwrap_err();
@@ -1022,10 +1030,12 @@ mod tests {
             .unwrap();
         let m = r.cost_model().clone();
         let before = r.now();
-        r.alloc(t, RuntimeOwner::Region(region), "C", vec![], 0).unwrap();
+        r.alloc(t, RuntimeOwner::Region(region), "C", vec![], 0)
+            .unwrap();
         let c0 = r.now() - before;
         let before = r.now();
-        r.alloc(t, RuntimeOwner::Region(region), "C", vec![], 8).unwrap();
+        r.alloc(t, RuntimeOwner::Region(region), "C", vec![], 8)
+            .unwrap();
         let c8 = r.now() - before;
         assert_eq!(c0, m.alloc_base + m.zeroing(object_size(0)));
         assert_eq!(c8, m.alloc_base + m.zeroing(object_size(8)));
@@ -1055,7 +1065,8 @@ mod tests {
         let shared_obj = r
             .alloc(main, RuntimeOwner::Region(shared), "S", vec![], 1)
             .unwrap();
-        r.store_field(main, shared_obj, 0, Value::Ref(heap_obj)).unwrap();
+        r.store_field(main, shared_obj, 0, Value::Ref(heap_obj))
+            .unwrap();
         let e = r.load_field(rt_thread, shared_obj, 0).unwrap_err();
         assert!(matches!(e, RtError::HeapRefFromRealTime { .. }));
     }
@@ -1197,10 +1208,12 @@ mod tests {
         let region = r.create_region(t, RegionSpec::plain_vt(), false).unwrap();
         let m = r.cost_model().clone();
         let before = r.now();
-        r.alloc(t, RuntimeOwner::Region(region), "C", vec![], 0).unwrap();
+        r.alloc(t, RuntimeOwner::Region(region), "C", vec![], 0)
+            .unwrap();
         let first = r.now() - before;
         let before = r.now();
-        r.alloc(t, RuntimeOwner::Region(region), "C", vec![], 0).unwrap();
+        r.alloc(t, RuntimeOwner::Region(region), "C", vec![], 0)
+            .unwrap();
         let second = r.now() - before;
         assert_eq!(first, second + m.vt_chunk, "first alloc grabs a chunk");
     }

@@ -111,7 +111,13 @@ mod tests {
         let t = rt.main_thread();
         let r = rt.create_region(t, RegionSpec::plain_vt(), false).unwrap();
         let owner_obj = rt
-            .alloc(t, RuntimeOwner::Region(r), "Stack", vec![RuntimeOwner::Region(r)], 1)
+            .alloc(
+                t,
+                RuntimeOwner::Region(r),
+                "Stack",
+                vec![RuntimeOwner::Region(r)],
+                1,
+            )
             .unwrap();
         let owned = rt
             .alloc(
@@ -139,7 +145,9 @@ mod tests {
         let mut rt = Runtime::with_mode(CheckMode::Dynamic);
         let t = rt.main_thread();
         let r = rt.create_region(t, RegionSpec::plain_vt(), false).unwrap();
-        let o = rt.alloc(t, RuntimeOwner::Region(r), "C", vec![], 0).unwrap();
+        let o = rt
+            .alloc(t, RuntimeOwner::Region(r), "C", vec![], 0)
+            .unwrap();
         rt.exit_created_region(t, r).unwrap();
         let dot = rt.ownership_dot();
         let line = dot

@@ -124,7 +124,9 @@ impl Driver {
                 }
                 let d = self.objects[dst % self.objects.len()];
                 if self.rt.object(d).alive {
-                    self.rt.store_field(t, d, 0, Value::Null).expect("null store");
+                    self.rt
+                        .store_field(t, d, 0, Value::Null)
+                        .expect("null store");
                 }
             }
             Op::Load { obj } => {
@@ -222,9 +224,15 @@ proptest! {
 fn classic_dangle_shape() {
     let mut d = Driver::new();
     d.apply(&Op::Push);
-    d.apply(&Op::Alloc { region_choice: 2, fields: 1 }); // outer region object
+    d.apply(&Op::Alloc {
+        region_choice: 2,
+        fields: 1,
+    }); // outer region object
     d.apply(&Op::Push);
-    d.apply(&Op::Alloc { region_choice: 3, fields: 1 }); // inner region object
+    d.apply(&Op::Alloc {
+        region_choice: 3,
+        fields: 1,
+    }); // inner region object
     d.apply(&Op::Store { dst: 0, src: 1 }); // outer.f = inner → rejected
     d.apply(&Op::Store { dst: 1, src: 0 }); // inner.f = outer → accepted
     assert_eq!(d.stores_rejected, 1);

@@ -3,8 +3,9 @@
 //! Entry point: [`check_program`]. On success it returns the *elaborated*
 //! program (inferred `let` types, defaulted `new` owners, and inferred
 //! call-site owner arguments written back into the AST) together with the
-//! rebuilt [`ProgramTable`], which the interpreter uses for method
-//! resolution and object layout.
+//! [`ProgramTable`] (its stored declarations refreshed to the elaborated
+//! AST), which the interpreter uses for method resolution and object
+//! layout.
 //!
 //! Rule coverage (paper → function):
 //!
@@ -30,7 +31,10 @@ use crate::owner::{Owner, Subst};
 use crate::stype::SType;
 use crate::table::{resolve_kind, ClassInfo, ProgramTable, SConstraint};
 use rtj_lang::ast::*;
+use rtj_lang::intern::Symbol;
 use rtj_lang::span::Span;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// A successfully checked program: the elaborated AST plus its table.
 #[derive(Debug, Clone)]
@@ -39,6 +43,45 @@ pub struct Checked {
     pub program: Program,
     /// Class/region-kind table built from the elaborated program.
     pub table: ProgramTable,
+    /// Statistics from the checking run.
+    pub stats: CheckStats,
+}
+
+/// Options for the checking driver.
+#[derive(Debug, Clone, Default)]
+pub struct CheckOptions {
+    /// Worker threads for per-class checking. `0` means one per available
+    /// CPU core; `1` forces the fully serial driver.
+    pub jobs: usize,
+}
+
+/// Statistics produced by a checking run (surfaced by `rtjc check --stats`).
+#[derive(Debug, Clone, Default)]
+pub struct CheckStats {
+    /// Classes checked (the units fanned out to worker threads).
+    pub classes_checked: usize,
+    /// Method bodies checked.
+    pub methods_checked: usize,
+    /// Judgment-cache hits summed over all typing environments.
+    pub cache_hits: u64,
+    /// Judgment-cache misses summed over all typing environments.
+    pub cache_misses: u64,
+    /// Worker threads used for the class-checking phase.
+    pub threads_used: usize,
+    /// Wall-clock time of the whole checking run.
+    pub elapsed: Duration,
+}
+
+impl CheckStats {
+    /// Judgment-cache hit rate in `[0, 1]`; `0` when no queries ran.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
 }
 
 /// Type-checks a program.
@@ -66,54 +109,164 @@ pub struct Checked {
 /// assert!(check_program(&p).is_ok());
 /// ```
 pub fn check_program(p: &Program) -> Result<Checked, Vec<TypeError>> {
-    let mut prog = p.clone();
+    check_program_in(p.clone(), &CheckOptions::default())
+}
+
+/// Type-checks a program, consuming it (no up-front clone).
+///
+/// Classes are independent checking units: with `opts.jobs != 1` they are
+/// fanned out across worker threads. Diagnostics are collected per unit,
+/// merged in declaration order, and stably sorted by source span, so
+/// serial and parallel runs produce byte-identical output.
+///
+/// # Errors
+///
+/// Returns every type error found, sorted by span.
+pub fn check_program_in(mut prog: Program, opts: &CheckOptions) -> Result<Checked, Vec<TypeError>> {
+    let start = Instant::now();
     infer::apply_declaration_defaults(&mut prog);
     let table = ProgramTable::build(&prog)?;
-    let mut ck = Checker {
-        table: &table,
-        errors: Vec::new(),
+    let mut stats = CheckStats {
+        classes_checked: prog.classes.len(),
+        ..CheckStats::default()
     };
+
+    // Serial prelude: region kinds and inheritance (cheap, and inheritance
+    // reads the whole table). Iterated in declaration order so diagnostics
+    // are deterministic run to run.
+    let mut ck = Checker::new(&table);
     for rk in &prog.region_kinds {
         ck.check_region_kind(rk);
     }
-    ck.check_inheritance();
+    ck.check_inheritance(&prog.classes);
+    let prelude_errors = std::mem::take(&mut ck.errors);
+
+    // Per-class units, checked serially or in parallel; either way each
+    // unit's diagnostics land in its own slot, so the merge below is the
+    // same code path for both drivers.
     let mut classes = std::mem::take(&mut prog.classes);
-    for c in &mut classes {
-        ck.check_class(c);
+    let workers = match opts.jobs {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
     }
-    prog.classes = classes;
-    // [PROG]: the initial expression runs on the main (regular) thread with
-    // the heap as the current region.
-    let env = Env::base();
-    let x: Effects = [Owner::Heap, Owner::Immortal].into_iter().collect();
-    let mut main = std::mem::take(&mut prog.main.stmts);
-    {
-        let mut env = env.clone();
-        for s in &mut main {
-            ck.check_stmt(&mut env, &x, &Owner::Heap, &SType::Void, false, s);
+    .min(classes.len().max(1));
+    stats.threads_used = workers;
+    let mut unit_errors: Vec<Vec<TypeError>> = (0..classes.len()).map(|_| Vec::new()).collect();
+    if workers <= 1 {
+        for (i, c) in classes.iter_mut().enumerate() {
+            ck.check_class(c);
+            unit_errors[i] = std::mem::take(&mut ck.errors);
+        }
+    } else {
+        // A worker's result: per-class diagnostics tagged with the class
+        // index, plus the worker itself (for its accumulated stats).
+        type WorkerResult<'t> = (Vec<(usize, Vec<TypeError>)>, Checker<'t>);
+        let queue = Mutex::new(classes.iter_mut().enumerate());
+        let results: Vec<WorkerResult> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let queue = &queue;
+                    let table = &table;
+                    s.spawn(move || {
+                        let mut w = Checker::new(table);
+                        let mut units = Vec::new();
+                        loop {
+                            let item = queue.lock().unwrap().next();
+                            let Some((i, c)) = item else { break };
+                            w.check_class(c);
+                            units.push((i, std::mem::take(&mut w.errors)));
+                        }
+                        (units, w)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (units, w) in results {
+            ck.methods_checked += w.methods_checked;
+            ck.cache_hits += w.cache_hits;
+            ck.cache_misses += w.cache_misses;
+            for (i, errs) in units {
+                unit_errors[i] = errs;
+            }
         }
     }
+    prog.classes = classes;
+
+    // [PROG]: the initial expression runs on the main (regular) thread with
+    // the heap as the current region.
+    let mut env = Env::base();
+    let x: Effects = [Owner::Heap, Owner::Immortal].into_iter().collect();
+    let mut main = std::mem::take(&mut prog.main.stmts);
+    for s in &mut main {
+        ck.check_stmt(&mut env, &x, &Owner::Heap, &SType::Void, false, s);
+    }
+    ck.absorb_env(&env);
     prog.main.stmts = main;
-    if ck.errors.is_empty() {
-        // Rebuild the table so it contains the elaborated method bodies.
-        let table = ProgramTable::build(&prog).expect("elaboration preserves structure");
+    let main_errors = std::mem::take(&mut ck.errors);
+
+    // Single merge path for serial and parallel drivers: declaration
+    // order, then a stable sort by span (same-span diagnostics keep
+    // declaration order).
+    let mut all = prelude_errors;
+    all.extend(unit_errors.into_iter().flatten());
+    all.extend(main_errors);
+    all.sort_by_key(|e| e.span);
+
+    stats.methods_checked = ck.methods_checked;
+    stats.cache_hits = ck.cache_hits;
+    stats.cache_misses = ck.cache_misses;
+    stats.elapsed = start.elapsed();
+    if all.is_empty() {
+        // Refresh the stored declarations so the table contains the
+        // elaborated method bodies. Inference only fills in elided owner
+        // arguments inside bodies — the hierarchy, formal kinds, and
+        // signatures are unchanged — so a full revalidating rebuild would
+        // be wasted work.
+        let mut table = table;
+        table.refresh_decls(&prog);
         Ok(Checked {
             program: prog,
             table,
+            stats,
         })
     } else {
-        Err(ck.errors)
+        Err(all)
     }
 }
 
 struct Checker<'t> {
     table: &'t ProgramTable,
     errors: Vec<TypeError>,
+    methods_checked: usize,
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
 impl<'t> Checker<'t> {
+    fn new(table: &'t ProgramTable) -> Checker<'t> {
+        Checker {
+            table,
+            errors: Vec::new(),
+            methods_checked: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+        }
+    }
+
     fn err(&mut self, message: impl Into<String>, span: Span) {
         self.errors.push(TypeError::new(message, span));
+    }
+
+    /// Folds an environment's judgment-cache counters into the run totals.
+    /// Counters reset when an `Env` is cloned, so each environment is
+    /// absorbed exactly once, just before it goes out of scope.
+    fn absorb_env(&mut self, env: &Env) {
+        let (h, m) = env.cache_counters();
+        self.cache_hits += h;
+        self.cache_misses += m;
     }
 
     // -------------------------------------------------------------- resolve
@@ -149,7 +302,7 @@ impl<'t> Checker<'t> {
             }
             Owner::Heap | Owner::Immortal => Some(owner),
             Owner::Formal(n) | Owner::Region(n) => {
-                if env.is_declared_owner_name(n) {
+                if env.is_declared_owner(*n) {
                     Some(owner)
                 } else {
                     self.err(format!("unknown owner `{n}`"), o.span());
@@ -171,7 +324,7 @@ impl<'t> Checker<'t> {
                     owners.push(self.resolve_owner(env, o, false)?);
                 }
                 SType::Class {
-                    name: ct.name.name.clone(),
+                    name: ct.name.name,
                     owners,
                 }
             }
@@ -195,12 +348,12 @@ impl<'t> Checker<'t> {
                     false
                 }
             },
-            SType::Class { name, owners } => self.wf_class_type(env, name, owners, span),
+            SType::Class { name, owners } => self.wf_class_type(env, *name, owners, span),
         }
     }
 
-    fn wf_class_type(&mut self, env: &Env, name: &str, owners: &[Owner], span: Span) -> bool {
-        let (formal_names, formal_kinds, constraints): (Vec<String>, Vec<Kind>, Vec<SConstraint>) =
+    fn wf_class_type(&mut self, env: &Env, name: Symbol, owners: &[Owner], span: Span) -> bool {
+        let (formal_names, formal_kinds, constraints): (Vec<Symbol>, Vec<Kind>, Vec<SConstraint>) =
             if name == "Object" {
                 (vec!["o".into()], vec![Kind::Owner], Vec::new())
             } else {
@@ -236,7 +389,9 @@ impl<'t> Checker<'t> {
                 Some(k) if is_subkind(self.table, &k, &declared) => {}
                 Some(k) => {
                     self.err(
-                        format!("owner `{o}` has kind `{k}`, which is not a subkind of `{declared}`"),
+                        format!(
+                            "owner `{o}` has kind `{k}`, which is not a subkind of `{declared}`"
+                        ),
                         span,
                     );
                     ok = false;
@@ -334,10 +489,7 @@ impl<'t> Checker<'t> {
             }
             Kind::SharedRegion => true,
             other => {
-                self.err(
-                    format!("`{other}` is not a shared region kind"),
-                    span,
-                );
+                self.err(format!("`{other}` is not a shared region kind"), span);
                 false
             }
         }
@@ -377,10 +529,7 @@ impl<'t> Checker<'t> {
 
     fn require_subtype(&mut self, sub: &SType, sup: &SType, span: Span, what: &str) {
         if !self.table.is_subtype(sub, sup) {
-            self.err(
-                format!("{what}: expected `{sup}`, found `{sub}`"),
-                span,
-            );
+            self.err(format!("{what}: expected `{sup}`, found `{sub}`"), span);
         }
     }
 
@@ -394,16 +543,16 @@ impl<'t> Checker<'t> {
         let formal_owners: Vec<Owner> = rk
             .formals
             .iter()
-            .map(|f| Owner::Formal(f.name.name.clone()))
+            .map(|f| Owner::Formal(f.name.name))
             .collect();
         for f in &rk.formals {
             let k = resolve_kind(&f.kind, &|_| false);
-            env.declare_owner(Owner::Formal(f.name.name.clone()), k);
+            env.declare_owner(Owner::Formal(f.name.name), k);
         }
         self.assume_constraints(&mut env, &rk.where_clauses);
         env.set_this_region(
             Kind::Named {
-                name: rk.name.name.clone(),
+                name: rk.name.name,
                 owners: formal_owners.clone(),
             },
             &formal_owners,
@@ -436,29 +585,31 @@ impl<'t> Checker<'t> {
             }
             self.wf_kind(&env, &k, s.span);
         }
+        self.absorb_env(&env);
     }
 
     /// The environment of `[CLASS DEF]`.
     fn class_env(&mut self, info: &ClassInfo) -> Env {
         let mut env = Env::base();
         for (name, kind) in info.formal_names.iter().zip(&info.formal_kinds) {
-            env.declare_owner(Owner::Formal(name.clone()), kind.clone());
+            env.declare_owner(Owner::Formal(*name), kind.clone());
         }
-        self.assume_constraints(&mut env, &info.decl.where_clauses.clone());
+        self.assume_constraints(&mut env, &info.decl.where_clauses);
         let owners: Vec<Owner> = info
             .formal_names
             .iter()
-            .map(|n| Owner::Formal(n.clone()))
+            .map(|n| Owner::Formal(*n))
             .collect();
-        env.set_this(info.decl.name.name.clone(), owners);
+        env.set_this(info.decl.name.name, owners);
         env
     }
 
     fn check_class(&mut self, c: &mut ClassDecl) {
-        let Some(info) = self.table.class(&c.name.name).cloned() else {
+        let table = self.table;
+        let Some(info) = table.class(c.name.name) else {
             return; // table construction already reported this
         };
-        let env = self.class_env(&info);
+        let env = self.class_env(info);
         if let Some(ext) = &c.extends {
             let owners: Vec<Owner> = ext
                 .owners
@@ -466,15 +617,16 @@ impl<'t> Checker<'t> {
                 .filter_map(|o| self.resolve_owner(&env, o, false))
                 .collect();
             if owners.len() == ext.owners.len() {
-                self.wf_class_type(&env, &ext.name.name, &owners, ext.span);
+                self.wf_class_type(&env, ext.name.name, &owners, ext.span);
             }
         }
         for f in &c.fields {
             self.resolve_type(&env, &f.ty);
         }
         for m in &mut c.methods {
-            self.check_method(&info, &env, m);
+            self.check_method(info, &env, m);
         }
+        self.absorb_env(&env);
     }
 
     /// `[METHOD]`.
@@ -482,18 +634,16 @@ impl<'t> Checker<'t> {
         let mut env = class_env.clone();
         for f in &m.formals {
             let k = resolve_kind(&f.kind, &|_| false);
-            env.declare_owner(Owner::Formal(f.name.name.clone()), k);
+            env.declare_owner(Owner::Formal(f.name.name), k);
         }
         self.assume_constraints(&mut env, &m.where_clauses);
         env.declare_owner(Owner::InitialRegion, Kind::Region);
         env.add_handle(Owner::InitialRegion);
-        let ret = self
-            .resolve_type(&env, &m.ret)
-            .unwrap_or(SType::Void);
+        let ret = self.resolve_type(&env, &m.ret).unwrap_or(SType::Void);
         for p in &m.params {
             match self.resolve_type(&env, &p.ty) {
-                Some(t) => env.bind_var(p.name.name.clone(), t),
-                None => env.bind_var(p.name.name.clone(), SType::Int),
+                Some(t) => env.bind_var(p.name.name, t),
+                None => env.bind_var(p.name.name, SType::Int),
             }
         }
         // Effects: explicit clause or the default (all class and method
@@ -504,10 +654,7 @@ impl<'t> Checker<'t> {
                 for o in list {
                     if let Some(owner) = self.resolve_owner(&env, o, true) {
                         if owner != Owner::Rt && env.kind_of(&owner).is_none() {
-                            self.err(
-                                format!("effect owner `{owner}` has no kind here"),
-                                o.span(),
-                            );
+                            self.err(format!("effect owner `{owner}` has no kind here"), o.span());
                         }
                         x.insert(owner);
                     }
@@ -515,19 +662,16 @@ impl<'t> Checker<'t> {
             }
             None => {
                 for n in &info.formal_names {
-                    x.insert(Owner::Formal(n.clone()));
+                    x.insert(Owner::Formal(*n));
                 }
                 for f in &m.formals {
-                    x.insert(Owner::Formal(f.name.name.clone()));
+                    x.insert(Owner::Formal(f.name.name));
                 }
                 x.insert(Owner::InitialRegion);
             }
         }
-        {
-            let mut env = env.clone();
-            for s in &mut m.body.stmts {
-                self.check_stmt(&mut env, &x, &Owner::InitialRegion, &ret, false, s);
-            }
+        for s in &mut m.body.stmts {
+            self.check_stmt(&mut env, &x, &Owner::InitialRegion, &ret, false, s);
         }
         if ret != SType::Void && !always_returns(&m.body) {
             self.err(
@@ -538,13 +682,20 @@ impl<'t> Checker<'t> {
                 m.span,
             );
         }
+        self.absorb_env(&env);
+        self.methods_checked += 1;
     }
 
     /// `InheritanceOK` + `OverridesOK`.
-    fn check_inheritance(&mut self) {
-        let infos: Vec<ClassInfo> = self.table.classes().cloned().collect();
-        for info in &infos {
-            let Some(ext) = info.decl.extends.clone() else {
+    fn check_inheritance(&mut self, classes: &[ClassDecl]) {
+        // Iterate in declaration order (not table-map order) so the
+        // diagnostics this pass emits are deterministic run to run.
+        for c in classes {
+            let table = self.table;
+            let Some(info) = table.class(c.name.name) else {
+                continue;
+            };
+            let Some(ext) = &info.decl.extends else {
                 continue;
             };
             if ext.name.name == "Object" {
@@ -559,7 +710,7 @@ impl<'t> Checker<'t> {
             if sup_args.len() != ext.owners.len() {
                 continue;
             }
-            let Some(sup_info) = self.table.class(&ext.name.name).cloned() else {
+            let Some(sup_info) = table.class(ext.name.name) else {
                 continue;
             };
             // Superclass constraints must be implied by the subclass's.
@@ -579,22 +730,20 @@ impl<'t> Checker<'t> {
             }
             // Overriding methods.
             for m in &info.decl.methods {
-                let Some(sup_sig) =
-                    self.table
-                        .method_sig(&ext.name.name, &sup_args, &m.name.name)
+                let Some(sup_sig) = self.table.method_sig(ext.name.name, &sup_args, m.name.name)
                 else {
                     continue;
                 };
                 let my_sig = self
                     .table
                     .method_sig(
-                        &info.decl.name.name,
+                        info.decl.name.name,
                         &info
                             .formal_names
                             .iter()
-                            .map(|n| Owner::Formal(n.clone()))
+                            .map(|n| Owner::Formal(*n))
                             .collect::<Vec<_>>(),
-                        &m.name.name,
+                        m.name.name,
                     )
                     .expect("own method exists");
                 if my_sig.formals.len() != sup_sig.formals.len()
@@ -613,7 +762,7 @@ impl<'t> Checker<'t> {
                 // Alpha-rename the super method's formals to ours.
                 let mut alpha = Subst::new();
                 for ((sn, _), (mn, _)) in sup_sig.formals.iter().zip(&my_sig.formals) {
-                    alpha.push(sn.clone(), Owner::Formal(mn.clone()));
+                    alpha.push(*sn, Owner::Formal(*mn));
                 }
                 for ((_, mine), (_, sup)) in my_sig.params.iter().zip(&sup_sig.params) {
                     if *mine != sup.subst(&alpha) {
@@ -639,7 +788,7 @@ impl<'t> Checker<'t> {
                 // The overrider's effects must be included in the
                 // overridden method's effects.
                 let sup_fx: Effects = alpha.apply_all(&sup_sig.effects).into_iter().collect();
-                let my_fx: Effects = my_sig.effects.iter().cloned().collect();
+                let my_fx: Effects = my_sig.effects.iter().copied().collect();
                 if !env.effects_subsume(&sup_fx, &my_fx) {
                     self.err(
                         format!(
@@ -651,6 +800,7 @@ impl<'t> Checker<'t> {
                     );
                 }
             }
+            self.absorb_env(&env);
         }
     }
 
@@ -659,17 +809,20 @@ impl<'t> Checker<'t> {
     #[allow(clippy::too_many_arguments)]
     fn check_block(
         &mut self,
-        env: &Env,
+        env: &mut Env,
         x: &Effects,
         rcr: &Owner,
         ret: &SType,
         in_region: bool,
         b: &mut Block,
     ) {
-        let mut env = env.clone();
+        // Scope marks replace whole-environment clones: the fact vectors
+        // are append-only, so exiting the block truncates back.
+        let m = env.mark();
         for s in &mut b.stmts {
-            self.check_stmt(&mut env, x, rcr, ret, in_region, s);
+            self.check_stmt(env, x, rcr, ret, in_region, s);
         }
+        env.truncate_to(m);
     }
 
     fn check_stmt(
@@ -695,7 +848,7 @@ impl<'t> Checker<'t> {
                             if let Some(ti) = t_init {
                                 self.require_subtype(&ti, &declared, *span, "initializer");
                             }
-                            env.bind_var(name.name.clone(), declared);
+                            env.bind_var(name.name, declared);
                         }
                     }
                     None => match t_init {
@@ -712,7 +865,7 @@ impl<'t> Checker<'t> {
                         ),
                         Some(t) => {
                             *ty = t.to_surface();
-                            env.bind_var(name.name.clone(), t);
+                            env.bind_var(name.name, t);
                         }
                         None => {}
                     },
@@ -720,7 +873,7 @@ impl<'t> Checker<'t> {
             }
             Stmt::AssignLocal { name, value, span } => {
                 let vt = self.check_expr(env, x, rcr, value);
-                match env.lookup_var(&name.name).cloned() {
+                match env.lookup_var(name.name).cloned() {
                     Some(SType::Handle(_)) => {
                         self.err("region handles cannot be reassigned", *span);
                     }
@@ -804,16 +957,7 @@ impl<'t> Checker<'t> {
                 span,
             } => {
                 // [EXPR LOCALREGION] = [EXPR REGION] with LocalRegion : VT.
-                self.enter_new_region(
-                    env,
-                    x,
-                    ret,
-                    region,
-                    handle,
-                    Kind::LocalRegion,
-                    body,
-                    *span,
-                );
+                self.enter_new_region(env, x, ret, region, handle, Kind::LocalRegion, body, *span);
             }
             Stmt::NewRegion {
                 kind,
@@ -823,7 +967,7 @@ impl<'t> Checker<'t> {
                 body,
                 span,
             } => {
-                let is_region = |n: &str| env.is_region_name(n);
+                let is_region = |n: Symbol| env.is_region_name(n);
                 let mut k = resolve_kind(kind, &is_region);
                 // Validate owner args of the kind annotation.
                 for o in kind_owner_refs(kind) {
@@ -861,7 +1005,7 @@ impl<'t> Checker<'t> {
     #[allow(clippy::too_many_arguments)]
     fn enter_new_region(
         &mut self,
-        env: &Env,
+        env: &mut Env,
         x: &Effects,
         ret: &SType,
         region: &Ident,
@@ -870,32 +1014,41 @@ impl<'t> Checker<'t> {
         body: &mut Block,
         span: Span,
     ) {
-        if env.is_declared_owner_name(&region.name) {
+        if env.is_declared_owner_name(region.name) {
             self.err(
                 format!("region name `{region}` shadows an existing owner"),
                 region.span,
             );
         }
         // Creating a region allocates memory: X ⊇ heap.
-        self.require_effect(env, x, &Owner::Heap, span, "region creation (allocates from)");
-        let r = Owner::Region(region.name.clone());
-        let mut env2 = env.clone();
+        self.require_effect(
+            env,
+            x,
+            &Owner::Heap,
+            span,
+            "region creation (allocates from)",
+        );
+        let r = Owner::Region(region.name);
+        let m = env.mark();
         // All existing regions outlive the new one.
         for re in env.regions() {
-            env2.add_outlives(re, r.clone());
+            env.add_outlives(re, r);
         }
-        env2.declare_owner(r.clone(), kind);
-        env2.bind_var(handle.name.clone(), SType::Handle(r.clone()));
+        env.declare_owner(r, kind);
+        env.bind_var(handle.name, SType::Handle(r));
         let mut x2 = x.clone();
-        x2.insert(r.clone());
-        self.check_block(&env2, &x2, &r, ret, true, body);
+        x2.insert(r);
+        for s in &mut body.stmts {
+            self.check_stmt(env, &x2, &r, ret, true, s);
+        }
+        env.truncate_to(m);
     }
 
     /// `[EXPR SUBREGION]`: enters (optionally recreating) a subregion.
     #[allow(clippy::too_many_arguments)]
     fn enter_subregion(
         &mut self,
-        env: &Env,
+        env: &mut Env,
         x: &Effects,
         ret: &SType,
         kind_ann: &KindAnn,
@@ -907,7 +1060,7 @@ impl<'t> Checker<'t> {
         body: &mut Block,
         span: Span,
     ) {
-        let Some(parent_ty) = env.lookup_var(&parent.name).cloned() else {
+        let Some(parent_ty) = env.lookup_var(parent.name).cloned() else {
             self.err(format!("unknown variable `{parent}`"), parent.span);
             return;
         };
@@ -933,7 +1086,7 @@ impl<'t> Checker<'t> {
             );
             return;
         };
-        let Some(info) = self.table.subregion(&pk_name, &pk_owners, &sub.name) else {
+        let Some(info) = self.table.subregion(pk_name, &pk_owners, sub.name) else {
             self.err(
                 format!("region kind `{pk_name}` has no subregion `{sub}`"),
                 sub.span,
@@ -941,15 +1094,13 @@ impl<'t> Checker<'t> {
             return;
         };
         // Substitute the parent region for `this` in the subregion's kind.
-        let k3 = info.kind.subst(&Subst::new().with_this(r2.clone()));
+        let k3 = info.kind.subst(&Subst::new().with_this(r2));
         // The declared kind annotation must match.
-        let is_region = |n: &str| env.is_region_name(n);
+        let is_region = |n: Symbol| env.is_region_name(n);
         let declared = resolve_kind(kind_ann, &is_region);
         if declared.without_lt() != k3.without_lt() {
             self.err(
-                format!(
-                    "subregion `{sub}` has kind `{k3}`, but the block declares `{declared}`"
-                ),
+                format!("subregion `{sub}` has kind `{k3}`, but the block declares `{declared}`"),
                 kind_ann.span(),
             );
         }
@@ -971,25 +1122,28 @@ impl<'t> Checker<'t> {
                 span,
             );
         }
-        if env.is_declared_owner_name(&region.name) {
+        if env.is_declared_owner_name(region.name) {
             self.err(
                 format!("region name `{region}` shadows an existing owner"),
                 region.span,
             );
         }
-        let r = Owner::Region(region.name.clone());
+        let r = Owner::Region(region.name);
         let kr = if matches!(info.policy, Policy::Lt { .. }) {
             k3.with_lt()
         } else {
             k3
         };
-        let mut env2 = env.clone();
-        env2.declare_owner(r.clone(), kr);
-        env2.add_outlives(r2.clone(), r.clone());
-        env2.bind_var(handle.name.clone(), SType::Handle(r.clone()));
+        let m = env.mark();
+        env.declare_owner(r, kr);
+        env.add_outlives(r2, r);
+        env.bind_var(handle.name, SType::Handle(r));
         let mut x2 = x.clone();
-        x2.insert(r.clone());
-        self.check_block(&env2, &x2, &r, ret, true, body);
+        x2.insert(r);
+        for s in &mut body.stmts {
+            self.check_stmt(env, &x2, &r, ret, true, s);
+        }
+        env.truncate_to(m);
     }
 
     /// `[EXPR FORK]` / `[EXPR RTFORK]`.
@@ -1010,7 +1164,7 @@ impl<'t> Checker<'t> {
                     env.rkind_of(self.table, o)
                         .is_some_and(|k| is_subkind(self.table, &k, &Kind::SharedRegion.with_lt()))
                 })
-                .cloned()
+                .copied()
                 .collect();
             x2.insert(Owner::Rt);
             x2
@@ -1025,7 +1179,11 @@ impl<'t> Checker<'t> {
         let non_local = |ck: &Self, k: &Kind| {
             is_subkind(ck.table, k, &Kind::SharedRegion) || is_subkind(ck.table, k, &Kind::GcRegion)
         };
-        let bound_name = if rt { "SharedRegion" } else { "SharedRegion or GCRegion" };
+        let bound_name = if rt {
+            "SharedRegion"
+        } else {
+            "SharedRegion or GCRegion"
+        };
         // The current region must be shared (RT fork) or shared/heap (fork).
         match env.rkind_of(self.table, rcr) {
             Some(k) if rt && is_subkind(self.table, &k, &Kind::SharedRegion) => {}
@@ -1052,8 +1210,7 @@ impl<'t> Checker<'t> {
                     continue;
                 }
                 match env.rkind_of(self.table, fx) {
-                    Some(k)
-                        if is_subkind(self.table, &k, &Kind::SharedRegion.with_lt()) => {}
+                    Some(k) if is_subkind(self.table, &k, &Kind::SharedRegion.with_lt()) => {}
                     Some(k) => self.err(
                         format!(
                             "a real-time thread would access `{fx}`, which lives in a \
@@ -1074,11 +1231,7 @@ impl<'t> Checker<'t> {
         }
         // Every owner visible to the new thread must live in a shared
         // region (or the heap, for regular forks).
-        for o in call_info
-            .recv_owners
-            .iter()
-            .chain(&call_info.owner_args)
-        {
+        for o in call_info.recv_owners.iter().chain(&call_info.owner_args) {
             match env.rkind_of(self.table, o) {
                 Some(k) if rt && is_subkind(self.table, &k, &Kind::SharedRegion) => {}
                 Some(k) if !rt && non_local(self, &k) => {}
@@ -1110,7 +1263,7 @@ impl<'t> Checker<'t> {
             Expr::Null(_) => Some(SType::Null),
             Expr::This(span) => match env.this_type() {
                 Some((name, owners)) => Some(SType::Class {
-                    name: name.to_string(),
+                    name,
                     owners: owners.to_vec(),
                 }),
                 None => {
@@ -1118,7 +1271,7 @@ impl<'t> Checker<'t> {
                     None
                 }
             },
-            Expr::Var(id) => match env.lookup_var(&id.name) {
+            Expr::Var(id) => match env.lookup_var(id.name) {
                 Some(t) => Some(t.clone()),
                 None => {
                     self.err(format!("unknown variable `{id}`"), id.span);
@@ -1132,7 +1285,10 @@ impl<'t> Checker<'t> {
                     UnOp::Not => (SType::Bool, SType::Bool),
                 };
                 if t != want {
-                    self.err(format!("operand of `{op:?}` must be `{want}`, found `{t}`"), *span);
+                    self.err(
+                        format!("operand of `{op:?}` must be `{want}`, found `{t}`"),
+                        *span,
+                    );
                 }
                 Some(out)
             }
@@ -1165,10 +1321,7 @@ impl<'t> Checker<'t> {
                             || (lt == SType::Bool && rt == SType::Bool)
                             || (lt.is_reference() && rt.is_reference());
                         if !ok {
-                            self.err(
-                                format!("cannot compare `{lt}` with `{rt}`"),
-                                *span,
-                            );
+                            self.err(format!("cannot compare `{lt}` with `{rt}`"), *span);
                         }
                         Some(SType::Bool)
                     }
@@ -1184,7 +1337,7 @@ impl<'t> Checker<'t> {
                 }
             }
             Expr::Field { recv, field, span } => {
-                let field = field.clone();
+                let field = *field;
                 let span = *span;
                 self.field_access(env, x, rcr, recv, &field, span)
             }
@@ -1197,7 +1350,7 @@ impl<'t> Checker<'t> {
                         1
                     } else {
                         self.table
-                            .class(&class.name.name)
+                            .class(class.name.name)
                             .map(|i| i.formal_names.len())
                             .unwrap_or(0)
                     };
@@ -1207,10 +1360,10 @@ impl<'t> Checker<'t> {
                 for o in &class.owners {
                     owners.push(self.resolve_owner(env, o, false)?);
                 }
-                if !self.wf_class_type(env, &class.name.name, &owners, *span) {
+                if !self.wf_class_type(env, class.name.name, &owners, *span) {
                     return None;
                 }
-                let first = owners.first().cloned()?;
+                let first = owners.first().copied()?;
                 // Allocating an object accesses its owner.
                 self.require_effect(env, x, &first, *span, "allocation owned by");
                 // The handle of the target region must be obtainable.
@@ -1224,7 +1377,7 @@ impl<'t> Checker<'t> {
                     );
                 }
                 Some(SType::Class {
-                    name: class.name.name.clone(),
+                    name: class.name.name,
                     owners,
                 })
             }
@@ -1297,7 +1450,7 @@ impl<'t> Checker<'t> {
                     );
                     return None;
                 };
-                let Some(pt) = self.table.portal_type(&kn, &ko, &field.name) else {
+                let Some(pt) = self.table.portal_type(kn, &ko, field.name) else {
                     self.err(
                         format!("region kind `{kn}` has no portal field `{field}`"),
                         field.span,
@@ -1305,14 +1458,11 @@ impl<'t> Checker<'t> {
                     return None;
                 };
                 // `this` in a portal type denotes the region itself.
-                pt.subst(&Subst::new().with_this(r.clone()))
+                pt.subst(&Subst::new().with_this(*r))
             }
             SType::Class { name, owners } => {
-                let Some(ft) = self.table.field_type(name, owners, &field.name) else {
-                    self.err(
-                        format!("class `{name}` has no field `{field}`"),
-                        field.span,
-                    );
+                let Some(ft) = self.table.field_type(*name, owners, field.name) else {
+                    self.err(format!("class `{name}` has no field `{field}`"), field.span);
                     return None;
                 };
                 // Fields whose declared type mentions `this` can only be
@@ -1321,7 +1471,7 @@ impl<'t> Checker<'t> {
                 if !recv_is_this
                     && self
                         .table
-                        .field_declared_mentions_this(name, &field.name)
+                        .field_declared_mentions_this(*name, field.name)
                         .unwrap_or(false)
                 {
                     self.err(
@@ -1378,14 +1528,14 @@ impl<'t> Checker<'t> {
             owners: recv_owners,
         } = t_recv
         else {
-            self.err(
-                format!("type `{t_recv}` has no methods"),
-                span,
-            );
+            self.err(format!("type `{t_recv}` has no methods"), span);
             return None;
         };
-        let Some(sig) = self.table.method_sig(&cn, &recv_owners, &method.name) else {
-            self.err(format!("class `{cn}` has no method `{method}`"), method.span);
+        let Some(sig) = self.table.method_sig(cn, &recv_owners, method.name) else {
+            self.err(
+                format!("class `{cn}` has no method `{method}`"),
+                method.span,
+            );
             return None;
         };
         if sig.declared_mentions_this && !recv_is_this {
@@ -1445,9 +1595,9 @@ impl<'t> Checker<'t> {
             out
         };
         // Rename(·) = [owner args / method formals][rcr / initialRegion].
-        let mut rename = Subst::new().with_initial(rcr.clone());
+        let mut rename = Subst::new().with_initial(*rcr);
         for ((fname, _), o) in sig.formals.iter().zip(&oargs) {
-            rename.push(fname.clone(), o.clone());
+            rename.push(*fname, *o);
         }
         // Kinds of the owner arguments.
         for ((fname, fkind), o) in sig.formals.iter().zip(&oargs) {
@@ -1465,10 +1615,7 @@ impl<'t> Checker<'t> {
             }
             // A formal instantiated with an *object* must own the receiver's
             // owner (Section 2.1); regions are unconstrained.
-            let is_region = env
-                .kind_of(o)
-                .map(|k| k.is_region_kind())
-                .unwrap_or(false);
+            let is_region = env.kind_of(o).map(|k| k.is_region_kind()).unwrap_or(false);
             if !is_region {
                 if let Some(first) = recv_owners.first() {
                     if !env.owns(o, first) {

@@ -16,24 +16,79 @@
 use crate::kind::{Kind, RegionKindLookup};
 use crate::owner::Owner;
 use crate::stype::SType;
-use std::collections::BTreeSet;
+use rtj_lang::intern::Symbol;
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// The set of permitted effects `X` (owners, possibly including `RT`).
+///
+/// A `BTreeSet` keyed on content-ordered owners, so iteration (and thus
+/// diagnostic emission order) is deterministic across runs and drivers.
 pub type Effects = BTreeSet<Owner>;
 
-/// A typing environment.
+/// Memoized results of the transitive judgments, keyed on interned
+/// owner pairs. The cache belongs to one fact base: any mutation of the
+/// environment's facts clears it (facts only ever grow within a scope,
+/// and scope exits truncate, so "cleared on mutation" is exactly the
+/// invalidation the append-only representation needs).
 #[derive(Debug, Clone, Default)]
+struct QueryCache {
+    owns: HashMap<(Owner, Owner), bool>,
+    outlives: HashMap<(Owner, Owner), bool>,
+    rkind: HashMap<Owner, Option<Kind>>,
+    /// The full handle-availability fixpoint, computed once per fact base.
+    handle_avail: Option<HashSet<Owner>>,
+    hits: u64,
+    misses: u64,
+}
+
+/// A saved scope position: lengths of the append-only fact vectors.
+/// Restoring a mark truncates back to it, replacing whole-environment
+/// clones for block scoping.
+#[derive(Debug, Clone, Copy)]
+pub struct ScopeMark {
+    vars: usize,
+    owner_kinds: usize,
+    owns: usize,
+    outlives: usize,
+    handles: usize,
+}
+
+/// A typing environment.
+#[derive(Debug, Default)]
 pub struct Env {
-    vars: Vec<(String, SType)>,
+    vars: Vec<(Symbol, SType)>,
     owner_kinds: Vec<(Owner, Kind)>,
     owns_facts: Vec<(Owner, Owner)>,
     outlives_facts: Vec<(Owner, Owner)>,
     /// Regions whose handles are available through in-scope handle values.
     handle_regions: Vec<Owner>,
-    this_type: Option<(String, Vec<Owner>)>,
+    this_type: Option<(Symbol, Vec<Owner>)>,
     /// The kind of the owner `this`: `ObjOwner` inside class methods,
     /// the region kind itself inside `regionKind` declarations.
     this_kind: Option<Kind>,
+    cache: RefCell<QueryCache>,
+}
+
+impl Clone for Env {
+    /// Clones keep the (still-valid) memoized judgments but reset the
+    /// hit/miss counters, so each environment's counters can be summed
+    /// into run-wide stats without double counting.
+    fn clone(&self) -> Env {
+        let mut cache = self.cache.borrow().clone();
+        cache.hits = 0;
+        cache.misses = 0;
+        Env {
+            vars: self.vars.clone(),
+            owner_kinds: self.owner_kinds.clone(),
+            owns_facts: self.owns_facts.clone(),
+            outlives_facts: self.outlives_facts.clone(),
+            handle_regions: self.handle_regions.clone(),
+            this_type: self.this_type.clone(),
+            this_kind: self.this_kind.clone(),
+            cache: RefCell::new(cache),
+        }
+    }
 }
 
 impl Env {
@@ -49,20 +104,76 @@ impl Env {
         e
     }
 
+    /// Drops memoized judgment results; called whenever the fact base
+    /// changes shape. Hit/miss counters survive so stats cover the whole
+    /// checking run.
+    fn invalidate_cache(&self) {
+        let mut c = self.cache.borrow_mut();
+        c.owns.clear();
+        c.outlives.clear();
+        c.rkind.clear();
+        c.handle_avail = None;
+    }
+
+    /// Judgment-cache counters `(hits, misses)` accumulated by this
+    /// environment since it was created (cloning resets the clone's
+    /// counters, so per-environment totals can be summed).
+    pub fn cache_counters(&self) -> (u64, u64) {
+        let c = self.cache.borrow();
+        (c.hits, c.misses)
+    }
+
+    // ---------------------------------------------------------------- scoping
+
+    /// Saves the current extent of the append-only fact vectors.
+    pub fn mark(&self) -> ScopeMark {
+        ScopeMark {
+            vars: self.vars.len(),
+            owner_kinds: self.owner_kinds.len(),
+            owns: self.owns_facts.len(),
+            outlives: self.outlives_facts.len(),
+            handles: self.handle_regions.len(),
+        }
+    }
+
+    /// Rolls the environment back to a previously saved [`ScopeMark`],
+    /// discarding every binding and fact added since. Replaces the old
+    /// whole-`Env` clone per checked block.
+    pub fn truncate_to(&mut self, m: ScopeMark) {
+        let facts_changed = self.owner_kinds.len() != m.owner_kinds
+            || self.owns_facts.len() != m.owns
+            || self.outlives_facts.len() != m.outlives
+            || self.handle_regions.len() != m.handles;
+        self.vars.truncate(m.vars);
+        self.owner_kinds.truncate(m.owner_kinds);
+        self.owns_facts.truncate(m.owns);
+        self.outlives_facts.truncate(m.outlives);
+        self.handle_regions.truncate(m.handles);
+        if facts_changed {
+            self.invalidate_cache();
+        }
+    }
+
     // ------------------------------------------------------------- variables
 
     /// Binds a variable (later bindings shadow earlier ones).
-    pub fn bind_var(&mut self, name: impl Into<String>, ty: SType) {
+    pub fn bind_var(&mut self, name: impl Into<Symbol>, ty: SType) {
         let name = name.into();
         if let SType::Handle(r) = &ty {
-            self.handle_regions.push(r.clone());
+            self.handle_regions.push(*r);
+            self.invalidate_cache();
         }
         self.vars.push((name, ty));
     }
 
     /// Looks up a variable.
-    pub fn lookup_var(&self, name: &str) -> Option<&SType> {
-        self.vars.iter().rev().find(|(n, _)| n == name).map(|(_, t)| t)
+    pub fn lookup_var(&self, name: impl Into<Symbol>) -> Option<&SType> {
+        let sym = name.into();
+        self.vars
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == sym)
+            .map(|(_, t)| t)
     }
 
     // ---------------------------------------------------------------- owners
@@ -70,19 +181,26 @@ impl Env {
     /// Declares an owner with its kind.
     pub fn declare_owner(&mut self, o: Owner, k: Kind) {
         self.owner_kinds.push((o, k));
+        self.invalidate_cache();
     }
 
     /// Whether `name` is an in-scope region name.
-    pub fn is_region_name(&self, name: &str) -> bool {
+    pub fn is_region_name(&self, name: impl Into<Symbol>) -> bool {
+        let sym = name.into();
         self.owner_kinds
             .iter()
-            .any(|(o, _)| matches!(o, Owner::Region(n) if n == name))
+            .any(|(o, _)| matches!(o, Owner::Region(n) if *n == sym))
     }
 
     /// Whether `name` is a declared owner (formal or region).
-    pub fn is_declared_owner_name(&self, name: &str) -> bool {
+    pub fn is_declared_owner_name(&self, name: impl Into<Symbol>) -> bool {
+        self.is_declared_owner(name.into())
+    }
+
+    /// [`Self::is_declared_owner_name`] for an already-interned name.
+    pub fn is_declared_owner(&self, sym: Symbol) -> bool {
         self.owner_kinds.iter().any(|(o, _)| match o {
-            Owner::Region(n) | Owner::Formal(n) => n == name,
+            Owner::Region(n) | Owner::Formal(n) => *n == sym,
             _ => false,
         })
     }
@@ -108,21 +226,22 @@ impl Env {
         self.owner_kinds
             .iter()
             .filter(|(_, k)| k.is_region_kind())
-            .map(|(o, _)| o.clone())
+            .map(|(o, _)| *o)
             .collect()
     }
 
     /// Sets the type of `this` to `cn<owners>`, recording that the first
     /// owner owns `this` and that every owner outlives the first.
-    pub fn set_this(&mut self, class: impl Into<String>, owners: Vec<Owner>) {
+    pub fn set_this(&mut self, class: impl Into<Symbol>, owners: Vec<Owner>) {
         if let Some(first) = owners.first() {
-            self.owns_facts.push((first.clone(), Owner::This));
+            self.owns_facts.push((*first, Owner::This));
             for o in owners.iter().skip(1) {
-                self.outlives_facts.push((o.clone(), first.clone()));
+                self.outlives_facts.push((*o, *first));
             }
         }
         self.this_type = Some((class.into(), owners));
         self.this_kind = Some(Kind::ObjOwner);
+        self.invalidate_cache();
     }
 
     /// Sets `this` to denote a *region* of the given kind (used when
@@ -130,16 +249,15 @@ impl Env {
     /// itself and every formal outlives it).
     pub fn set_this_region(&mut self, kind: Kind, formal_owners: &[Owner]) {
         for f in formal_owners {
-            self.outlives_facts.push((f.clone(), Owner::This));
+            self.outlives_facts.push((*f, Owner::This));
         }
         self.this_kind = Some(kind);
+        self.invalidate_cache();
     }
 
     /// The type of `this`, if in a method context.
-    pub fn this_type(&self) -> Option<(&str, &[Owner])> {
-        self.this_type
-            .as_ref()
-            .map(|(c, os)| (c.as_str(), os.as_slice()))
+    pub fn this_type(&self) -> Option<(Symbol, &[Owner])> {
+        self.this_type.as_ref().map(|(c, os)| (*c, os.as_slice()))
     }
 
     // ----------------------------------------------------------------- facts
@@ -147,38 +265,56 @@ impl Env {
     /// Records `o1 ≽ₒ o2` (o1 owns o2).
     pub fn add_owns(&mut self, o1: Owner, o2: Owner) {
         self.owns_facts.push((o1, o2));
+        self.invalidate_cache();
     }
 
     /// Records `o1 ≽ o2` (o1 outlives o2).
     pub fn add_outlives(&mut self, o1: Owner, o2: Owner) {
         self.outlives_facts.push((o1, o2));
+        self.invalidate_cache();
     }
 
     /// Records that a handle for region `r` is directly available.
     pub fn add_handle(&mut self, r: Owner) {
         self.handle_regions.push(r);
+        self.invalidate_cache();
     }
 
     // --------------------------------------------------------------- queries
 
-    /// `E ⊢ o1 ≽ₒ o2`: o1 transitively owns o2 (reflexive).
+    /// `E ⊢ o1 ≽ₒ o2`: o1 transitively owns o2 (reflexive). Memoized.
     pub fn owns(&self, o1: &Owner, o2: &Owner) -> bool {
         if o1 == o2 {
             return true;
         }
+        let key = (*o1, *o2);
+        {
+            let mut c = self.cache.borrow_mut();
+            if let Some(&v) = c.owns.get(&key) {
+                c.hits += 1;
+                return v;
+            }
+            c.misses += 1;
+        }
+        let v = self.owns_uncached(o1, o2);
+        self.cache.borrow_mut().owns.insert(key, v);
+        v
+    }
+
+    fn owns_uncached(&self, o1: &Owner, o2: &Owner) -> bool {
         // BFS downward from o1 along owns edges.
-        let mut frontier = vec![o1.clone()];
-        let mut seen = BTreeSet::new();
+        let mut frontier = vec![*o1];
+        let mut seen = HashSet::new();
         while let Some(cur) = frontier.pop() {
-            if !seen.insert(cur.clone()) {
+            if !seen.insert(cur) {
                 continue;
             }
             for (a, b) in &self.owns_facts {
-                if a == &cur {
+                if *a == cur {
                     if b == o2 {
                         return true;
                     }
-                    frontier.push(b.clone());
+                    frontier.push(*b);
                 }
             }
         }
@@ -187,17 +323,33 @@ impl Env {
 
     /// `E ⊢ o1 ≽ o2`: o1 outlives o2 (reflexive, transitive, includes
     /// `≽ₒ`, and `heap`/`immortal` outlive all regions and each other).
+    /// Memoized.
     pub fn outlives(&self, o1: &Owner, o2: &Owner) -> bool {
         if o1 == o2 {
             return true;
         }
+        let key = (*o1, *o2);
+        {
+            let mut c = self.cache.borrow_mut();
+            if let Some(&v) = c.outlives.get(&key) {
+                c.hits += 1;
+                return v;
+            }
+            c.misses += 1;
+        }
+        let v = self.outlives_uncached(o1, o2);
+        self.cache.borrow_mut().outlives.insert(key, v);
+        v
+    }
+
+    fn outlives_uncached(&self, o1: &Owner, o2: &Owner) -> bool {
         // BFS from o1 along outlives ∪ owns edges. Reaching an everlasting
         // owner (heap/immortal) makes *every region* reachable (property
         // R1), and from there anything those regions (transitively) own.
-        let mut frontier = vec![o1.clone()];
-        let mut seen = BTreeSet::new();
+        let mut frontier = vec![*o1];
+        let mut seen = HashSet::new();
         while let Some(cur) = frontier.pop() {
-            if !seen.insert(cur.clone()) {
+            if !seen.insert(cur) {
                 continue;
             }
             if cur == *o2 {
@@ -209,13 +361,13 @@ impl Env {
                 }
                 for (g, k) in &self.owner_kinds {
                     if k.is_region_kind() {
-                        frontier.push(g.clone());
+                        frontier.push(*g);
                     }
                 }
             }
             for (a, b) in self.outlives_facts.iter().chain(&self.owns_facts) {
-                if a == &cur {
-                    frontier.push(b.clone());
+                if *a == cur {
+                    frontier.push(*b);
                 }
             }
         }
@@ -255,14 +407,20 @@ impl Env {
     /// `immortal`, `this`, every region with an in-scope handle value, and
     /// anything connected to one of those through the ownership relation.
     pub fn handle_available(&self, o: &Owner) -> bool {
-        let mut avail: BTreeSet<Owner> = self.handle_regions.iter().cloned().collect();
+        {
+            let mut c = self.cache.borrow_mut();
+            if let Some(set) = &c.handle_avail {
+                let v = set.contains(o);
+                c.hits += 1;
+                return v;
+            }
+            c.misses += 1;
+        }
+        let mut avail: HashSet<Owner> = self.handle_regions.iter().copied().collect();
         avail.insert(Owner::Heap);
         avail.insert(Owner::Immortal);
         if self.this_type.is_some() {
             avail.insert(Owner::This);
-        }
-        if avail.contains(o) {
-            return true;
         }
         // Propagate along owns edges (in both directions) to a fixpoint:
         // an object lives in the same region as its owner.
@@ -272,7 +430,7 @@ impl Env {
                 let ina = avail.contains(a);
                 let inb = avail.contains(b);
                 if ina != inb {
-                    avail.insert(if ina { b.clone() } else { a.clone() });
+                    avail.insert(if ina { *b } else { *a });
                     changed = true;
                 }
             }
@@ -280,22 +438,35 @@ impl Env {
                 break;
             }
         }
-        avail.contains(o)
+        let v = avail.contains(o);
+        self.cache.borrow_mut().handle_avail = Some(avail);
+        v
     }
 
     /// `E ⊢ RKind(o) = k`: the kind of the region that `o` stands for (if a
     /// region) or is allocated in (if an object, by walking up `≽ₒ`).
     pub fn rkind_of(&self, kinds: &dyn RegionKindLookup, o: &Owner) -> Option<Kind> {
-        self.rkind_inner(kinds, o, &mut BTreeSet::new())
+        {
+            let mut c = self.cache.borrow_mut();
+            if let Some(v) = c.rkind.get(o) {
+                let v = v.clone();
+                c.hits += 1;
+                return v;
+            }
+            c.misses += 1;
+        }
+        let v = self.rkind_inner(kinds, o, &mut HashSet::new());
+        self.cache.borrow_mut().rkind.insert(*o, v.clone());
+        v
     }
 
     fn rkind_inner(
         &self,
         kinds: &dyn RegionKindLookup,
         o: &Owner,
-        visited: &mut BTreeSet<Owner>,
+        visited: &mut HashSet<Owner>,
     ) -> Option<Kind> {
-        if !visited.insert(o.clone()) {
+        if !visited.insert(*o) {
             return None;
         }
         match o {
@@ -458,6 +629,42 @@ mod tests {
             e.rkind_of(&NoUserKinds, &f("x")),
             Some(Kind::SharedRegion.with_lt())
         );
+    }
+
+    #[test]
+    fn scope_truncation_restores_facts() {
+        let mut e = Env::base();
+        e.declare_owner(r("r1"), Kind::LocalRegion);
+        let m = e.mark();
+        e.declare_owner(r("r2"), Kind::LocalRegion);
+        e.add_outlives(r("r2"), r("r1"));
+        e.bind_var("x", SType::Int);
+        assert!(e.outlives(&r("r2"), &r("r1")));
+        assert!(e.lookup_var("x").is_some());
+        e.truncate_to(m);
+        assert!(e.lookup_var("x").is_none());
+        assert!(!e.outlives(&r("r2"), &r("r1")), "fact must roll back");
+        assert!(e.is_region_name("r1"));
+        assert!(!e.is_region_name("r2"));
+    }
+
+    #[test]
+    fn memoized_queries_track_fact_mutations() {
+        let mut e = Env::base();
+        e.declare_owner(r("a"), Kind::LocalRegion);
+        e.declare_owner(r("b"), Kind::LocalRegion);
+        assert!(!e.outlives(&r("a"), &r("b")));
+        // Repeat query hits the cache.
+        assert!(!e.outlives(&r("a"), &r("b")));
+        let (hits, _) = e.cache_counters();
+        assert!(hits >= 1, "second identical query must hit the cache");
+        // New fact invalidates, and the fresh answer is correct.
+        e.add_outlives(r("a"), r("b"));
+        assert!(e.outlives(&r("a"), &r("b")));
+        // Handle availability is also invalidated by new handles.
+        assert!(!e.handle_available(&r("a")));
+        e.bind_var("h", SType::Handle(r("a")));
+        assert!(e.handle_available(&r("a")));
     }
 
     #[test]

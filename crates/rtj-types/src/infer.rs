@@ -22,20 +22,21 @@ use crate::owner::Owner;
 use crate::stype::SType;
 use crate::table::{MethodSig, ProgramTable};
 use rtj_lang::ast::{ClassType, OwnerRef, Program, Type};
+use rtj_lang::intern::Symbol;
 use rtj_lang::span::Span;
 use std::collections::HashMap;
 
 /// Number of owner formals per class (plus built-in `Object` with one).
-fn class_formal_counts(p: &Program) -> HashMap<String, usize> {
+fn class_formal_counts(p: &Program) -> HashMap<Symbol, usize> {
     let mut m = HashMap::new();
-    m.insert("Object".to_string(), 1);
+    m.insert(Symbol::intern("Object"), 1);
     for c in &p.classes {
-        m.insert(c.name.name.clone(), c.formals.len());
+        m.insert(c.name.name, c.formals.len());
     }
     m
 }
 
-fn fill_class_type(ct: &mut ClassType, counts: &HashMap<String, usize>, default: &OwnerRef) {
+fn fill_class_type(ct: &mut ClassType, counts: &HashMap<Symbol, usize>, default: &OwnerRef) {
     if !ct.owners.is_empty() {
         return;
     }
@@ -44,7 +45,7 @@ fn fill_class_type(ct: &mut ClassType, counts: &HashMap<String, usize>, default:
     }
 }
 
-fn fill_type(ty: &mut Type, counts: &HashMap<String, usize>, default: &OwnerRef) {
+fn fill_type(ty: &mut Type, counts: &HashMap<Symbol, usize>, default: &OwnerRef) {
     if let Type::Class(ct) = ty {
         fill_class_type(ct, counts, default);
     }
@@ -59,7 +60,7 @@ pub fn apply_declaration_defaults(p: &mut Program) {
     let counts = class_formal_counts(p);
     for c in &mut p.classes {
         let field_default = match c.formals.first() {
-            Some(f) => OwnerRef::Name(f.name.clone()),
+            Some(f) => OwnerRef::Name(f.name),
             None => continue, // rejected later by the table's WF checks
         };
         for f in &mut c.fields {
@@ -96,15 +97,15 @@ pub fn infer_call_owner_args(
     arg_types: &[SType],
     rcr: &Owner,
 ) -> Result<Vec<Owner>, String> {
-    let formal_names: Vec<&String> = sig.formals.iter().map(|(n, _)| n).collect();
-    let mut bindings: HashMap<String, Owner> = HashMap::new();
+    let formal_names: Vec<Symbol> = sig.formals.iter().map(|(n, _)| *n).collect();
+    let mut bindings: HashMap<Symbol, Owner> = HashMap::new();
     for ((_, pt), at) in sig.params.iter().zip(arg_types) {
         unify(table, pt, at, &formal_names, &mut bindings)?;
     }
     Ok(sig
         .formals
         .iter()
-        .map(|(n, _)| bindings.get(n).cloned().unwrap_or_else(|| rcr.clone()))
+        .map(|(n, _)| bindings.get(n).copied().unwrap_or(*rcr))
         .collect())
 }
 
@@ -112,8 +113,8 @@ fn unify(
     table: &ProgramTable,
     param: &SType,
     arg: &SType,
-    formals: &[&String],
-    bindings: &mut HashMap<String, Owner>,
+    formals: &[Symbol],
+    bindings: &mut HashMap<Symbol, Owner>,
 ) -> Result<(), String> {
     match (param, arg) {
         (SType::Handle(po), SType::Handle(ao)) => unify_owner(po, ao, formals, bindings),
@@ -129,7 +130,7 @@ fn unify(
         ) => {
             // View the argument type at the parameter's class by walking the
             // superclass chain, so inherited-parameter calls still unify.
-            let viewed = view_as(table, an, ao, pn);
+            let viewed = view_as(table, *an, ao, *pn);
             let Some(ao) = viewed else {
                 return Ok(()); // Not a subtype; the later subtype check reports it.
             };
@@ -149,14 +150,14 @@ fn unify(
 /// `target` is on `sub`'s superclass chain.
 fn view_as(
     table: &ProgramTable,
-    sub: &str,
+    sub: Symbol,
     owners: &[Owner],
-    target: &str,
+    target: Symbol,
 ) -> Option<Vec<Owner>> {
-    let mut cur = (sub.to_string(), owners.to_vec());
+    let mut cur = (sub, owners.to_vec());
     let mut seen = std::collections::HashSet::new();
     loop {
-        if !seen.insert(cur.0.clone()) {
+        if !seen.insert(cur.0) {
             return None; // cyclic hierarchy (reported elsewhere)
         }
         if cur.0 == target {
@@ -165,18 +166,18 @@ fn view_as(
         if cur.0 == "Object" {
             return None;
         }
-        cur = table.superclass(&cur.0, &cur.1)?;
+        cur = table.superclass(cur.0, &cur.1)?;
     }
 }
 
 fn unify_owner(
     param: &Owner,
     arg: &Owner,
-    formals: &[&String],
-    bindings: &mut HashMap<String, Owner>,
+    formals: &[Symbol],
+    bindings: &mut HashMap<Symbol, Owner>,
 ) -> Result<(), String> {
     if let Owner::Formal(f) = param {
-        if formals.contains(&f) {
+        if formals.contains(f) {
             match bindings.get(f) {
                 Some(prev) if prev != arg => {
                     return Err(format!(
@@ -186,7 +187,7 @@ fn unify_owner(
                 }
                 Some(_) => {}
                 None => {
-                    bindings.insert(f.clone(), arg.clone());
+                    bindings.insert(*f, *arg);
                 }
             }
         }
@@ -271,8 +272,7 @@ mod tests {
             SType::class("D", vec![Owner::Region("r".into())]),
             SType::class("D", vec![Owner::Region("r".into())]),
         ];
-        let inferred =
-            infer_call_owner_args(&table, &sig, &args, &Owner::Heap).unwrap();
+        let inferred = infer_call_owner_args(&table, &sig, &args, &Owner::Heap).unwrap();
         assert_eq!(inferred, vec![Owner::Region("r".into())]);
 
         // Conflicting bindings are an error.
@@ -284,8 +284,7 @@ mod tests {
 
         // Unconstrained formals default to the current region.
         let args_null = vec![SType::Null, SType::Null];
-        let inferred =
-            infer_call_owner_args(&table, &sig, &args_null, &Owner::Immortal).unwrap();
+        let inferred = infer_call_owner_args(&table, &sig, &args_null, &Owner::Immortal).unwrap();
         assert_eq!(inferred, vec![Owner::Immortal]);
     }
 }

@@ -17,6 +17,7 @@
 //! (`[DELETE LT]`) and `k1 : LT ≤ k2 : LT` when `k1 ≤ k2` (`[ADD LT]`).
 
 use crate::owner::{Owner, Subst};
+use rtj_lang::intern::Symbol;
 use std::fmt;
 
 /// A (possibly user-defined, possibly LT-refined) owner kind.
@@ -38,8 +39,8 @@ pub enum Kind {
     SharedRegion,
     /// A user-declared shared region kind, with its owner arguments.
     Named {
-        /// Kind name.
-        name: String,
+        /// Kind name (interned).
+        name: Symbol,
         /// Owner arguments.
         owners: Vec<Owner>,
     },
@@ -83,7 +84,7 @@ impl Kind {
     pub fn subst(&self, s: &Subst) -> Kind {
         match self {
             Kind::Named { name, owners } => Kind::Named {
-                name: name.clone(),
+                name: *name,
                 owners: s.apply_all(owners),
             },
             Kind::Lt(inner) => Kind::Lt(Box::new(inner.subst(s))),
@@ -104,7 +105,7 @@ impl fmt::Display for Kind {
             Kind::SharedRegion => f.write_str("SharedRegion"),
             Kind::Named { name, owners } => {
                 if owners.is_empty() {
-                    f.write_str(name)
+                    f.write_str(name.as_str())
                 } else {
                     let os: Vec<String> = owners.iter().map(|o| o.to_string()).collect();
                     write!(f, "{name}<{}>", os.join(", "))
@@ -119,7 +120,7 @@ impl fmt::Display for Kind {
 pub trait RegionKindLookup {
     /// The declared super kind of `name`, with `owners` substituted for the
     /// kind's formals. Returns `None` if `name` is not a declared kind.
-    fn super_kind_of(&self, name: &str, owners: &[Owner]) -> Option<Kind>;
+    fn super_kind_of(&self, name: Symbol, owners: &[Owner]) -> Option<Kind>;
 }
 
 /// An empty hierarchy (no user-declared region kinds); useful in tests.
@@ -127,7 +128,7 @@ pub trait RegionKindLookup {
 pub struct NoUserKinds;
 
 impl RegionKindLookup for NoUserKinds {
-    fn super_kind_of(&self, _name: &str, _owners: &[Owner]) -> Option<Kind> {
+    fn super_kind_of(&self, _name: Symbol, _owners: &[Owner]) -> Option<Kind> {
         None
     }
 }
@@ -143,15 +144,30 @@ impl RegionKindLookup for NoUserKinds {
 /// assert!(!is_subkind(&NoUserKinds, &Kind::Region, &Kind::GcRegion));
 /// ```
 pub fn is_subkind(kinds: &dyn RegionKindLookup, k1: &Kind, k2: &Kind) -> bool {
+    subkind_with_guard(kinds, k1, k2, &mut Vec::new())
+}
+
+/// The subkinding judgment with a visited set guarding the user-kind
+/// climb: `ProgramTable::build` rejects cyclic `regionKind` hierarchies,
+/// but a custom [`RegionKindLookup`] (or a future caller checking
+/// un-validated input) may still present a cyclic `extends` chain, which
+/// previously recursed forever. A revisited named kind is treated as
+/// unrelated, so the judgment stays total.
+fn subkind_with_guard(
+    kinds: &dyn RegionKindLookup,
+    k1: &Kind,
+    k2: &Kind,
+    visiting: &mut Vec<(Symbol, Vec<Owner>)>,
+) -> bool {
     use Kind::*;
     if k1 == k2 {
         return true;
     }
     match (k1, k2) {
         // [DELETE LT]: k : LT ≤ k (and transitively anything above k).
-        (Lt(inner), _) if !matches!(k2, Lt(_)) => is_subkind(kinds, inner, k2),
+        (Lt(inner), _) if !matches!(k2, Lt(_)) => subkind_with_guard(kinds, inner, k2, visiting),
         // [ADD LT]: k1 : LT ≤ k2 : LT when k1 ≤ k2.
-        (Lt(a), Lt(b)) => is_subkind(kinds, a, b),
+        (Lt(a), Lt(b)) => subkind_with_guard(kinds, a, b, visiting),
         (_, Lt(_)) => false,
         // Everything is an Owner.
         (_, Owner) => true,
@@ -162,10 +178,16 @@ pub fn is_subkind(kinds: &dyn RegionKindLookup, k1: &Kind, k2: &Kind) -> bool {
         // [SUBKIND NOGCREGION]
         (LocalRegion | SharedRegion, NoGcRegion | Region) => true,
         // User kinds climb their `extends` chain (root is SharedRegion).
-        (Named { name, owners }, _) => match kinds.super_kind_of(name, owners) {
-            Some(sup) => is_subkind(kinds, &sup, k2),
-            None => false,
-        },
+        (Named { name, owners }, _) => {
+            if visiting.iter().any(|(n, os)| n == name && os == owners) {
+                return false;
+            }
+            visiting.push((*name, owners.clone()));
+            match kinds.super_kind_of(*name, owners) {
+                Some(sup) => subkind_with_guard(kinds, &sup, k2, visiting),
+                None => false,
+            }
+        }
         _ => false,
     }
 }
@@ -176,8 +198,8 @@ mod tests {
 
     struct OneKind;
     impl RegionKindLookup for OneKind {
-        fn super_kind_of(&self, name: &str, _owners: &[Owner]) -> Option<Kind> {
-            match name {
+        fn super_kind_of(&self, name: Symbol, _owners: &[Owner]) -> Option<Kind> {
+            match name.as_str() {
                 "BufferRegion" => Some(Kind::SharedRegion),
                 "RingRegion" => Some(Kind::Named {
                     name: "BufferRegion".into(),
@@ -199,7 +221,14 @@ mod tests {
     fn lattice_spine() {
         let k = NoUserKinds;
         use Kind::*;
-        for sub in [ObjOwner, Region, GcRegion, NoGcRegion, LocalRegion, SharedRegion] {
+        for sub in [
+            ObjOwner,
+            Region,
+            GcRegion,
+            NoGcRegion,
+            LocalRegion,
+            SharedRegion,
+        ] {
             assert!(is_subkind(&k, &sub, &Owner), "{sub} ≤ Owner");
         }
         assert!(is_subkind(&k, &GcRegion, &Region));
@@ -217,12 +246,32 @@ mod tests {
 
     #[test]
     fn user_kind_chain() {
-        assert!(is_subkind(&OneKind, &named("BufferRegion"), &Kind::SharedRegion));
-        assert!(is_subkind(&OneKind, &named("RingRegion"), &Kind::SharedRegion));
-        assert!(is_subkind(&OneKind, &named("RingRegion"), &named("BufferRegion")));
-        assert!(!is_subkind(&OneKind, &named("BufferRegion"), &named("RingRegion")));
+        assert!(is_subkind(
+            &OneKind,
+            &named("BufferRegion"),
+            &Kind::SharedRegion
+        ));
+        assert!(is_subkind(
+            &OneKind,
+            &named("RingRegion"),
+            &Kind::SharedRegion
+        ));
+        assert!(is_subkind(
+            &OneKind,
+            &named("RingRegion"),
+            &named("BufferRegion")
+        ));
+        assert!(!is_subkind(
+            &OneKind,
+            &named("BufferRegion"),
+            &named("RingRegion")
+        ));
         assert!(is_subkind(&OneKind, &named("RingRegion"), &Kind::Region));
-        assert!(!is_subkind(&OneKind, &named("Mystery"), &Kind::SharedRegion));
+        assert!(!is_subkind(
+            &OneKind,
+            &named("Mystery"),
+            &Kind::SharedRegion
+        ));
     }
 
     #[test]
@@ -250,9 +299,51 @@ mod tests {
         assert!(!Kind::ObjOwner.is_region_kind());
     }
 
+    /// Regression: a cyclic `extends` chain presented through the lookup
+    /// trait must terminate (previously `is_subkind` recursed forever).
+    #[test]
+    fn cyclic_super_chain_terminates() {
+        struct Cyclic;
+        impl RegionKindLookup for Cyclic {
+            fn super_kind_of(&self, name: Symbol, _owners: &[Owner]) -> Option<Kind> {
+                match name.as_str() {
+                    "A" => Some(Kind::Named {
+                        name: "B".into(),
+                        owners: vec![],
+                    }),
+                    "B" => Some(Kind::Named {
+                        name: "A".into(),
+                        owners: vec![],
+                    }),
+                    // C points at itself through an owner-varying cycle.
+                    "C" => Some(Kind::Named {
+                        name: "C".into(),
+                        owners: vec![],
+                    }),
+                    _ => None,
+                }
+            }
+        }
+        // A cyclic chain never reaches SharedRegion: unrelated, not a hang.
+        assert!(!is_subkind(&Cyclic, &named("A"), &Kind::SharedRegion));
+        assert!(!is_subkind(&Cyclic, &named("C"), &Kind::SharedRegion));
+        // Membership in the cycle is still reachable without the climb.
+        assert!(is_subkind(&Cyclic, &named("A"), &named("B")));
+        assert!(is_subkind(&Cyclic, &named("A"), &Kind::Owner));
+        // LT refinements of cyclic kinds terminate too.
+        assert!(!is_subkind(
+            &Cyclic,
+            &named("A").with_lt(),
+            &Kind::SharedRegion
+        ));
+    }
+
     #[test]
     fn display() {
-        assert_eq!(Kind::SharedRegion.with_lt().to_string(), "SharedRegion : LT");
+        assert_eq!(
+            Kind::SharedRegion.with_lt().to_string(),
+            "SharedRegion : LT"
+        );
         let k = Kind::Named {
             name: "Buf".into(),
             owners: vec![Owner::Heap, Owner::This],

@@ -65,7 +65,7 @@ pub mod owner;
 pub mod stype;
 pub mod table;
 
-pub use check::{check_program, Checked};
+pub use check::{check_program, check_program_in, CheckOptions, CheckStats, Checked};
 pub use env::{Effects, Env};
 pub use error::TypeError;
 pub use kind::Kind;

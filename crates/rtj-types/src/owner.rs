@@ -5,16 +5,22 @@
 //! lexically scoped region name, `this`, or one of the built-in owners.
 
 use rtj_lang::ast::{Ident, OwnerRef};
+use rtj_lang::intern::Symbol;
 use rtj_lang::span::Span;
 use std::fmt;
 
 /// A resolved owner (the `o` of the paper's grammar).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+///
+/// Names are interned [`Symbol`]s, so owners are `Copy` and compare/hash
+/// in O(1). Ordering follows string content (via `Symbol`'s `Ord`), so
+/// `BTreeSet<Owner>` iteration is deterministic regardless of intern
+/// order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Owner {
     /// A class or method formal owner parameter.
-    Formal(String),
+    Formal(Symbol),
     /// An in-scope region name.
-    Region(String),
+    Region(Symbol),
     /// The current object.
     This,
     /// The most recent region created before the current method was called.
@@ -30,10 +36,10 @@ pub enum Owner {
 impl Owner {
     /// Converts a surface owner reference, using `is_region` to distinguish
     /// in-scope region names from formal parameters.
-    pub fn resolve(r: &OwnerRef, is_region: impl Fn(&str) -> bool) -> Owner {
+    pub fn resolve(r: &OwnerRef, is_region: impl Fn(Symbol) -> bool) -> Owner {
         match r {
-            OwnerRef::Name(id) if is_region(&id.name) => Owner::Region(id.name.clone()),
-            OwnerRef::Name(id) => Owner::Formal(id.name.clone()),
+            OwnerRef::Name(id) if is_region(id.name) => Owner::Region(id.name),
+            OwnerRef::Name(id) => Owner::Formal(id.name),
             OwnerRef::This(_) => Owner::This,
             OwnerRef::InitialRegion(_) => Owner::InitialRegion,
             OwnerRef::Heap(_) => Owner::Heap,
@@ -46,7 +52,9 @@ impl Owner {
     /// when the checker elaborates inferred owners into the AST.
     pub fn to_ref(&self) -> OwnerRef {
         match self {
-            Owner::Formal(n) | Owner::Region(n) => OwnerRef::Name(Ident::synthetic(n.clone())),
+            Owner::Formal(n) | Owner::Region(n) => {
+                OwnerRef::Name(Ident::synthetic(n.as_str().to_owned()))
+            }
             Owner::This => OwnerRef::This(Span::DUMMY),
             Owner::InitialRegion => OwnerRef::InitialRegion(Span::DUMMY),
             Owner::Heap => OwnerRef::Heap(Span::DUMMY),
@@ -64,7 +72,7 @@ impl Owner {
 impl fmt::Display for Owner {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Owner::Formal(n) | Owner::Region(n) => f.write_str(n),
+            Owner::Formal(n) | Owner::Region(n) => f.write_str(n.as_str()),
             Owner::This => f.write_str("this"),
             Owner::InitialRegion => f.write_str("initialRegion"),
             Owner::Heap => f.write_str("heap"),
@@ -82,7 +90,7 @@ impl fmt::Display for Owner {
 /// `this`.
 #[derive(Debug, Clone, Default)]
 pub struct Subst {
-    pairs: Vec<(String, Owner)>,
+    pairs: Vec<(Symbol, Owner)>,
     /// Replacement for the literal owner `this`, if any.
     pub this_to: Option<Owner>,
     /// Replacement for `initialRegion`, if any.
@@ -101,17 +109,21 @@ impl Subst {
     ///
     /// Panics if the two slices have different lengths (callers check arity
     /// first and report a proper type error).
-    pub fn from_formals(formals: &[String], owners: &[Owner]) -> Self {
+    pub fn from_formals(formals: &[Symbol], owners: &[Owner]) -> Self {
         assert_eq!(formals.len(), owners.len(), "substitution arity mismatch");
         Subst {
-            pairs: formals.iter().cloned().zip(owners.iter().cloned()).collect(),
+            pairs: formals
+                .iter()
+                .copied()
+                .zip(owners.iter().copied())
+                .collect(),
             this_to: None,
             initial_to: None,
         }
     }
 
     /// Adds a formal↦owner pair.
-    pub fn push(&mut self, formal: impl Into<String>, owner: Owner) {
+    pub fn push(&mut self, formal: impl Into<Symbol>, owner: Owner) {
         self.pairs.push((formal.into(), owner));
     }
 
@@ -134,11 +146,11 @@ impl Subst {
                 .pairs
                 .iter()
                 .find(|(f, _)| f == n)
-                .map(|(_, to)| to.clone())
-                .unwrap_or_else(|| o.clone()),
-            Owner::This => self.this_to.clone().unwrap_or(Owner::This),
-            Owner::InitialRegion => self.initial_to.clone().unwrap_or(Owner::InitialRegion),
-            _ => o.clone(),
+                .map(|(_, to)| *to)
+                .unwrap_or(*o),
+            Owner::This => self.this_to.unwrap_or(Owner::This),
+            Owner::InitialRegion => self.initial_to.unwrap_or(Owner::InitialRegion),
+            _ => *o,
         }
     }
 
@@ -167,7 +179,10 @@ mod tests {
         let mut s = Subst::new().with_this(Owner::Region("r".into()));
         s.push("a", Owner::Heap);
         assert_eq!(s.apply(&Owner::Formal("a".into())), Owner::Heap);
-        assert_eq!(s.apply(&Owner::Formal("b".into())), Owner::Formal("b".into()));
+        assert_eq!(
+            s.apply(&Owner::Formal("b".into())),
+            Owner::Formal("b".into())
+        );
         assert_eq!(s.apply(&Owner::This), Owner::Region("r".into()));
         assert_eq!(s.apply(&Owner::InitialRegion), Owner::InitialRegion);
         let s2 = Subst::new().with_initial(Owner::Heap);

@@ -7,6 +7,7 @@
 
 use crate::owner::{Owner, Subst};
 use rtj_lang::ast::{ClassType, Ident, Type};
+use rtj_lang::intern::Symbol;
 use rtj_lang::span::Span;
 use std::fmt;
 
@@ -25,8 +26,8 @@ pub enum SType {
     Str,
     /// A class type `cn<o1..on>`; the first owner owns the object.
     Class {
-        /// Class name.
-        name: String,
+        /// Class name (interned).
+        name: Symbol,
         /// Owner arguments.
         owners: Vec<Owner>,
     },
@@ -36,7 +37,7 @@ pub enum SType {
 
 impl SType {
     /// Builds a class type.
-    pub fn class(name: impl Into<String>, owners: Vec<Owner>) -> SType {
+    pub fn class(name: impl Into<Symbol>, owners: Vec<Owner>) -> SType {
         SType::Class {
             name: name.into(),
             owners,
@@ -61,7 +62,7 @@ impl SType {
     pub fn subst(&self, s: &Subst) -> SType {
         match self {
             SType::Class { name, owners } => SType::Class {
-                name: name.clone(),
+                name: *name,
                 owners: s.apply_all(owners),
             },
             SType::Handle(o) => SType::Handle(s.apply(o)),
@@ -73,7 +74,7 @@ impl SType {
     pub fn owners(&self) -> Vec<Owner> {
         match self {
             SType::Class { owners, .. } => owners.clone(),
-            SType::Handle(o) => vec![o.clone()],
+            SType::Handle(o) => vec![*o],
             _ => Vec::new(),
         }
     }
@@ -96,7 +97,7 @@ impl SType {
             SType::Void => Type::Void(Span::DUMMY),
             SType::Null | SType::Str => return None,
             SType::Class { name, owners } => Type::Class(ClassType {
-                name: Ident::synthetic(name.clone()),
+                name: Ident::synthetic(name.as_str().to_owned()),
                 owners: owners.iter().map(Owner::to_ref).collect(),
                 span: Span::DUMMY,
             }),
@@ -115,7 +116,7 @@ impl fmt::Display for SType {
             SType::Str => f.write_str("String"),
             SType::Class { name, owners } => {
                 if owners.is_empty() {
-                    f.write_str(name)
+                    f.write_str(name.as_str())
                 } else {
                     let os: Vec<String> = owners.iter().map(|o| o.to_string()).collect();
                     write!(f, "{name}<{}>", os.join(", "))
@@ -134,7 +135,10 @@ mod tests {
     fn subst_class_type() {
         let t = SType::class(
             "TNode",
-            vec![Owner::Formal("nodeOwner".into()), Owner::Formal("TOwner".into())],
+            vec![
+                Owner::Formal("nodeOwner".into()),
+                Owner::Formal("TOwner".into()),
+            ],
         );
         let s = Subst::from_formals(
             &["nodeOwner".into(), "TOwner".into()],
@@ -174,10 +178,10 @@ mod tests {
 
     #[test]
     fn display() {
+        assert_eq!(SType::class("C", vec![Owner::Heap]).to_string(), "C<heap>");
         assert_eq!(
-            SType::class("C", vec![Owner::Heap]).to_string(),
-            "C<heap>"
+            SType::Handle(Owner::Immortal).to_string(),
+            "RHandle<immortal>"
         );
-        assert_eq!(SType::Handle(Owner::Immortal).to_string(), "RHandle<immortal>");
     }
 }

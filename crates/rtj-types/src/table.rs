@@ -10,10 +10,11 @@ use crate::kind::{Kind, RegionKindLookup};
 use crate::owner::{Owner, Subst};
 use crate::stype::SType;
 use rtj_lang::ast::{
-    ClassDecl, ConstraintRel, KindAnn, MethodDecl, Policy, Program, RegionKindDecl, ThreadTag,
-    Type,
+    ClassDecl, ConstraintRel, KindAnn, MethodDecl, Policy, Program, RegionKindDecl, ThreadTag, Type,
 };
+use rtj_lang::intern::Symbol;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// A resolved `where`-clause constraint.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,13 +40,13 @@ impl SConstraint {
 
 /// Resolves a surface type to a semantic type. `is_region` distinguishes
 /// in-scope region names from formal owner parameters.
-pub fn resolve_type(ty: &Type, is_region: &dyn Fn(&str) -> bool) -> SType {
+pub fn resolve_type(ty: &Type, is_region: &dyn Fn(Symbol) -> bool) -> SType {
     match ty {
         Type::Int(_) => SType::Int,
         Type::Bool(_) => SType::Bool,
         Type::Void(_) => SType::Void,
         Type::Class(ct) => SType::Class {
-            name: ct.name.name.clone(),
+            name: ct.name.name,
             owners: ct
                 .owners
                 .iter()
@@ -57,7 +58,7 @@ pub fn resolve_type(ty: &Type, is_region: &dyn Fn(&str) -> bool) -> SType {
 }
 
 /// Resolves a surface kind annotation to a semantic kind.
-pub fn resolve_kind(k: &KindAnn, is_region: &dyn Fn(&str) -> bool) -> Kind {
+pub fn resolve_kind(k: &KindAnn, is_region: &dyn Fn(Symbol) -> bool) -> Kind {
     match k {
         KindAnn::Owner(_) => Kind::Owner,
         KindAnn::ObjOwner(_) => Kind::ObjOwner,
@@ -67,7 +68,7 @@ pub fn resolve_kind(k: &KindAnn, is_region: &dyn Fn(&str) -> bool) -> Kind {
         KindAnn::LocalRegion(_) => Kind::LocalRegion,
         KindAnn::SharedRegion(_) => Kind::SharedRegion,
         KindAnn::Named { name, owners } => Kind::Named {
-            name: name.name.clone(),
+            name: name.name,
             owners: owners
                 .iter()
                 .map(|o| Owner::resolve(o, is_region))
@@ -79,7 +80,7 @@ pub fn resolve_kind(k: &KindAnn, is_region: &dyn Fn(&str) -> bool) -> Kind {
 
 fn resolve_constraints(
     cs: &[rtj_lang::ast::Constraint],
-    is_region: &dyn Fn(&str) -> bool,
+    is_region: &dyn Fn(Symbol) -> bool,
 ) -> Vec<SConstraint> {
     cs.iter()
         .map(|c| SConstraint {
@@ -92,17 +93,19 @@ fn resolve_constraints(
 
 /// In declarations, plain owner names are always formals (region names are
 /// never in scope at declaration level).
-fn no_regions(_: &str) -> bool {
+fn no_regions(_: Symbol) -> bool {
     false
 }
 
 /// A class with pre-resolved formal kinds and constraints.
 #[derive(Debug, Clone)]
 pub struct ClassInfo {
-    /// The (default-completed) declaration.
-    pub decl: ClassDecl,
-    /// Names of the formal owner parameters.
-    pub formal_names: Vec<String>,
+    /// The (default-completed) declaration. Shared (`Arc`): `ClassInfo`
+    /// is cloned on hot checking paths, and the declaration — method
+    /// bodies included — is by far its heaviest part.
+    pub decl: Arc<ClassDecl>,
+    /// Names of the formal owner parameters (interned).
+    pub formal_names: Vec<Symbol>,
     /// Resolved kinds of the formals.
     pub formal_kinds: Vec<Kind>,
     /// Resolved `where` constraints.
@@ -112,10 +115,10 @@ pub struct ClassInfo {
 /// A region kind with pre-resolved formal kinds and constraints.
 #[derive(Debug, Clone)]
 pub struct RegionKindInfo {
-    /// The declaration.
-    pub decl: RegionKindDecl,
-    /// Names of the formal owner parameters.
-    pub formal_names: Vec<String>,
+    /// The declaration. Shared (`Arc`), like [`ClassInfo::decl`].
+    pub decl: Arc<RegionKindDecl>,
+    /// Names of the formal owner parameters (interned).
+    pub formal_names: Vec<Symbol>,
     /// Resolved kinds of the formals.
     pub formal_kinds: Vec<Kind>,
     /// Resolved `where` constraints.
@@ -128,11 +131,11 @@ pub struct RegionKindInfo {
 #[derive(Debug, Clone)]
 pub struct MethodSig {
     /// The class that declares the method.
-    pub declared_in: String,
+    pub declared_in: Symbol,
     /// Method formal owner parameters (name, kind).
-    pub formals: Vec<(String, Kind)>,
+    pub formals: Vec<(Symbol, Kind)>,
     /// Value parameters (name, type).
-    pub params: Vec<(String, SType)>,
+    pub params: Vec<(Symbol, SType)>,
     /// Return type.
     pub ret: SType,
     /// Effects (`accesses`) clause, with the default applied when omitted:
@@ -161,18 +164,10 @@ impl MethodSig {
 
     fn subst(&self, s: &Subst) -> MethodSig {
         MethodSig {
-            declared_in: self.declared_in.clone(),
+            declared_in: self.declared_in,
             declared_mentions_this: self.declared_mentions_this,
-            formals: self
-                .formals
-                .iter()
-                .map(|(n, k)| (n.clone(), k.subst(s)))
-                .collect(),
-            params: self
-                .params
-                .iter()
-                .map(|(n, t)| (n.clone(), t.subst(s)))
-                .collect(),
+            formals: self.formals.iter().map(|(n, k)| (*n, k.subst(s))).collect(),
+            params: self.params.iter().map(|(n, t)| (*n, t.subst(s))).collect(),
             ret: self.ret.subst(s),
             effects: s.apply_all(&self.effects),
             constraints: self.constraints.iter().map(|c| c.subst(s)).collect(),
@@ -195,13 +190,13 @@ pub struct SubregionInfo {
 /// Indexed program declarations.
 #[derive(Debug, Clone)]
 pub struct ProgramTable {
-    classes: HashMap<String, ClassInfo>,
-    region_kinds: HashMap<String, RegionKindInfo>,
+    classes: HashMap<Symbol, ClassInfo>,
+    region_kinds: HashMap<Symbol, RegionKindInfo>,
 }
 
 impl RegionKindLookup for ProgramTable {
-    fn super_kind_of(&self, name: &str, owners: &[Owner]) -> Option<Kind> {
-        let info = self.region_kinds.get(name)?;
+    fn super_kind_of(&self, name: Symbol, owners: &[Owner]) -> Option<Kind> {
+        let info = self.region_kinds.get(&name)?;
         if owners.len() != info.formal_names.len() {
             return None;
         }
@@ -229,8 +224,7 @@ impl ProgramTable {
                 errors.push(TypeError::new("class `Object` is built in", c.name.span));
                 continue;
             }
-            let formal_names: Vec<String> =
-                c.formals.iter().map(|f| f.name.name.clone()).collect();
+            let formal_names: Vec<Symbol> = c.formals.iter().map(|f| f.name.name).collect();
             let formal_kinds: Vec<Kind> = c
                 .formals
                 .iter()
@@ -238,12 +232,12 @@ impl ProgramTable {
                 .collect();
             let constraints = resolve_constraints(&c.where_clauses, &no_regions);
             let info = ClassInfo {
-                decl: c.clone(),
+                decl: Arc::new(c.clone()),
                 formal_names,
                 formal_kinds,
                 constraints,
             };
-            if classes.insert(c.name.name.clone(), info).is_some() {
+            if classes.insert(c.name.name, info).is_some() {
                 errors.push(TypeError::new(
                     format!("class `{}` is defined twice", c.name),
                     c.name.span,
@@ -259,8 +253,7 @@ impl ProgramTable {
                 ));
                 continue;
             }
-            let formal_names: Vec<String> =
-                rk.formals.iter().map(|f| f.name.name.clone()).collect();
+            let formal_names: Vec<Symbol> = rk.formals.iter().map(|f| f.name.name).collect();
             let formal_kinds: Vec<Kind> = rk
                 .formals
                 .iter()
@@ -268,12 +261,12 @@ impl ProgramTable {
                 .collect();
             let constraints = resolve_constraints(&rk.where_clauses, &no_regions);
             let info = RegionKindInfo {
-                decl: rk.clone(),
+                decl: Arc::new(rk.clone()),
                 formal_names,
                 formal_kinds,
                 constraints,
             };
-            if region_kinds.insert(rk.name.name.clone(), info).is_some() {
+            if region_kinds.insert(rk.name.name, info).is_some() {
                 errors.push(TypeError::new(
                     format!("region kind `{}` is defined twice", rk.name),
                     rk.name.span,
@@ -295,14 +288,35 @@ impl ProgramTable {
         }
     }
 
+    /// Replaces the stored declarations with `p`'s, keeping the resolved
+    /// formal kinds and constraints and running no validation.
+    ///
+    /// Used by the checking driver after owner inference writes elided
+    /// owner arguments back into method bodies: elaboration changes
+    /// expression-level types only, so the structural facts computed by
+    /// [`ProgramTable::build`] still hold and revalidating the hierarchy
+    /// would double the table-construction cost of every check.
+    pub fn refresh_decls(&mut self, p: &Program) {
+        for c in &p.classes {
+            if let Some(info) = self.classes.get_mut(&c.name.name) {
+                info.decl = Arc::new(c.clone());
+            }
+        }
+        for rk in &p.region_kinds {
+            if let Some(info) = self.region_kinds.get_mut(&rk.name.name) {
+                info.decl = Arc::new(rk.clone());
+            }
+        }
+    }
+
     /// Looks up a class.
-    pub fn class(&self, name: &str) -> Option<&ClassInfo> {
-        self.classes.get(name)
+    pub fn class(&self, name: impl Into<Symbol>) -> Option<&ClassInfo> {
+        self.classes.get(&name.into())
     }
 
     /// Looks up a region kind.
-    pub fn region_kind(&self, name: &str) -> Option<&RegionKindInfo> {
-        self.region_kinds.get(name)
+    pub fn region_kind(&self, name: impl Into<Symbol>) -> Option<&RegionKindInfo> {
+        self.region_kinds.get(&name.into())
     }
 
     /// Iterates over all classes.
@@ -318,8 +332,12 @@ impl ProgramTable {
     /// The superclass of `name` as a `(class, owner-args)` pair, after
     /// substituting `owners` for `name`'s formals. Every user class without
     /// an `extends` clause (and `Object` itself) returns `None`.
-    pub fn superclass(&self, name: &str, owners: &[Owner]) -> Option<(String, Vec<Owner>)> {
-        let info = self.classes.get(name)?;
+    pub fn superclass(
+        &self,
+        name: impl Into<Symbol>,
+        owners: &[Owner],
+    ) -> Option<(Symbol, Vec<Owner>)> {
+        let info = self.classes.get(&name.into())?;
         if owners.len() != info.formal_names.len() {
             return None;
         }
@@ -331,12 +349,12 @@ impl ProgramTable {
                     .iter()
                     .map(|o| s.apply(&Owner::resolve(o, no_regions)))
                     .collect();
-                Some((ct.name.name.clone(), args))
+                Some((ct.name.name, args))
             }
             None => {
                 // Implicit `extends Object<firstFormal>`.
-                let first = owners.first()?.clone();
-                Some(("Object".into(), vec![first]))
+                let first = *owners.first()?;
+                Some((Symbol::intern("Object"), vec![first]))
             }
         }
     }
@@ -346,24 +364,26 @@ impl ProgramTable {
     /// transitivity).
     pub fn is_subclass(
         &self,
-        sub: &str,
+        sub: impl Into<Symbol>,
         sub_owners: &[Owner],
-        sup: &str,
+        sup: impl Into<Symbol>,
         sup_owners: &[Owner],
     ) -> bool {
-        let mut cur = (sub.to_string(), sub_owners.to_vec());
+        let sup = sup.into();
+        let object = Symbol::intern("Object");
+        let mut cur = (sub.into(), sub_owners.to_vec());
         let mut seen = HashSet::new();
         loop {
-            if !seen.insert(cur.0.clone()) {
+            if !seen.insert(cur.0) {
                 return false; // cyclic hierarchy (reported by build)
             }
             if cur.0 == sup && cur.1 == sup_owners {
                 return true;
             }
-            if cur.0 == "Object" {
+            if cur.0 == object {
                 return false;
             }
-            match self.superclass(&cur.0, &cur.1) {
+            match self.superclass(cur.0, &cur.1) {
                 Some(next) => cur = next,
                 None => return false,
             }
@@ -385,7 +405,7 @@ impl ProgramTable {
                     name: n2,
                     owners: o2,
                 },
-            ) => self.is_subclass(n1, o1, n2, o2),
+            ) => self.is_subclass(*n1, o1, *n2, o2),
             _ => false,
         }
     }
@@ -393,11 +413,18 @@ impl ProgramTable {
     /// The type of field `field` of an object of type `class<owners>`,
     /// searching the inheritance chain and substituting owner arguments.
     /// Any `this` remaining in the result denotes the *receiver*.
-    pub fn field_type(&self, class: &str, owners: &[Owner], field: &str) -> Option<SType> {
-        let mut cur = (class.to_string(), owners.to_vec());
+    pub fn field_type(
+        &self,
+        class: impl Into<Symbol>,
+        owners: &[Owner],
+        field: impl Into<Symbol>,
+    ) -> Option<SType> {
+        let field = field.into();
+        let object = Symbol::intern("Object");
+        let mut cur = (class.into(), owners.to_vec());
         let mut seen = HashSet::new();
         loop {
-            if !seen.insert(cur.0.clone()) {
+            if !seen.insert(cur.0) {
                 return None; // cyclic hierarchy (reported by build)
             }
             let info = self.classes.get(&cur.0)?;
@@ -408,8 +435,8 @@ impl ProgramTable {
                 let s = Subst::from_formals(&info.formal_names, &cur.1);
                 return Some(resolve_type(&f.ty, &no_regions).subst(&s));
             }
-            cur = self.superclass(&cur.0, &cur.1)?;
-            if cur.0 == "Object" {
+            cur = self.superclass(cur.0, &cur.1)?;
+            if cur.0 == object {
                 return None;
             }
         }
@@ -418,12 +445,13 @@ impl ProgramTable {
     /// All fields (inherited first) of `class<owners>` as
     /// `(name, substituted type)` pairs; used by the interpreter to lay out
     /// objects and by the checker to audit field well-formedness.
-    pub fn all_fields(&self, class: &str, owners: &[Owner]) -> Vec<(String, SType)> {
+    pub fn all_fields(&self, class: impl Into<Symbol>, owners: &[Owner]) -> Vec<(Symbol, SType)> {
+        let object = Symbol::intern("Object");
         let mut chain = Vec::new();
-        let mut cur = (class.to_string(), owners.to_vec());
+        let mut cur = (class.into(), owners.to_vec());
         let mut seen = HashSet::new();
-        while cur.0 != "Object" {
-            if !seen.insert(cur.0.clone()) {
+        while cur.0 != object {
+            if !seen.insert(cur.0) {
                 break; // cyclic hierarchy (reported by build)
             }
             let Some(info) = self.classes.get(&cur.0) else {
@@ -433,7 +461,7 @@ impl ProgramTable {
                 break;
             }
             chain.push(cur.clone());
-            match self.superclass(&cur.0, &cur.1) {
+            match self.superclass(cur.0, &cur.1) {
                 Some(next) => cur = next,
                 None => break,
             }
@@ -443,10 +471,7 @@ impl ProgramTable {
             let info = &self.classes[name];
             let s = Subst::from_formals(&info.formal_names, owners);
             for f in &info.decl.fields {
-                out.push((
-                    f.name.name.clone(),
-                    resolve_type(&f.ty, &no_regions).subst(&s),
-                ));
+                out.push((f.name.name, resolve_type(&f.ty, &no_regions).subst(&s)));
             }
         }
         out
@@ -456,10 +481,15 @@ impl ProgramTable {
     /// `class<owners>`, searching the inheritance chain; class owner
     /// parameters are substituted away, method formals stay symbolic, and
     /// `this`/`initialRegion` are left for the call rule to substitute.
-    pub fn method_sig(&self, class: &str, owners: &[Owner], method: &str) -> Option<MethodSig> {
+    pub fn method_sig(
+        &self,
+        class: impl Into<Symbol>,
+        owners: &[Owner],
+        method: impl Into<Symbol>,
+    ) -> Option<MethodSig> {
         let (decl_class, decl_owners, m) = self.resolve_method(class, owners, method)?;
         let info = &self.classes[&decl_class];
-        let sig = raw_method_sig(&decl_class, info, m);
+        let sig = raw_method_sig(decl_class, info, m);
         let s = Subst::from_formals(&info.formal_names, &decl_owners);
         Some(sig.subst(&s))
     }
@@ -467,11 +497,16 @@ impl ProgramTable {
     /// Whether the *declared* type of `field` (found along the inheritance
     /// chain of `class`) mentions the literal owner `this`. Such fields can
     /// only be accessed through a receiver that is literally `this`.
-    pub fn field_declared_mentions_this(&self, class: &str, field: &str) -> Option<bool> {
-        let mut cur = class.to_string();
+    pub fn field_declared_mentions_this(
+        &self,
+        class: impl Into<Symbol>,
+        field: impl Into<Symbol>,
+    ) -> Option<bool> {
+        let field = field.into();
+        let mut cur = class.into();
         let mut seen = HashSet::new();
         loop {
-            if !seen.insert(cur.clone()) {
+            if !seen.insert(cur) {
                 return None; // cyclic hierarchy (reported by build)
             }
             let info = self.classes.get(&cur)?;
@@ -479,7 +514,7 @@ impl ProgramTable {
                 return Some(resolve_type(&f.ty, &no_regions).mentions_this());
             }
             match &info.decl.extends {
-                Some(ct) if ct.name.name != "Object" => cur = ct.name.name.clone(),
+                Some(ct) if ct.name.name != "Object" => cur = ct.name.name,
                 _ => return None,
             }
         }
@@ -491,14 +526,16 @@ impl ProgramTable {
     /// allocated class).
     pub fn resolve_method(
         &self,
-        class: &str,
+        class: impl Into<Symbol>,
         owners: &[Owner],
-        method: &str,
-    ) -> Option<(String, Vec<Owner>, &MethodDecl)> {
-        let mut cur = (class.to_string(), owners.to_vec());
+        method: impl Into<Symbol>,
+    ) -> Option<(Symbol, Vec<Owner>, &MethodDecl)> {
+        let method = method.into();
+        let object = Symbol::intern("Object");
+        let mut cur = (class.into(), owners.to_vec());
         let mut seen = HashSet::new();
         loop {
-            if !seen.insert(cur.0.clone()) {
+            if !seen.insert(cur.0) {
                 return None; // cyclic hierarchy (reported by build)
             }
             let info = self.classes.get(&cur.0)?;
@@ -506,10 +543,10 @@ impl ProgramTable {
                 return None;
             }
             if let Some(m) = info.decl.methods.iter().find(|m| m.name.name == method) {
-                return Some((cur.0.clone(), cur.1.clone(), m));
+                return Some((cur.0, cur.1.clone(), m));
             }
-            cur = self.superclass(&cur.0, &cur.1)?;
-            if cur.0 == "Object" {
+            cur = self.superclass(cur.0, &cur.1)?;
+            if cur.0 == object {
                 return None;
             }
         }
@@ -518,7 +555,13 @@ impl ProgramTable {
     /// The subregion member `sub` of a region of kind `kind<owners>`,
     /// searching the region-kind hierarchy. The returned kind's `this`
     /// still denotes the parent region.
-    pub fn subregion(&self, kind: &str, owners: &[Owner], sub: &str) -> Option<SubregionInfo> {
+    pub fn subregion(
+        &self,
+        kind: impl Into<Symbol>,
+        owners: &[Owner],
+        sub: impl Into<Symbol>,
+    ) -> Option<SubregionInfo> {
+        let sub = sub.into();
         let mut cur = Kind::Named {
             name: kind.into(),
             owners: owners.to_vec(),
@@ -526,10 +569,10 @@ impl ProgramTable {
         let mut seen = HashSet::new();
         loop {
             let (name, owners) = match &cur {
-                Kind::Named { name, owners } => (name.clone(), owners.clone()),
+                Kind::Named { name, owners } => (*name, owners.clone()),
                 _ => return None,
             };
-            if !seen.insert(name.clone()) {
+            if !seen.insert(name) {
                 return None; // cyclic kind hierarchy (reported by build)
             }
             let info = self.region_kinds.get(&name)?;
@@ -544,14 +587,20 @@ impl ProgramTable {
                     thread: sr.thread,
                 });
             }
-            cur = self.super_kind_of(&name, &owners)?;
+            cur = self.super_kind_of(name, &owners)?;
         }
     }
 
     /// The type of portal field `field` of a region of kind `kind<owners>`,
     /// searching the region-kind hierarchy. Any `this` in the result
     /// denotes the region itself (the caller substitutes the region).
-    pub fn portal_type(&self, kind: &str, owners: &[Owner], field: &str) -> Option<SType> {
+    pub fn portal_type(
+        &self,
+        kind: impl Into<Symbol>,
+        owners: &[Owner],
+        field: impl Into<Symbol>,
+    ) -> Option<SType> {
+        let field = field.into();
         let mut cur = Kind::Named {
             name: kind.into(),
             owners: owners.to_vec(),
@@ -559,10 +608,10 @@ impl ProgramTable {
         let mut seen = HashSet::new();
         loop {
             let (name, owners) = match &cur {
-                Kind::Named { name, owners } => (name.clone(), owners.clone()),
+                Kind::Named { name, owners } => (*name, owners.clone()),
                 _ => return None,
             };
-            if !seen.insert(name.clone()) {
+            if !seen.insert(name) {
                 return None; // cyclic kind hierarchy (reported by build)
             }
             let info = self.region_kinds.get(&name)?;
@@ -573,12 +622,12 @@ impl ProgramTable {
                 let s = Subst::from_formals(&info.formal_names, &owners);
                 return Some(resolve_type(&f.ty, &no_regions).subst(&s));
             }
-            cur = self.super_kind_of(&name, &owners)?;
+            cur = self.super_kind_of(name, &owners)?;
         }
     }
 
     /// All portal fields (inherited first) of a region kind.
-    pub fn all_portals(&self, kind: &str, owners: &[Owner]) -> Vec<(String, SType)> {
+    pub fn all_portals(&self, kind: impl Into<Symbol>, owners: &[Owner]) -> Vec<(Symbol, SType)> {
         let mut chain = Vec::new();
         let mut cur = Kind::Named {
             name: kind.into(),
@@ -586,11 +635,11 @@ impl ProgramTable {
         };
         let mut seen = HashSet::new();
         while let Kind::Named { name, owners } = cur.clone() {
-            if !self.region_kinds.contains_key(&name) || !seen.insert(name.clone()) {
+            if !self.region_kinds.contains_key(&name) || !seen.insert(name) {
                 break;
             }
-            chain.push((name.clone(), owners.clone()));
-            match self.super_kind_of(&name, &owners) {
+            chain.push((name, owners.clone()));
+            match self.super_kind_of(name, &owners) {
                 Some(k) => cur = k,
                 None => break,
             }
@@ -600,10 +649,7 @@ impl ProgramTable {
             let info = &self.region_kinds[name];
             let s = Subst::from_formals(&info.formal_names, owners);
             for f in &info.decl.portals {
-                out.push((
-                    f.name.name.clone(),
-                    resolve_type(&f.ty, &no_regions).subst(&s),
-                ));
+                out.push((f.name.name, resolve_type(&f.ty, &no_regions).subst(&s)));
             }
         }
         out
@@ -611,7 +657,11 @@ impl ProgramTable {
 
     /// All subregion members (inherited first) of a region kind, with
     /// `this` in subregion kinds left denoting the parent region.
-    pub fn all_subregions(&self, kind: &str, owners: &[Owner]) -> Vec<(String, SubregionInfo)> {
+    pub fn all_subregions(
+        &self,
+        kind: impl Into<Symbol>,
+        owners: &[Owner],
+    ) -> Vec<(Symbol, SubregionInfo)> {
         let mut out = Vec::new();
         let mut cur = Kind::Named {
             name: kind.into(),
@@ -620,11 +670,11 @@ impl ProgramTable {
         let mut chain = Vec::new();
         let mut seen = HashSet::new();
         while let Kind::Named { name, owners } = cur.clone() {
-            if !self.region_kinds.contains_key(&name) || !seen.insert(name.clone()) {
+            if !self.region_kinds.contains_key(&name) || !seen.insert(name) {
                 break;
             }
-            chain.push((name.clone(), owners.clone()));
-            match self.super_kind_of(&name, &owners) {
+            chain.push((name, owners.clone()));
+            match self.super_kind_of(name, &owners) {
                 Some(k) => cur = k,
                 None => break,
             }
@@ -634,7 +684,7 @@ impl ProgramTable {
             let s = Subst::from_formals(&info.formal_names, owners);
             for sr in &info.decl.subregions {
                 out.push((
-                    sr.name.name.clone(),
+                    sr.name.name,
                     SubregionInfo {
                         kind: resolve_kind(&sr.kind, &no_regions).subst(&s),
                         policy: sr.policy,
@@ -653,13 +703,13 @@ impl ProgramTable {
             // Detect unknown superclasses and cycles by walking up with a
             // visited set.
             let mut seen = HashSet::new();
-            seen.insert(name.clone());
-            let mut cur = info.decl.extends.as_ref().map(|ct| ct.name.name.clone());
+            seen.insert(*name);
+            let mut cur = info.decl.extends.as_ref().map(|ct| ct.name.name);
             while let Some(c) = cur {
                 if c == "Object" {
                     break;
                 }
-                if !seen.insert(c.clone()) {
+                if !seen.insert(c) {
                     errors.push(TypeError::new(
                         format!("cycle in class hierarchy involving `{name}`"),
                         info.decl.name.span,
@@ -668,7 +718,7 @@ impl ProgramTable {
                 }
                 match self.classes.get(&c) {
                     Some(next) => {
-                        cur = next.decl.extends.as_ref().map(|ct| ct.name.name.clone());
+                        cur = next.decl.extends.as_ref().map(|ct| ct.name.name);
                     }
                     None => {
                         errors.push(TypeError::new(
@@ -686,7 +736,7 @@ impl ProgramTable {
                 if ct.name.name != "Object" || !ct.owners.is_empty() {
                     let first_formal = info.formal_names.first();
                     let ok = match (ct.owners.first(), first_formal) {
-                        (Some(rtj_lang::ast::OwnerRef::Name(id)), Some(f)) => &id.name == f,
+                        (Some(rtj_lang::ast::OwnerRef::Name(id)), Some(f)) => *f == id.name,
                         _ => false,
                     };
                     if !ok {
@@ -736,13 +786,13 @@ impl ProgramTable {
     fn check_region_kind_hierarchy(&self, errors: &mut Vec<TypeError>) {
         for (name, info) in &self.region_kinds {
             let mut seen = HashSet::new();
-            seen.insert(name.clone());
+            seen.insert(*name);
             let mut cur = info.decl.extends.clone();
             loop {
                 match cur {
                     None | Some(KindAnn::SharedRegion(_)) => break,
                     Some(KindAnn::Named { name: n, .. }) => {
-                        if !seen.insert(n.name.clone()) {
+                        if !seen.insert(n.name) {
                             errors.push(TypeError::new(
                                 format!("cycle in region-kind hierarchy involving `{name}`"),
                                 info.decl.name.span,
@@ -780,7 +830,7 @@ impl ProgramTable {
         for info in self.classes.values() {
             let mut field_names = HashSet::new();
             for f in &info.decl.fields {
-                if !field_names.insert(f.name.name.clone()) {
+                if !field_names.insert(f.name.name) {
                     errors.push(TypeError::new(
                         format!("duplicate field `{}`", f.name),
                         f.name.span,
@@ -789,16 +839,15 @@ impl ProgramTable {
             }
             let mut method_names = HashSet::new();
             for m in &info.decl.methods {
-                if !method_names.insert(m.name.name.clone()) {
+                if !method_names.insert(m.name.name) {
                     errors.push(TypeError::new(
                         format!("duplicate method `{}` (no overloading)", m.name),
                         m.name.span,
                     ));
                 }
-                let mut owner_names: HashSet<&str> =
-                    info.formal_names.iter().map(String::as_str).collect();
+                let mut owner_names: HashSet<Symbol> = info.formal_names.iter().copied().collect();
                 for f in &m.formals {
-                    if !owner_names.insert(&f.name.name) {
+                    if !owner_names.insert(f.name.name) {
                         errors.push(TypeError::new(
                             format!(
                                 "method owner parameter `{}` shadows another owner parameter",
@@ -811,7 +860,7 @@ impl ProgramTable {
             }
             let mut formal_set = HashSet::new();
             for f in &info.formal_names {
-                if !formal_set.insert(f.clone()) {
+                if !formal_set.insert(*f) {
                     errors.push(TypeError::new(
                         format!("duplicate owner parameter `{f}`"),
                         info.decl.name.span,
@@ -830,10 +879,10 @@ impl ProgramTable {
                         .iter()
                         .map(|o| Owner::resolve(o, no_regions))
                         .collect();
-                    (ct.name.name.clone(), args)
+                    (ct.name.name, args)
                 })
             {
-                for (fname, _) in self.all_fields(&sup, &sup_args) {
+                for (fname, _) in self.all_fields(sup, &sup_args) {
                     if field_names.contains(&fname) {
                         errors.push(TypeError::new(
                             format!("field `{fname}` is already declared in a superclass"),
@@ -846,7 +895,7 @@ impl ProgramTable {
         for info in self.region_kinds.values() {
             let mut names = HashSet::new();
             for f in &info.decl.portals {
-                if !names.insert(f.name.name.clone()) {
+                if !names.insert(f.name.name) {
                     errors.push(TypeError::new(
                         format!("duplicate portal field `{}`", f.name),
                         f.name.span,
@@ -854,7 +903,7 @@ impl ProgramTable {
                 }
             }
             for s in &info.decl.subregions {
-                if !names.insert(s.name.name.clone()) {
+                if !names.insert(s.name.name) {
                     errors.push(TypeError::new(
                         format!("duplicate subregion `{}`", s.name),
                         s.name.span,
@@ -868,48 +917,48 @@ impl ProgramTable {
     /// subregions": the graph kind → subregion kinds must be acyclic.
     fn check_subregion_finiteness(&self, errors: &mut Vec<TypeError>) {
         // Edges over kind *names* (inheritance included).
-        let edges: HashMap<String, Vec<String>> = self
+        let edges: HashMap<Symbol, Vec<Symbol>> = self
             .region_kinds
             .iter()
             .map(|(name, info)| {
                 let mut outs = Vec::new();
                 for sr in &info.decl.subregions {
                     if let KindAnn::Named { name: n, .. } = &sr.kind {
-                        outs.push(n.name.clone());
+                        outs.push(n.name);
                     }
                 }
-                (name.clone(), outs)
+                (*name, outs)
             })
             .collect();
         // Inherited subregions also count.
-        let parents: HashMap<String, Option<String>> = self
+        let parents: HashMap<Symbol, Option<Symbol>> = self
             .region_kinds
             .iter()
             .map(|(name, info)| {
                 let p = match &info.decl.extends {
-                    Some(KindAnn::Named { name: n, .. }) => Some(n.name.clone()),
+                    Some(KindAnn::Named { name: n, .. }) => Some(n.name),
                     _ => None,
                 };
-                (name.clone(), p)
+                (*name, p)
             })
             .collect();
-        let all_subs = |k: &str| -> Vec<String> {
+        let all_subs = |k: Symbol| -> Vec<Symbol> {
             let mut out = Vec::new();
-            let mut cur = Some(k.to_string());
+            let mut cur = Some(k);
             while let Some(c) = cur {
                 if let Some(es) = edges.get(&c) {
-                    out.extend(es.iter().cloned());
+                    out.extend(es.iter().copied());
                 }
-                cur = parents.get(&c).cloned().flatten();
+                cur = parents.get(&c).copied().flatten();
             }
             out
         };
         for name in self.region_kinds.keys() {
             // DFS from `name` through subregion edges looking for `name`.
-            let mut stack = all_subs(name);
+            let mut stack = all_subs(*name);
             let mut seen = HashSet::new();
             while let Some(k) = stack.pop() {
-                if &k == name {
+                if k == *name {
                     errors.push(TypeError::new(
                         format!(
                             "region kind `{name}` has an infinite number of transitive \
@@ -919,8 +968,8 @@ impl ProgramTable {
                     ));
                     break;
                 }
-                if seen.insert(k.clone()) {
-                    stack.extend(all_subs(&k));
+                if seen.insert(k) {
+                    stack.extend(all_subs(k));
                 }
             }
         }
@@ -928,31 +977,28 @@ impl ProgramTable {
 }
 
 /// The signature of a method in its declaring class's own formal context.
-pub(crate) fn raw_method_sig(class: &str, info: &ClassInfo, m: &MethodDecl) -> MethodSig {
-    let formals: Vec<(String, Kind)> = m
+pub(crate) fn raw_method_sig(class: Symbol, info: &ClassInfo, m: &MethodDecl) -> MethodSig {
+    let formals: Vec<(Symbol, Kind)> = m
         .formals
         .iter()
-        .map(|f| (f.name.name.clone(), resolve_kind(&f.kind, &no_regions)))
+        .map(|f| (f.name.name, resolve_kind(&f.kind, &no_regions)))
         .collect();
-    let params: Vec<(String, SType)> = m
+    let params: Vec<(Symbol, SType)> = m
         .params
         .iter()
-        .map(|p| (p.name.name.clone(), resolve_type(&p.ty, &no_regions)))
+        .map(|p| (p.name.name, resolve_type(&p.ty, &no_regions)))
         .collect();
     let ret = resolve_type(&m.ret, &no_regions);
     let effects = match &m.effects {
-        Some(list) => list
-            .iter()
-            .map(|o| Owner::resolve(o, no_regions))
-            .collect(),
+        Some(list) => list.iter().map(|o| Owner::resolve(o, no_regions)).collect(),
         None => {
             // Default: all class and method owner parameters + initialRegion.
             let mut fx: Vec<Owner> = info
                 .formal_names
                 .iter()
-                .map(|n| Owner::Formal(n.clone()))
+                .map(|n| Owner::Formal(*n))
                 .collect();
-            fx.extend(formals.iter().map(|(n, _)| Owner::Formal(n.clone())));
+            fx.extend(formals.iter().map(|(n, _)| Owner::Formal(*n)));
             fx.push(Owner::InitialRegion);
             fx
         }
@@ -965,7 +1011,7 @@ pub(crate) fn raw_method_sig(class: &str, info: &ClassInfo, m: &MethodDecl) -> M
             .iter()
             .any(|c| c.lhs == Owner::This || c.rhs == Owner::This);
     MethodSig {
-        declared_in: class.to_string(),
+        declared_in: class,
         formals,
         params,
         ret,
@@ -1004,11 +1050,7 @@ mod tests {
         .unwrap();
         assert!(t.class("TStack").is_some());
         let ft = t
-            .field_type(
-                "TStack",
-                &[Owner::Region("r".into()), Owner::Heap],
-                "head",
-            )
+            .field_type("TStack", &[Owner::Region("r".into()), Owner::Heap], "head")
             .unwrap();
         assert_eq!(ft, SType::class("TNode", vec![Owner::This, Owner::Heap]));
     }
@@ -1016,13 +1058,14 @@ mod tests {
     #[test]
     fn rejects_duplicates_and_cycles() {
         assert!(table("class A<Owner o> { } class A<Owner o> { } { }").is_err());
-        assert!(table(
-            "class A<Owner o> extends B<o> { } class B<Owner o> extends A<o> { } { }"
-        )
-        .is_err());
+        assert!(
+            table("class A<Owner o> extends B<o> { } class B<Owner o> extends A<o> { } { }")
+                .is_err()
+        );
         assert!(table("class A<Owner o> { int x; int x; } { }").is_err());
-        assert!(table("class A<Owner o> { int m() { return 1; } int m() { return 2; } } { }")
-            .is_err());
+        assert!(
+            table("class A<Owner o> { int m() { return 1; } int m() { return 2; } } { }").is_err()
+        );
         assert!(table("class A<Owner o, Owner o> { } { }").is_err());
         assert!(table("class A { } { }").is_err(), "zero formals rejected");
     }
@@ -1031,16 +1074,12 @@ mod tests {
     fn rejects_unknown_superclass_and_bad_first_owner() {
         assert!(table("class A<Owner o> extends Ghost<o> { } { }").is_err());
         assert!(
-            table(
-                "class A<Owner o, Owner p> extends B<p> { } class B<Owner o> { } { }"
-            )
-            .is_err(),
+            table("class A<Owner o, Owner p> extends B<p> { } class B<Owner o> { } { }").is_err(),
             "superclass first owner must be the subclass's first formal"
         );
-        assert!(table(
-            "class A<Owner o, Owner p> extends B<o> { } class B<Owner o> { } { }"
-        )
-        .is_ok());
+        assert!(
+            table("class A<Owner o, Owner p> extends B<o> { } class B<Owner o> { } { }").is_ok()
+        );
     }
 
     #[test]
@@ -1096,7 +1135,7 @@ mod tests {
         let pt = t.portal_type("BufferSubRegion", &[], "f").unwrap();
         assert_eq!(pt, SType::class("Frame", vec![Owner::This]));
         assert_eq!(
-            t.super_kind_of("BufferRegion", &[]),
+            t.super_kind_of("BufferRegion".into(), &[]),
             Some(Kind::SharedRegion)
         );
     }

@@ -84,7 +84,7 @@ fn assert_fully_elaborated(p: &Program, table: &ProgramTable) {
                 1
             } else {
                 table
-                    .class(&class.name.name)
+                    .class(class.name.name)
                     .map(|i| i.formal_names.len())
                     .unwrap_or(0)
             };

@@ -11,11 +11,11 @@ const N_REGIONS: usize = 5;
 const N_OBJECTS: usize = 4;
 
 fn region(i: usize) -> Owner {
-    Owner::Region(format!("r{i}"))
+    Owner::Region(format!("r{i}").into())
 }
 
 fn formal(i: usize) -> Owner {
-    Owner::Formal(format!("f{i}"))
+    Owner::Formal(format!("f{i}").into())
 }
 
 /// A random but *consistent* environment:
@@ -50,11 +50,7 @@ fn facts_strategy() -> impl Strategy<Value = Facts> {
             if i == 0 {
                 (0..N_REGIONS).prop_map(Ok).boxed()
             } else {
-                prop_oneof![
-                    (0..N_REGIONS).prop_map(Ok),
-                    (0..i).prop_map(Err),
-                ]
-                .boxed()
+                prop_oneof![(0..N_REGIONS).prop_map(Ok), (0..i).prop_map(Err),].boxed()
             }
         })
         .collect::<Vec<_>>();
@@ -160,7 +156,7 @@ proptest! {
         let env = build_env(&f);
         let owners = all_owners();
         for a in &owners {
-            let just_a: Effects = [a.clone()].into_iter().collect();
+            let just_a: Effects = [*a].into_iter().collect();
             prop_assert!(env.effect_covered(&just_a, a), "{a} covers itself");
             let mut bigger = just_a.clone();
             bigger.insert(region(extra));

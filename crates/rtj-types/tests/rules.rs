@@ -50,10 +50,8 @@ fn class_formals_scope_and_first_owner() {
     );
     // Every class formal outlives the first ([CLASS DEF] records
     // fnᵢ ≽ fn₁), so Pair<a, b> is well-formed by assumption…
-    ok(
-        "class C<Owner a, Owner b> { Pair<a, b> f; } \
-         class Pair<Owner x, Owner y> { } { }",
-    );
+    ok("class C<Owner a, Owner b> { Pair<a, b> f; } \
+         class Pair<Owner x, Owner y> { } { }");
     // …but the reverse needs a ≽ b, which nothing provides.
     err(
         "class C<Owner a, Owner b> { Pair<b, a> f; } \
@@ -82,16 +80,14 @@ fn class_type_owner_kinds_are_checked() {
         "#,
         "not a subkind",
     );
-    ok(
-        r#"
+    ok(r#"
         class R<Region r> { }
         {
             (RHandle<q> h) {
                 let R<q> x = new R<q>;
             }
         }
-        "#,
-    );
+        "#);
 }
 
 // --------------------------------------------------------------- [METHOD]
@@ -107,8 +103,7 @@ fn method_effects_must_have_kinds() {
 
 #[test]
 fn method_formals_with_constraints() {
-    ok(
-        r#"
+    ok(r#"
         class C<Owner o> {
             void m<Owner p, Owner q>(D<p> x, D<q> y) where p outlives q { }
         }
@@ -123,8 +118,7 @@ fn method_formals_with_constraints() {
                 }
             }
         }
-        "#,
-    );
+        "#);
     err(
         r#"
         class C<Owner o> {
@@ -150,8 +144,7 @@ fn method_formals_with_constraints() {
 
 #[test]
 fn let_subsumption() {
-    ok(
-        r#"
+    ok(r#"
         class B<Owner o> { }
         class A<Owner o> extends B<o> { }
         {
@@ -160,8 +153,7 @@ fn let_subsumption() {
                 let Object<r> any = new A<r>;
             }
         }
-        "#,
-    );
+        "#);
     err(
         r#"
         class B<Owner o> { }
@@ -177,35 +169,30 @@ fn let_subsumption() {
 #[test]
 fn new_requires_effect_and_handle() {
     // `this`-owned allocation inside a method: handle via [AV THIS].
-    ok(
-        r#"
+    ok(r#"
         class S<Owner o> {
             N<this> mk() { return new N<this>; }
         }
         class N<Owner o> { }
         { }
-        "#,
-    );
+        "#);
     // Allocating through an owner whose handle is reachable through the
     // ownership relation ([AV TRANS]): o owns this, handle of this known.
-    ok(
-        r#"
+    ok(r#"
         class S<Owner o> {
             void m() accesses o {
                 let Object<o> x = new Object<o>;
             }
         }
         { }
-        "#,
-    );
+        "#);
 }
 
 // -------------------------------------------------- [EXPR REF READ/WRITE]
 
 #[test]
 fn field_rules() {
-    ok(
-        r#"
+    ok(r#"
         class C<Owner o> { int n; D<o> d; }
         class D<Owner o> { }
         {
@@ -217,8 +204,7 @@ fn field_rules() {
                 let y = c.n + 1;
             }
         }
-        "#,
-    );
+        "#);
     err(
         "class C<Owner o> { int n; } { (RHandle<r> h) { let c = new C<r>; let x = c.ghost; } }",
         "no field",
@@ -239,8 +225,7 @@ fn field_rules() {
 #[test]
 fn invoke_rules() {
     // Renaming initialRegion to the caller's current region.
-    ok(
-        r#"
+    ok(r#"
         class F<Owner o> {
             C<initialRegion> mk() accesses initialRegion {
                 return new C<initialRegion>;
@@ -254,8 +239,7 @@ fn invoke_rules() {
                 let C<r> typed = c;
             }
         }
-        "#,
-    );
+        "#);
     // Wrong arity of owner arguments.
     err(
         r#"
@@ -299,13 +283,9 @@ fn invoke_rules() {
 #[test]
 fn region_rules() {
     // Nested regions: names must not shadow.
-    err(
-        "{ (RHandle<r> h) { (RHandle<r> h2) { } } }",
-        "shadows",
-    );
+    err("{ (RHandle<r> h) { (RHandle<r> h2) { } } }", "shadows");
     // The new region is inside everything that already exists.
-    ok(
-        r#"
+    ok(r#"
         class P<Owner a, Owner b> { }
         {
             (RHandle<r1> h1) {
@@ -316,8 +296,7 @@ fn region_rules() {
                 }
             }
         }
-        "#,
-    );
+        "#);
 }
 
 // --------------------------------------------------------- [EXPR SUBREGION]
@@ -435,8 +414,7 @@ fn fork_rules() {
 fn lt_kind_refinement_flows_through() {
     // A class can demand an LT shared region for its owner, so its
     // methods can be called from real-time threads.
-    ok(
-        r#"
+    ok(r#"
         class Scratch<SharedRegion : LT r> {
             void fill(RHandle<r> h) accesses r {
                 let Object<r> x = new Object<r>;
@@ -448,8 +426,7 @@ fn lt_kind_refinement_flows_through() {
                 s.fill(h);
             }
         }
-        "#,
-    );
+        "#);
     err(
         r#"
         class Scratch<SharedRegion : LT r> { }
@@ -468,8 +445,7 @@ fn lt_kind_refinement_flows_through() {
 #[test]
 fn inheritance_rules() {
     // Inherited methods see the superclass's owners correctly.
-    ok(
-        r#"
+    ok(r#"
         class B<Owner o> {
             C<o> mk() { return null; }
         }
@@ -482,8 +458,7 @@ fn inheritance_rules() {
                 let C<r> typed = c;
             }
         }
-        "#,
-    );
+        "#);
     // Handles are never null.
     err(
         "class B<Owner o> { } { let RHandle<heap> x = null; }",
@@ -507,21 +482,18 @@ fn inheritance_rules() {
         "#,
         "not implied",
     );
-    ok(
-        r#"
+    ok(r#"
         class B<Owner o, Owner p> where p outlives o { }
         class A<Owner o, Owner p> extends B<o, p> where p outlives o { }
         { }
-        "#,
-    );
+        "#);
 }
 
 // ------------------------------------------------------- parameterized kinds
 
 #[test]
 fn region_kinds_with_owner_parameters() {
-    ok(
-        r#"
+    ok(r#"
         regionKind Mail<Owner sender> extends SharedRegion {
             Msg<sender> inbox;
         }
@@ -534,8 +506,7 @@ fn region_kinds_with_owner_parameters() {
                 got.payload = 1;
             }
         }
-        "#,
-    );
+        "#);
     err(
         r#"
         regionKind Mail<Owner sender> extends SharedRegion {

@@ -16,10 +16,7 @@ fn main() {
     } else {
         Scale::Smoke
     };
-    println!(
-        "{}",
-        render_fig12(&fig12(scale))
-    );
+    println!("{}", render_fig12(&fig12(scale)));
     if scale == Scale::Smoke {
         println!("(smoke scale; pass --paper for the full-size workloads)");
     }

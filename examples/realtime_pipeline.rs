@@ -83,8 +83,10 @@ fn main() {
     // watcher typically observes only the final reading.
     println!("readings seen   : {}", out.trace.join(", "));
     assert!(!out.trace.is_empty());
-    println!("rt lock waits   : {} cycles (type system keeps it at zero)",
-        out.stats.rt_max_lock_wait);
+    println!(
+        "rt lock waits   : {} cycles (type system keeps it at zero)",
+        out.stats.rt_max_lock_wait
+    );
     assert_eq!(out.stats.rt_max_lock_wait, 0);
 
     // What the type system rejects: a real-time thread calling into code

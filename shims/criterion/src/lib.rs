@@ -1,0 +1,348 @@
+//! Minimal, offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! subset of criterion's API that the workspace benches use: `Criterion`,
+//! benchmark groups, `bench_function` / `bench_with_input`, `Bencher::iter` /
+//! `iter_batched`, `Throughput`, `BenchmarkId`, `BatchSize`, and the
+//! `criterion_group!` / `criterion_main!` macros (both invocation forms).
+//!
+//! Measurement model: a short warm-up, then `sample_size` samples, each an
+//! adaptively-sized batch of iterations. The median per-iteration time is
+//! reported, along with throughput when configured. Statistics are cruder
+//! than real criterion's but stable enough for before/after comparisons.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched` should size its setup batches. The shim runs one
+/// routine call per setup call regardless of the variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark: bytes or elements processed per
+/// iteration, used to derive a rate from the measured time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A two-part benchmark identifier (`function/parameter`).
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Build an id from a displayed parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing harness handed to benchmark closures.
+pub struct Bencher {
+    /// Iterations to run in the current sample batch.
+    batch: u64,
+    /// Total time spent in measured routines for the current sample.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it `batch` times back-to-back.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.batch {
+            std_black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` with a fresh un-timed `setup` product per call.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.batch {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+
+    /// Like [`Bencher::iter_batched`] but passes the input by reference.
+    pub fn iter_batched_ref<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(&mut I) -> R,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.batch {
+            let mut input = setup();
+            let start = Instant::now();
+            std_black_box(routine(&mut input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Top-level benchmark driver: configuration plus result reporting.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(600),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Set the target total measurement time per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let sample_size = self.sample_size;
+        let measurement_time = self.measurement_time;
+        run_one(id, None, sample_size, measurement_time, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the throughput annotation for subsequent benchmarks in the group.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Override the sample size for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    /// Run a benchmark identified by `id` within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().full);
+        run_one(
+            &full,
+            self.throughput,
+            self.criterion.sample_size,
+            self.criterion.measurement_time,
+            f,
+        );
+        self
+    }
+
+    /// Run a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().full);
+        run_one(
+            &full,
+            self.throughput,
+            self.criterion.sample_size,
+            self.criterion.measurement_time,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Finish the group (report flushing is a no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Conversion into a [`BenchmarkId`], so group methods accept both
+/// `BenchmarkId::new(..)` and plain strings.
+pub trait IntoBenchmarkId {
+    /// Perform the conversion.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            full: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { full: self }
+    }
+}
+
+fn run_one(
+    id: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    measurement_time: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        batch: 1,
+        elapsed: Duration::ZERO,
+    };
+
+    // Warm-up and batch sizing: find a batch that takes a measurable slice
+    // of the budget, so per-sample timer noise is amortised.
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let budget_per_sample = measurement_time
+        .checked_div(sample_size as u32)
+        .unwrap_or(Duration::from_millis(10));
+    let batch =
+        (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        b.batch = batch;
+        f(&mut b);
+        samples_ns.push(b.elapsed.as_nanos() as f64 / batch as f64);
+    }
+    samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = samples_ns[samples_ns.len() / 2];
+    let lo = samples_ns[0];
+    let hi = samples_ns[samples_ns.len() - 1];
+
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let gibs = n as f64 / median * 1e9 / (1024.0 * 1024.0 * 1024.0);
+            if gibs >= 1.0 {
+                format!("  thrpt: {gibs:9.3} GiB/s")
+            } else {
+                format!("  thrpt: {:9.3} MiB/s", gibs * 1024.0)
+            }
+        }
+        Some(Throughput::Elements(n)) => {
+            format!("  thrpt: {:10.0} elem/s", n as f64 / median * 1e9)
+        }
+        None => String::new(),
+    };
+    println!(
+        "{id:<44} time: [{} {} {}]{rate}",
+        fmt_ns(lo),
+        fmt_ns(median),
+        fmt_ns(hi)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:8.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:8.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:8.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:8.2} ns")
+    }
+}
+
+/// Define a benchmark group function, supporting both criterion forms:
+/// `criterion_group!(benches, f1, f2)` and
+/// `criterion_group! { name = benches; config = ...; targets = f1, f2 }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)*) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)*) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define the benchmark binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)*) => {
+        fn main() {
+            // `cargo bench` forwards harness flags (e.g. `--bench`); the shim
+            // runs every group unconditionally and ignores them.
+            $( $group(); )+
+        }
+    };
+}

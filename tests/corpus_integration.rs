@@ -9,8 +9,7 @@ use rtjava::runtime::CheckMode;
 #[test]
 fn corpus_smoke_all_modes_agree() {
     for bench in all(Scale::Smoke) {
-        let checked = build(&bench.source)
-            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        let checked = build(&bench.source).unwrap_or_else(|e| panic!("{}: {e}", bench.name));
         let dynamic = run_checked(&checked, RunConfig::new(CheckMode::Dynamic));
         let static_ = run_checked(&checked, RunConfig::new(CheckMode::Static));
         let audit = run_checked(&checked, RunConfig::new(CheckMode::Audit));

@@ -1,0 +1,85 @@
+//! Differential test: the serial (`jobs = 1`) and parallel (`jobs > 1`)
+//! checking drivers must be observably identical — same accept/reject
+//! decision and byte-identical, span-sorted diagnostics — on every corpus
+//! program, every deliberately ill-typed program, and the scaled
+//! replicated-class corpus.
+
+use rtjava::corpus::{all, negatives, scaled_classes, Scale};
+use rtjava::lang::parse_program;
+use rtjava::types::{check_program_in, CheckOptions, TypeError};
+
+/// Renders diagnostics the way `rtjc` ultimately orders them: the byte
+/// string compared between drivers.
+fn render(errs: &[TypeError]) -> String {
+    errs.iter()
+        .map(|e| format!("{:?}: {}", e.span, e.message))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Checks `src` under both drivers and asserts identical outcomes.
+fn assert_drivers_agree(name: &str, src: &str) {
+    let program = parse_program(src).unwrap_or_else(|e| panic!("{name}: parse error: {e}"));
+    let serial = check_program_in(program.clone(), &CheckOptions { jobs: 1 });
+    for jobs in [2, 4, 0] {
+        let parallel = check_program_in(program.clone(), &CheckOptions { jobs });
+        match (&serial, &parallel) {
+            (Ok(s), Ok(p)) => {
+                assert_eq!(
+                    s.stats.classes_checked, p.stats.classes_checked,
+                    "{name}: class counts diverge at jobs={jobs}"
+                );
+                assert_eq!(
+                    s.stats.methods_checked, p.stats.methods_checked,
+                    "{name}: method counts diverge at jobs={jobs}"
+                );
+            }
+            (Err(s), Err(p)) => {
+                assert_eq!(
+                    render(s),
+                    render(p),
+                    "{name}: diagnostics diverge at jobs={jobs}"
+                );
+            }
+            (s, p) => panic!(
+                "{name}: accept/reject diverges at jobs={jobs}: serial ok={}, parallel ok={}",
+                s.is_ok(),
+                p.is_ok()
+            ),
+        }
+    }
+}
+
+#[test]
+fn corpus_programs_agree_across_drivers() {
+    for bench in all(Scale::Smoke) {
+        assert_drivers_agree(bench.name, &bench.source);
+    }
+}
+
+#[test]
+fn negative_programs_agree_across_drivers() {
+    for (name, src) in negatives() {
+        assert_drivers_agree(name, &src);
+    }
+}
+
+#[test]
+fn scaled_corpus_agrees_across_drivers() {
+    for copies in [1, 8, 32] {
+        assert_drivers_agree(&format!("scaled-{copies}"), &scaled_classes(copies));
+    }
+}
+
+#[test]
+fn diagnostics_are_span_sorted() {
+    for (name, src) in negatives() {
+        let program = parse_program(&src).unwrap();
+        let errs = check_program_in(program, &CheckOptions { jobs: 0 })
+            .expect_err("negative program must be rejected");
+        let spans: Vec<_> = errs.iter().map(|e| e.span).collect();
+        let mut sorted = spans.clone();
+        sorted.sort();
+        assert_eq!(spans, sorted, "{name}: diagnostics not sorted by span");
+    }
+}

@@ -34,6 +34,10 @@ fn formatted_corpus_behaves_identically() {
         let b = run_checked(&formatted, RunConfig::new(CheckMode::Dynamic));
         assert!(a.error.is_none() && b.error.is_none(), "{}", bench.name);
         assert_eq!(a.trace, b.trace, "{}", bench.name);
-        assert_eq!(a.cycles, b.cycles, "{}: formatting changed cost", bench.name);
+        assert_eq!(
+            a.cycles, b.cycles,
+            "{}: formatting changed cost",
+            bench.name
+        );
     }
 }

@@ -33,9 +33,7 @@ const TSTACK: &str = r#"
 "#;
 
 fn tstack_main(body: &str) -> String {
-    format!(
-        "{TSTACK}\n{{ (RHandle<r1> h1) {{ (RHandle<r2> h2) {{ {body} }} }} }}"
-    )
+    format!("{TSTACK}\n{{ (RHandle<r1> h1) {{ (RHandle<r2> h2) {{ {body} }} }} }}")
 }
 
 fn assert_well_typed(src: &str) {
@@ -207,7 +205,10 @@ fn theorem3_audit_no_dangling_and_encapsulation() {
         "#,
     );
     let out = run_ok(&src, CheckMode::Audit);
-    assert!(out.stats.store_checks > 0, "the audit actually checked stores");
+    assert!(
+        out.stats.store_checks > 0,
+        "the audit actually checked stores"
+    );
     assert_eq!(out.stats.check_cycles, 0, "audit mode is free");
 }
 

@@ -85,9 +85,7 @@ impl Template {
 
     /// The oracle: exactly when must the type system accept?
     fn legal(&self) -> bool {
-        self.holders
-            .iter()
-            .all(|h| h.item_owner.outlives(h.own))
+        self.holders.iter().all(|h| h.item_owner.outlives(h.own))
             && self
                 .stores
                 .iter()
@@ -135,11 +133,7 @@ impl Template {
 }
 
 fn owner_strategy(depth: usize) -> impl Strategy<Value = O> {
-    prop_oneof![
-        Just(O::Heap),
-        Just(O::Immortal),
-        (0..depth).prop_map(O::R),
-    ]
+    prop_oneof![Just(O::Heap), Just(O::Immortal), (0..depth).prop_map(O::R),]
 }
 
 fn template_strategy() -> impl Strategy<Value = Template> {
