@@ -1,0 +1,63 @@
+//! Cost of the observability layer (ISSUE acceptance criterion: tracing
+//! *disabled* must not measurably slow the interpreter).
+//!
+//! Three configurations run the same corpus program:
+//!
+//! * `off` — `TraceCapture::Off`, the default: the runtime pays one
+//!   pointer test per emission point and builds no events;
+//! * `ring` — flight-recorder capture of the last 256 events;
+//! * `full` — every event rendered to a JSONL line.
+//!
+//! Whatever the sink, the *virtual* clock is untouched: tracing is pure
+//! observation, so cycles and metrics are identical across the three —
+//! asserted here before timing anything.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtj_corpus::{all, Scale};
+use rtj_interp::{build, run_checked, RunConfig, TraceCapture};
+use rtj_runtime::CheckMode;
+use std::hint::black_box;
+
+fn cfg(capture: TraceCapture) -> RunConfig {
+    let mut cfg = RunConfig::new(CheckMode::Dynamic);
+    cfg.events = capture;
+    cfg
+}
+
+fn trace_overhead(c: &mut Criterion) {
+    let bench = all(Scale::Smoke)
+        .into_iter()
+        .find(|b| b.name == "Array")
+        .expect("Array is in the corpus");
+    let checked = build(&bench.source).expect("corpus program typechecks");
+
+    let off = run_checked(&checked, cfg(TraceCapture::Off));
+    let ring = run_checked(&checked, cfg(TraceCapture::Ring(256)));
+    let full = run_checked(&checked, cfg(TraceCapture::Full));
+    assert_eq!(
+        off.cycles, full.cycles,
+        "tracing must not cost virtual time"
+    );
+    assert_eq!(off.metrics, ring.metrics, "tracing must not change metrics");
+    assert_eq!(off.metrics, full.metrics, "tracing must not change metrics");
+    println!(
+        "trace volume: {} events full, {} retained by ring(256), 0 when off",
+        full.events.as_deref().map_or(0, <[String]>::len),
+        ring.events.as_deref().map_or(0, <[String]>::len),
+    );
+
+    let mut group = c.benchmark_group("trace");
+    group.bench_function("off", |b| {
+        b.iter(|| black_box(run_checked(&checked, cfg(TraceCapture::Off)).cycles))
+    });
+    group.bench_function("ring256", |b| {
+        b.iter(|| black_box(run_checked(&checked, cfg(TraceCapture::Ring(256))).cycles))
+    });
+    group.bench_function("full", |b| {
+        b.iter(|| black_box(run_checked(&checked, cfg(TraceCapture::Full)).cycles))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, trace_overhead);
+criterion_main!(benches);

@@ -6,16 +6,26 @@
 //! rtjc check --jobs N <file>   …with N worker threads (1 = serial, 0 = auto)
 //! rtjc run <file.rtj>          check then run (static mode)
 //! rtjc run --dynamic <file>    run with the RTSJ dynamic checks
+//! rtjc run --audit <file>      run the checks at zero virtual cost
+//! rtjc run --trace FILE <f>    write the structured event trace (JSONL)
+//! rtjc run --metrics[=FILE] <f>  export the rtj-metrics/v1 snapshot
 //! rtjc fmt <file.rtj>          parse and pretty-print
 //! rtjc graph <file.rtj>        run and emit the ownership graph (DOT)
 //! rtjc lower <file.rtj>        translate to RTSJ Java (Section 2.6)
-//! rtjc fig11                   regenerate paper Figure 11
-//! rtjc fig12 [--smoke]         regenerate paper Figure 12
+//! rtjc fig11 [--format json]   regenerate paper Figure 11
+//! rtjc fig12 [--smoke] [--format json]  regenerate paper Figure 12
+//! rtjc report <snapshot.json>  elision report from a metrics/fig12 snapshot
 //! rtjc bench <name>            print a corpus program's source
 //! ```
+//!
+//! `run --trace`/`run --metrics` and `report` are the observability
+//! surface: traces are JSONL (one event per line), metrics snapshots are
+//! `rtj-metrics/v1` documents, and `report` renders either a snapshot or
+//! an `rtj-fig12/v1` document (from `fig12 --format json`) as the
+//! Figure-12-style elision table. `FILE` may be `-` for stdout.
 
-use rtj_interp::{build, run_checked, RunConfig};
-use rtj_runtime::CheckMode;
+use rtj_interp::{build, run_checked, RunConfig, TraceCapture};
+use rtj_runtime::{CheckMode, CheckerMetrics, Json, MetricsSnapshot};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -23,40 +33,7 @@ fn main() -> ExitCode {
     let cmd = args.first().map(String::as_str);
     match cmd {
         Some("check") => check_cmd(&args[1..]),
-        Some("run") => {
-            let dynamic = args.iter().any(|a| a == "--dynamic");
-            with_file(&args, |src| match build(src) {
-                Ok(checked) => {
-                    let mode = if dynamic {
-                        CheckMode::Dynamic
-                    } else {
-                        CheckMode::Static
-                    };
-                    let out = run_checked(&checked, RunConfig::new(mode));
-                    for line in &out.trace {
-                        println!("{line}");
-                    }
-                    eprintln!(
-                        "[{} cycles, {} objects, {} checks, {:?} wall]",
-                        out.cycles,
-                        out.stats.objects_allocated,
-                        out.stats.store_checks + out.stats.load_checks,
-                        out.wall
-                    );
-                    match out.error {
-                        None => ExitCode::SUCCESS,
-                        Some(e) => {
-                            eprintln!("runtime error: {e}");
-                            ExitCode::FAILURE
-                        }
-                    }
-                }
-                Err(e) => {
-                    report_build_error(src, &e);
-                    ExitCode::FAILURE
-                }
-            })
-        }
+        Some("run") => run_cmd(&args[1..]),
         Some("fmt") => with_file(&args, |src| match rtj_lang::parse_program(src) {
             Ok(p) => {
                 print!("{}", rtj_lang::pretty_program(&p));
@@ -141,19 +118,42 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }),
-        Some("fig11") => {
-            print!("{}", rtj_corpus::render_fig11(&rtj_corpus::fig11()));
-            ExitCode::SUCCESS
-        }
-        Some("fig12") => {
-            let scale = if args.iter().any(|a| a == "--smoke") {
-                rtj_corpus::Scale::Smoke
-            } else {
-                rtj_corpus::Scale::Paper
-            };
-            print!("{}", rtj_corpus::render_fig12(&rtj_corpus::fig12(scale)));
-            ExitCode::SUCCESS
-        }
+        Some("fig11") => match parse_format(&args[1..]) {
+            Ok(json) => {
+                let rows = rtj_corpus::fig11();
+                if json {
+                    println!("{}", rtj_corpus::fig11_json(&rows));
+                } else {
+                    print!("{}", rtj_corpus::render_fig11(&rows));
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("fig12") => match parse_format(&args[1..]) {
+            Ok(json) => {
+                let scale = if args.iter().any(|a| a == "--smoke") {
+                    rtj_corpus::Scale::Smoke
+                } else {
+                    rtj_corpus::Scale::Paper
+                };
+                let rows = rtj_corpus::fig12(scale);
+                if json {
+                    println!("{}", rtj_corpus::fig12_json(&rows));
+                } else {
+                    print!("{}", rtj_corpus::render_fig12(&rows));
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some("report") => report_cmd(&args[1..]),
         Some("bench") => match args.get(1) {
             Some(name) => {
                 let benches = rtj_corpus::all(rtj_corpus::Scale::Paper);
@@ -182,16 +182,21 @@ fn main() -> ExitCode {
         },
         _ => {
             eprintln!(
-                "usage: rtjc <check|run|fmt|fig11|fig12|bench> [args]\n\
+                "usage: rtjc <check|run|fmt|fig11|fig12|report|bench> [args]\n\
                  \n\
                  check [--stats] [--jobs N] <file>  type-check a program\n\
-                 run [--dynamic] <file>  check then interpret\n\
+                 run [--static|--dynamic|--audit] [--trace FILE] [--metrics[=FILE]] <file>\n\
+                 \x20                   check then interpret; --trace writes the\n\
+                 \x20                   JSONL event trace, --metrics the\n\
+                 \x20                   rtj-metrics/v1 snapshot (FILE `-` = stdout)\n\
                  fmt <file>          parse and pretty-print\n\
                  graph <file>        run and emit the ownership graph (DOT, Fig. 6)\n\
                  lower <file>        translate to RTSJ Java (paper Section 2.6)\n\
                  advise <file>       run once and suggest LT region sizes\n\
-                 fig11               regenerate paper Figure 11\n\
-                 fig12 [--smoke]     regenerate paper Figure 12\n\
+                 fig11 [--format json]           regenerate paper Figure 11\n\
+                 fig12 [--smoke] [--format json] regenerate paper Figure 12\n\
+                 report <snapshot.json>  render the elision report from an\n\
+                 \x20                   rtj-metrics/v1 or rtj-fig12/v1 document\n\
                  bench <name>        print a corpus program"
             );
             ExitCode::FAILURE
@@ -265,6 +270,270 @@ fn check_cmd(args: &[String]) -> ExitCode {
             }
             ExitCode::FAILURE
         }
+    }
+}
+
+/// `rtjc run [--static|--dynamic|--audit] [--trace FILE] [--metrics[=FILE]] <file>`:
+/// check then interpret, optionally exporting the structured event trace
+/// (JSONL, one event per line) and the `rtj-metrics/v1` snapshot (with
+/// the static checker's counters attached). `FILE` may be `-` for stdout.
+fn run_cmd(args: &[String]) -> ExitCode {
+    let mut mode = CheckMode::Static;
+    let mut trace_out: Option<String> = None;
+    // `None` = no export; `Some("-")` = stdout (also from bare `--metrics`).
+    let mut metrics_out: Option<String> = None;
+    let mut file = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--dynamic" {
+            mode = CheckMode::Dynamic;
+        } else if a == "--static" {
+            mode = CheckMode::Static;
+        } else if a == "--audit" {
+            mode = CheckMode::Audit;
+        } else if let Some(p) = a.strip_prefix("--trace=") {
+            trace_out = Some(p.to_string());
+        } else if a == "--trace" {
+            match it.next() {
+                Some(p) => trace_out = Some(p.clone()),
+                None => {
+                    eprintln!("--trace expects a file argument (`-` for stdout)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if let Some(p) = a.strip_prefix("--metrics=") {
+            metrics_out = Some(p.to_string());
+        } else if a == "--metrics" {
+            metrics_out = Some("-".to_string());
+        } else if a.starts_with("--") {
+            eprintln!(
+                "unknown flag `{a}`; usage: rtjc run [--static|--dynamic|--audit] \
+                 [--trace FILE] [--metrics[=FILE]] <file>"
+            );
+            return ExitCode::FAILURE;
+        } else {
+            file = Some(a.clone());
+        }
+    }
+    let Some(path) = file else {
+        eprintln!("missing file argument");
+        return ExitCode::FAILURE;
+    };
+    let src = match std::fs::read_to_string(&path) {
+        Ok(src) => src,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let checked = match build(&src) {
+        Ok(c) => c,
+        Err(e) => {
+            report_build_error(&src, &e);
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut cfg = RunConfig::new(mode);
+    if trace_out.is_some() {
+        cfg.events = TraceCapture::Full;
+    }
+    let out = run_checked(&checked, cfg);
+    for line in &out.trace {
+        println!("{line}");
+    }
+    if let Some(dest) = &trace_out {
+        let lines = out.events.as_deref().unwrap_or_default();
+        let mut text = lines.join("\n");
+        if !text.is_empty() {
+            text.push('\n');
+        }
+        if let Err(e) = write_output(dest, &text) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(dest) = &metrics_out {
+        let mut snap = out.metrics.clone();
+        snap.checker = Some(checker_metrics(&checked.stats));
+        if let Err(e) = write_output(dest, &format!("{}\n", snap.render())) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!(
+        "[{} cycles, {} objects, {} checks performed, {} elided, {:?} wall]",
+        out.cycles,
+        out.metrics.objects_allocated,
+        out.metrics.checks_performed(),
+        out.metrics.checks_elided(),
+        out.wall
+    );
+    match out.error {
+        None => ExitCode::SUCCESS,
+        Some(e) => {
+            eprintln!("runtime error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `rtjc report <snapshot.json>`: render the elision report from an
+/// `rtj-metrics/v1` snapshot (`rtjc run --metrics`) or the full
+/// Figure-12 table from an `rtj-fig12/v1` document (`rtjc fig12 --format
+/// json`).
+fn report_cmd(args: &[String]) -> ExitCode {
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!("usage: rtjc report <snapshot.json>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(rtj_runtime::METRICS_SCHEMA) => match MetricsSnapshot::from_json(&doc) {
+            Ok(snap) => {
+                print!("{}", snap.render_report());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Some(rtj_corpus::FIG12_SCHEMA) => match render_fig12_document(&doc) {
+            Ok(report) => {
+                print!("{report}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        other => {
+            eprintln!(
+                "{path}: unsupported schema {other:?}; expected `{}` or `{}`",
+                rtj_runtime::METRICS_SCHEMA,
+                rtj_corpus::FIG12_SCHEMA
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Renders an `rtj-fig12/v1` document: the Figure-12 table reconstructed
+/// from the stored rows, followed by the per-check-kind elision report
+/// aggregated over every row's embedded dynamic-run snapshot.
+fn render_fig12_document(doc: &Json) -> Result<String, String> {
+    let rows = doc
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or("missing `rows` array")?;
+    let mut out = String::from(
+        "Figure 12: Dynamic Checking Overhead (from rtj-fig12/v1 snapshot)\n\
+         program     static-cyc   dynamic-cyc   overhead   paper   checks   elided\n",
+    );
+    let mut aggregate: Option<MetricsSnapshot> = None;
+    for (i, row) in rows.iter().enumerate() {
+        let field = |key: &str| {
+            row.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("row {i}: missing `{key}`"))
+        };
+        let name = row
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("row {i}: missing `name`"))?;
+        let overhead = row
+            .get("overhead")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("row {i}: missing `overhead`"))?;
+        let paper = match row.get("paper_overhead").and_then(Json::as_f64) {
+            Some(p) => format!("{p:.2}"),
+            None => "—".to_string(),
+        };
+        out += &format!(
+            "{:<10} {:>11} {:>13} {:>10.2} {:>7} {:>8} {:>8}\n",
+            name,
+            field("static_cycles")?,
+            field("dynamic_cycles")?,
+            overhead,
+            paper,
+            field("checks")?,
+            field("elided")?,
+        );
+        let dm = row
+            .get("dynamic_metrics")
+            .ok_or_else(|| format!("row {i}: missing `dynamic_metrics`"))?;
+        let snap = MetricsSnapshot::from_json(dm)
+            .map_err(|e| format!("row {i}: bad dynamic_metrics: {e}"))?;
+        match &mut aggregate {
+            Some(agg) => agg.merge(&snap),
+            None => aggregate = Some(snap),
+        }
+    }
+    if let Some(agg) = aggregate {
+        out += "\nAggregate dynamic-run metrics (all rows)\n";
+        out += &agg.render_report();
+    }
+    Ok(out)
+}
+
+/// Parses `--format text|json` (both `--format json` and `--format=json`
+/// forms); defaults to text.
+fn parse_format(args: &[String]) -> Result<bool, String> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let value = if let Some(v) = a.strip_prefix("--format=") {
+            v.to_string()
+        } else if a == "--format" {
+            it.next()
+                .cloned()
+                .ok_or("--format expects `text` or `json`")?
+        } else {
+            continue;
+        };
+        return match value.as_str() {
+            "json" => Ok(true),
+            "text" => Ok(false),
+            other => Err(format!(
+                "unknown format `{other}`; expected `text` or `json`"
+            )),
+        };
+    }
+    Ok(false)
+}
+
+/// Writes `text` to `path`, with `-` meaning stdout.
+fn write_output(path: &str, text: &str) -> Result<(), String> {
+    if path == "-" {
+        print!("{text}");
+        Ok(())
+    } else {
+        std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))
+    }
+}
+
+/// The checker counters a CLI-composed snapshot carries (wall time is
+/// deliberately dropped — snapshots stay deterministic).
+fn checker_metrics(s: &rtj_types::CheckStats) -> CheckerMetrics {
+    CheckerMetrics {
+        classes_checked: s.classes_checked as u64,
+        methods_checked: s.methods_checked as u64,
+        cache_hits: s.cache_hits,
+        cache_misses: s.cache_misses,
+        threads_used: s.threads_used as u64,
     }
 }
 

@@ -12,7 +12,13 @@
 use crate::metrics::annotation_report;
 use crate::programs::{all, BenchProgram, Category, Scale};
 use rtj_interp::{build, run_checked, RunConfig, RunOutcome};
-use rtj_runtime::CheckMode;
+use rtj_runtime::{CheckMode, Json, MetricsSnapshot};
+
+/// Schema identifier for [`fig11_json`] documents.
+pub const FIG11_SCHEMA: &str = "rtj-fig11/v1";
+
+/// Schema identifier for [`fig12_json`] documents.
+pub const FIG12_SCHEMA: &str = "rtj-fig12/v1";
 
 /// One row of Figure 11.
 #[derive(Debug, Clone)]
@@ -100,10 +106,20 @@ pub struct Fig12Row {
     pub overhead: f64,
     /// Wall-clock overhead ratio for the same pair of runs.
     pub wall_overhead: f64,
-    /// Checks performed in the dynamic run.
+    /// Checks performed in the dynamic run (all kinds, from the metrics
+    /// registry).
     pub checks: u64,
+    /// Checks elided in the static run. The deterministic scheduler
+    /// guarantees `elided == checks` — asserted by [`fig12_row`].
+    pub elided: u64,
+    /// Virtual cycles the dynamic run spent in checks.
+    pub check_cycles: u64,
     /// The paper's reported overhead, when available.
     pub paper_overhead: Option<f64>,
+    /// Full metrics snapshot of the dynamic run.
+    pub dynamic_metrics: MetricsSnapshot,
+    /// Full metrics snapshot of the static run.
+    pub static_metrics: MetricsSnapshot,
 }
 
 /// Runs one benchmark in both modes and returns its Figure 12 row.
@@ -134,6 +150,14 @@ pub fn fig12_row(bench: &BenchProgram) -> Fig12Row {
     );
     let overhead = dynamic.cycles as f64 / static_.cycles.max(1) as f64;
     let wall_overhead = dynamic.wall.as_secs_f64() / static_.wall.as_secs_f64().max(1e-9);
+    let checks = dynamic.metrics.checks_performed();
+    let elided = static_.metrics.checks_elided();
+    assert_eq!(
+        checks, elided,
+        "{}: the static run must elide exactly the checks the dynamic run \
+         performs (deterministic schedule)",
+        bench.name
+    );
     Fig12Row {
         name: bench.name,
         category: bench.category,
@@ -141,8 +165,12 @@ pub fn fig12_row(bench: &BenchProgram) -> Fig12Row {
         dynamic_cycles: dynamic.cycles,
         overhead,
         wall_overhead,
-        checks: dynamic.stats.store_checks + dynamic.stats.load_checks,
+        checks,
+        elided,
+        check_cycles: dynamic.metrics.check_cycles(),
         paper_overhead: paper_ratio(bench.name),
+        dynamic_metrics: dynamic.metrics,
+        static_metrics: static_.metrics,
     }
 }
 
@@ -291,20 +319,89 @@ pub fn render_fig11(rows: &[Fig11Row]) -> String {
 pub fn render_fig12(rows: &[Fig12Row]) -> String {
     let mut out = String::from(
         "Figure 12: Dynamic Checking Overhead (virtual cycles)\n\
-         program     static-cyc   dynamic-cyc   overhead   paper   checks\n",
+         program     static-cyc   dynamic-cyc   overhead   paper   checks   elided\n",
     );
     for r in rows {
         out.push_str(&format!(
-            "{:<10} {:>11} {:>13} {:>10.2} {:>7} {:>8}\n",
+            "{:<10} {:>11} {:>13} {:>10.2} {:>7} {:>8} {:>8}\n",
             r.name,
             r.static_cycles,
             r.dynamic_cycles,
             r.overhead,
             r.paper_overhead.map_or("-".into(), |v| format!("{v:.2}")),
             r.checks,
+            r.elided,
         ));
     }
     out
+}
+
+/// Serializes Figure 11 rows as an `rtj-fig11/v1` JSON document.
+pub fn fig11_json(rows: &[Fig11Row]) -> String {
+    Json::obj(vec![
+        ("schema", Json::Str(FIG11_SCHEMA.into())),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("name", Json::Str(r.name.into())),
+                            ("loc", Json::Int(r.loc as i64)),
+                            ("annotated", Json::Int(r.annotated as i64)),
+                            (
+                                "paper_loc",
+                                r.paper_loc.map_or(Json::Null, |v| Json::Int(v as i64)),
+                            ),
+                            (
+                                "paper_changed",
+                                r.paper_changed.map_or(Json::Null, |v| Json::Int(v as i64)),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .render()
+}
+
+/// Serializes Figure 12 rows as an `rtj-fig12/v1` JSON document.
+///
+/// Each row embeds the full `rtj-metrics/v1` snapshots of its dynamic
+/// and static runs, so `rtjc report` can reconstruct the per-check-kind
+/// elision table without re-running anything. Wall-clock ratios are
+/// deliberately excluded: the document is byte-deterministic.
+pub fn fig12_json(rows: &[Fig12Row]) -> String {
+    Json::obj(vec![
+        ("schema", Json::Str(FIG12_SCHEMA.into())),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("name", Json::Str(r.name.into())),
+                            ("category", Json::Str(r.category.name().into())),
+                            ("static_cycles", Json::Int(r.static_cycles as i64)),
+                            ("dynamic_cycles", Json::Int(r.dynamic_cycles as i64)),
+                            ("overhead", Json::Float(r.overhead)),
+                            ("checks", Json::Int(r.checks as i64)),
+                            ("elided", Json::Int(r.elided as i64)),
+                            ("check_cycles", Json::Int(r.check_cycles as i64)),
+                            (
+                                "paper_overhead",
+                                r.paper_overhead.map_or(Json::Null, Json::Float),
+                            ),
+                            ("dynamic_metrics", r.dynamic_metrics.to_json()),
+                            ("static_metrics", r.static_metrics.to_json()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .render()
 }
 
 #[cfg(test)]
@@ -359,6 +456,29 @@ mod tests {
         assert!(get("http") < 1.1, "http {}", get("http"));
         assert!(get("game") < 1.1);
         assert!(get("phone") < 1.1);
+
+        // Elision accounting: every performed check in the dynamic run is
+        // elided in the static run, and checks cost real cycles.
+        for r in &rows {
+            assert_eq!(r.checks, r.elided, "{}", r.name);
+            assert_eq!(r.static_metrics.checks_performed(), 0, "{}", r.name);
+            assert!(
+                r.dynamic_cycles - r.check_cycles <= r.static_cycles,
+                "{}: cycles besides checks should not exceed static total",
+                r.name
+            );
+        }
+
+        // The JSON document round-trips through the generic parser and
+        // carries the embedded metrics snapshots.
+        let doc = fig12_json(&rows);
+        let v = Json::parse(&doc).unwrap();
+        assert_eq!(v.get("schema").and_then(Json::as_str), Some(FIG12_SCHEMA));
+        let json_rows = v.get("rows").and_then(Json::as_arr).unwrap();
+        assert_eq!(json_rows.len(), rows.len());
+        let dm = json_rows[0].get("dynamic_metrics").unwrap();
+        let snap = MetricsSnapshot::from_json(dm).unwrap();
+        assert_eq!(snap, rows[0].dynamic_metrics);
     }
 
     #[test]

@@ -23,8 +23,8 @@ pub mod metrics;
 pub mod programs;
 
 pub use experiments::{
-    fig11, fig12, fig12_row, paper_ratio, render_fig11, render_fig12, Fig11Row, Fig12Row,
-    PAPER_FIG11, PAPER_FIG12,
+    fig11, fig11_json, fig12, fig12_json, fig12_row, paper_ratio, render_fig11, render_fig12,
+    Fig11Row, Fig12Row, FIG11_SCHEMA, FIG12_SCHEMA, PAPER_FIG11, PAPER_FIG12,
 };
 pub use metrics::{annotation_report, AnnotationReport};
 pub use programs::{all, negatives, scaled_classes, BenchProgram, Category, ImageStage, Scale};

@@ -39,6 +39,19 @@ pub enum Category {
     Server,
 }
 
+impl Category {
+    /// Stable lower-case name used in JSON reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::Micro => "micro",
+            Category::Scientific => "scientific",
+            Category::ImageRec => "image_rec",
+            Category::ImageStage => "image_stage",
+            Category::Server => "server",
+        }
+    }
+}
+
 /// A benchmark program: name, source text, category.
 #[derive(Debug, Clone)]
 pub struct BenchProgram {

@@ -46,11 +46,26 @@ use eval::{Evaluator, ProgramData};
 use layout::Layouts;
 use machine::Machine;
 pub use machine::RunError;
-use rtj_runtime::{CheckMode, CostModel, Runtime, Stats, ThreadId};
+use rtj_runtime::{
+    CheckMode, CostModel, JsonlSink, MetricsSnapshot, RingSink, Runtime, Stats, ThreadId,
+};
 use rtj_types::Checked;
 use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// How structured trace events are captured during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceCapture {
+    /// No tracing (the default): the runtime pays one pointer test per
+    /// emission point and constructs no events.
+    #[default]
+    Off,
+    /// Flight-recorder mode: keep only the most recent `n` events.
+    Ring(usize),
+    /// Keep every event (JSONL lines in [`RunOutcome::events`]).
+    Full,
+}
 
 /// Configuration for one run.
 #[derive(Debug, Clone)]
@@ -67,6 +82,8 @@ pub struct RunConfig {
     /// Capture a post-run ownership/outlives graph (DOT) in
     /// [`RunOutcome::graph`] — the paper's Figure 6 rendering.
     pub capture_graph: bool,
+    /// Structured-event capture (off by default).
+    pub events: TraceCapture,
 }
 
 impl RunConfig {
@@ -79,6 +96,7 @@ impl RunConfig {
             gc_enabled: false,
             max_steps: 500_000_000,
             capture_graph: false,
+            events: TraceCapture::Off,
         }
     }
 }
@@ -88,10 +106,18 @@ impl RunConfig {
 pub struct RunOutcome {
     /// Virtual cycles consumed (the paper's "execution time").
     pub cycles: u64,
-    /// Runtime statistics (checks performed, allocations, GC pauses, …).
+    /// Legacy coarse statistics, derived from [`RunOutcome::metrics`].
     pub stats: Stats,
+    /// The full per-check-kind metrics snapshot (`rtj-metrics/v1`):
+    /// counters, elision accounting, and cost histograms. Deterministic —
+    /// identical for identical programs, regardless of tracing, wall
+    /// time, or checker parallelism.
+    pub metrics: MetricsSnapshot,
     /// Output of `print`.
     pub trace: Vec<String>,
+    /// Structured trace events as JSONL lines, when
+    /// [`RunConfig::events`] requested capture.
+    pub events: Option<Vec<String>>,
     /// The error that halted the run, if any.
     pub error: Option<RunError>,
     /// Wall-clock duration of the interpretation.
@@ -147,6 +173,11 @@ pub fn run_checked(checked: &Checked, cfg: RunConfig) -> RunOutcome {
     });
     let mut rt = Runtime::new(cfg.mode, cfg.cost);
     rt.enable_gc(cfg.gc_enabled);
+    match cfg.events {
+        TraceCapture::Off => {}
+        TraceCapture::Ring(n) => rt.set_trace_sink(Box::new(RingSink::new(n))),
+        TraceCapture::Full => rt.set_trace_sink(Box::new(JsonlSink::new())),
+    }
     let machine = Arc::new(Machine::new(rt, cfg.max_steps));
     let start = Instant::now();
     let main_tid = ThreadId(0);
@@ -159,8 +190,17 @@ pub fn run_checked(checked: &Checked, cfg: RunConfig) -> RunOutcome {
     machine.finish(main_tid);
     let error = result.err().or(joined.err()).or(machine.halt_error());
     let wall = start.elapsed();
-    let (cycles, stats, trace) =
-        machine.with(|rt| (rt.now(), rt.stats().clone(), rt.trace().to_vec()));
+    let (cycles, stats, metrics, trace) = machine.with(|rt| {
+        (
+            rt.now(),
+            rt.stats(),
+            rt.metrics_snapshot(),
+            rt.trace().to_vec(),
+        )
+    });
+    let events = machine
+        .with(|rt| rt.take_trace_sink())
+        .map(|mut sink| sink.drain_jsonl());
     let graph = if cfg.capture_graph {
         Some(machine.with(|rt| rt.ownership_dot()))
     } else {
@@ -170,7 +210,9 @@ pub fn run_checked(checked: &Checked, cfg: RunConfig) -> RunOutcome {
     RunOutcome {
         cycles,
         stats,
+        metrics,
         trace,
+        events,
         error,
         wall,
         graph,
@@ -336,6 +378,78 @@ mod tests {
             "#,
         );
         assert_eq!(out.trace, vec!["22", "11", "empty"]);
+    }
+
+    #[test]
+    fn full_trace_capture_yields_valid_jsonl() {
+        let src = r#"
+            class Cell<Owner o> { Cell<o> next; }
+            {
+                (RHandle<r> h) {
+                    let a = new Cell<r>;
+                    let b = new Cell<r>;
+                    a.next = b;
+                }
+            }
+        "#;
+        let mut cfg = RunConfig::new(CheckMode::Dynamic);
+        cfg.events = TraceCapture::Full;
+        let out = run_source(src, cfg).unwrap();
+        assert!(out.error.is_none());
+        let lines = out.events.expect("events captured");
+        assert!(!lines.is_empty());
+        let mut saw_check = false;
+        for line in &lines {
+            let v = rtj_runtime::Json::parse(line)
+                .unwrap_or_else(|e| panic!("invalid JSONL `{line}`: {e}"));
+            if v.get("ev").and_then(rtj_runtime::Json::as_str) == Some("check") {
+                saw_check = true;
+            }
+        }
+        assert!(saw_check, "trace includes check events");
+        // Ring capture bounds the buffer.
+        let mut ring_cfg = RunConfig::new(CheckMode::Dynamic);
+        ring_cfg.events = TraceCapture::Ring(4);
+        let ring_out = run_source(src, ring_cfg).unwrap();
+        assert_eq!(ring_out.events.expect("ring captured").len(), 4);
+        // Off capture reports none.
+        let off = run_source(src, RunConfig::new(CheckMode::Dynamic)).unwrap();
+        assert!(off.events.is_none());
+    }
+
+    #[test]
+    fn metrics_elisions_mirror_dynamic_checks() {
+        let src = r#"
+            class Cell<Owner o> { Cell<o> next; int v; }
+            {
+                (RHandle<r> h) {
+                    let head = new Cell<r>;
+                    let i = 0;
+                    while (i < 50) {
+                        let c = new Cell<r>;
+                        c.next = head;
+                        head = c;
+                        i = i + 1;
+                    }
+                }
+            }
+        "#;
+        let dynamic = run_source(src, RunConfig::new(CheckMode::Dynamic)).unwrap();
+        let static_ = run_source(src, RunConfig::new(CheckMode::Static)).unwrap();
+        assert!(dynamic.error.is_none() && static_.error.is_none());
+        assert!(dynamic.metrics.checks_performed() > 0);
+        assert_eq!(dynamic.metrics.checks_elided(), 0);
+        assert_eq!(static_.metrics.checks_performed(), 0);
+        for kind in rtj_runtime::CheckKind::ALL {
+            assert_eq!(
+                static_.metrics.check(kind).elided,
+                dynamic.metrics.check(kind).performed,
+                "elision parity for {}",
+                kind.name()
+            );
+        }
+        assert_eq!(dynamic.metrics.total_cycles, dynamic.cycles);
+        assert_eq!(dynamic.stats, dynamic.metrics.to_stats());
     }
 
     #[test]

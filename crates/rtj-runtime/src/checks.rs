@@ -27,9 +27,37 @@ impl CheckMode {
     pub fn checks_charged(self) -> bool {
         matches!(self, CheckMode::Dynamic)
     }
+
+    /// Stable lower-case name used in metrics snapshots and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CheckMode::Dynamic => "dynamic",
+            CheckMode::Static => "static",
+            CheckMode::Audit => "audit",
+        }
+    }
+
+    /// Parses a [`CheckMode::name`] back.
+    pub fn parse(name: &str) -> Option<CheckMode> {
+        match name {
+            "dynamic" => Some(CheckMode::Dynamic),
+            "static" => Some(CheckMode::Static),
+            "audit" => Some(CheckMode::Audit),
+            _ => None,
+        }
+    }
 }
 
-/// Counters describing one run.
+/// Coarse counters describing one run.
+///
+/// Since the observability layer landed, this is a *derived view*: the
+/// source of truth is the per-check-kind
+/// [`MetricsRegistry`](crate::metrics::MetricsRegistry), and
+/// [`Runtime::stats`](crate::Runtime::stats) computes a `Stats` from the
+/// current registry on demand. Kept for ergonomic field access and
+/// backwards compatibility; new code that needs per-kind or elision
+/// counts should use
+/// [`Runtime::metrics_snapshot`](crate::Runtime::metrics_snapshot).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Stats {
     /// Reference-store (assignment) checks performed.
@@ -75,6 +103,14 @@ mod tests {
         assert!(!CheckMode::Static.checks_charged());
         assert!(CheckMode::Audit.checks_run());
         assert!(!CheckMode::Audit.checks_charged());
+    }
+
+    #[test]
+    fn mode_names_roundtrip() {
+        for m in [CheckMode::Dynamic, CheckMode::Static, CheckMode::Audit] {
+            assert_eq!(CheckMode::parse(m.name()), Some(m));
+        }
+        assert_eq!(CheckMode::parse("bogus"), None);
     }
 
     #[test]

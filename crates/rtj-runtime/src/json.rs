@@ -1,0 +1,420 @@
+//! A minimal, dependency-free JSON value: render and parse.
+//!
+//! The observability layer serializes trace events (JSONL) and metrics
+//! snapshots (a single JSON document) and `rtjc report` reads snapshots
+//! back. The container has no crates.io access, so instead of `serde`
+//! this module provides the small subset the repo needs:
+//!
+//! * [`Json`] — a JSON value whose objects preserve insertion order, so
+//!   rendering is byte-deterministic (a requirement of the determinism
+//!   tests in `tests/observability.rs`);
+//! * [`Json::render`] — compact, stable rendering;
+//! * [`Json::parse`] — a strict recursive-descent parser.
+//!
+//! Numbers are kept as `i64` when they parse exactly as integers
+//! (virtual-cycle counters) and as `f64` otherwise (overhead ratios), so
+//! counter round-trips are loss-free.
+
+use std::fmt;
+
+/// A JSON value. Object keys keep insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer number (renders without a decimal point).
+    Int(i64),
+    /// A non-integer number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, as ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+/// A parse failure: byte offset and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure in the input.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Builds an object from pairs (convenience for literals).
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64` counter, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(n) if *n >= 0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(n) => Some(*n as f64),
+            Json::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Compact, deterministic rendering (object keys in insertion order).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(n) => out.push_str(&n.to_string()),
+            Json::Float(x) => {
+                // `f64::to_string` never emits exponents for the magnitudes
+                // used here; integral floats get a `.0` so they re-parse as
+                // floats.
+                if x.fract() == 0.0 && x.is_finite() {
+                    out.push_str(&format!("{x:.1}"));
+                } else {
+                    out.push_str(&x.to_string());
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                escape_into(s, out);
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    escape_into(k, out);
+                    out.push_str("\":");
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a complete JSON document (trailing whitespace allowed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] on malformed input or trailing garbage.
+    pub fn parse(src: &str) -> Result<Json, JsonError> {
+        let bytes = src.as_bytes();
+        let mut pos = 0;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(JsonError {
+                at: pos,
+                message: "trailing characters after value".into(),
+            });
+        }
+        Ok(v)
+    }
+}
+
+/// Escapes a string for embedding in JSON (no surrounding quotes).
+pub fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn err(at: usize, message: impl Into<String>) -> JsonError {
+    JsonError {
+        at,
+        message: message.into(),
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), JsonError> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(err(*pos, format!("expected `{lit}`")))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(err(*pos, "unexpected end of input")),
+        Some(b'n') => expect(b, pos, "null").map(|()| Json::Null),
+        Some(b't') => expect(b, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(err(*pos, "expected `,` or `]`")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, ":")?;
+                let value = parse_value(b, pos)?;
+                pairs.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(err(*pos, "expected `,` or `}`")),
+                }
+            }
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(err(*pos, format!("unexpected byte `{}`", *c as char))),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(err(*pos, "expected string"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(err(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| err(*pos, "truncated \\u escape"))?;
+                        let hex =
+                            std::str::from_utf8(hex).map_err(|_| err(*pos, "bad \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| err(*pos, "bad \\u escape"))?;
+                        // Surrogate pairs are not produced by our renderer;
+                        // map lone surrogates to the replacement character.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(err(*pos, "bad escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Advance one UTF-8 scalar.
+                let s = &b[*pos..];
+                let len = utf8_len(s[0]);
+                let chunk = s
+                    .get(..len)
+                    .and_then(|c| std::str::from_utf8(c).ok())
+                    .ok_or_else(|| err(*pos, "invalid UTF-8"))?;
+                out.push_str(chunk);
+                *pos += len;
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(c) = b.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| err(start, "bad number"))?;
+    if !is_float {
+        if let Ok(n) = text.parse::<i64>() {
+            return Ok(Json::Int(n));
+        }
+    }
+    text.parse::<f64>()
+        .map(Json::Float)
+        .map_err(|_| err(start, format!("bad number `{text}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_values() {
+        let v = Json::obj(vec![
+            ("a", Json::Int(42)),
+            ("b", Json::Str("x\"y\n".into())),
+            (
+                "c",
+                Json::Arr(vec![Json::Null, Json::Bool(true), Json::Float(1.5)]),
+            ),
+            ("d", Json::Obj(vec![])),
+        ]);
+        let text = v.render();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(v, back);
+        assert_eq!(back.render(), text, "render is stable");
+    }
+
+    #[test]
+    fn integers_roundtrip_exactly() {
+        let big = (1u64 << 62) as i64;
+        let text = Json::Int(big).render();
+        assert_eq!(Json::parse(&text).unwrap().as_u64(), Some(big as u64));
+    }
+
+    #[test]
+    fn integral_floats_stay_floats() {
+        let text = Json::Float(2.0).render();
+        assert_eq!(text, "2.0");
+        assert_eq!(Json::parse(&text).unwrap(), Json::Float(2.0));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("12 34").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn object_lookup_and_accessors() {
+        let v = Json::parse(r#"{"x": 3, "y": [1, 2], "s": "hi", "r": 1.25}"#).unwrap();
+        assert_eq!(v.get("x").and_then(Json::as_u64), Some(3));
+        assert_eq!(
+            v.get("y").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(2)
+        );
+        assert_eq!(v.get("s").and_then(Json::as_str), Some("hi"));
+        assert_eq!(v.get("r").and_then(Json::as_f64), Some(1.25));
+        assert_eq!(v.get("missing"), None);
+    }
+}

@@ -11,6 +11,12 @@
 //! [`CheckMode::Audit`] verifies at zero cost that well-typed programs
 //! never fail a check (Theorems 3 and 4).
 //!
+//! The observability layer lives in [`events`] (typed [`TraceEvent`]s
+//! through a pluggable, zero-cost-when-disabled [`TraceSink`]) and
+//! [`metrics`] (the per-check-kind [`MetricsRegistry`] with elision
+//! accounting, exported as mergeable `rtj-metrics/v1`
+//! [`MetricsSnapshot`]s).
+//!
 //! # Example
 //!
 //! ```
@@ -32,6 +38,9 @@
 pub mod checks;
 pub mod clock;
 pub mod error;
+pub mod events;
+pub mod json;
+pub mod metrics;
 pub mod objects;
 pub mod region;
 pub mod runtime;
@@ -41,6 +50,12 @@ pub mod viz;
 pub use checks::{CheckMode, Stats};
 pub use clock::{Clock, CostModel};
 pub use error::RtError;
+pub use events::{JsonlSink, RingSink, TraceEvent, TraceSink};
+pub use json::{Json, JsonError};
+pub use metrics::{
+    CheckCounters, CheckKind, CheckOutcome, CheckerMetrics, Histogram, MetricsRegistry,
+    MetricsSnapshot, METRICS_SCHEMA,
+};
 pub use objects::{object_size, ObjectRecord, ObjectStore};
 pub use region::{RegionClass, RegionRecord, RegionSpec, RegionState, RegionTable};
 pub use runtime::{GcState, Runtime, ThreadRecord};

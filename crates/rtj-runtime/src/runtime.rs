@@ -1,16 +1,25 @@
 //! The runtime facade: the simulated RTSJ platform.
 //!
 //! A [`Runtime`] owns the region table, the object store, the virtual
-//! clock, thread records, the garbage-collector state, and all statistics.
-//! The interpreter (`rtj-interp`) drives it through a narrow API:
-//! allocation, field/portal loads and stores (where the RTSJ dynamic
-//! checks live), region creation/entry/exit, thread spawning, and the
-//! two-phase subregion enter/exit protocol whose bookkeeping lock models
-//! the RTSJ priority-inversion window.
+//! clock, thread records, the garbage-collector state, and the metrics
+//! registry. The interpreter (`rtj-interp`) drives it through a narrow
+//! API: allocation, field/portal loads and stores (where the RTSJ
+//! dynamic checks live), region creation/entry/exit, thread spawning,
+//! and the two-phase subregion enter/exit protocol whose bookkeeping
+//! lock models the RTSJ priority-inversion window.
+//!
+//! Every observable transition is recorded in the per-check-kind
+//! [`MetricsRegistry`] and, when a [`TraceSink`] is installed, emitted
+//! as a typed [`TraceEvent`]. Dynamic-check
+//! *sites* are recorded in every mode — charged in `Dynamic`, run free
+//! in `Audit`, counted as *elided* in `Static` — which is what lets the
+//! Figure-12 pipeline state how many checks the type system removed.
 
 use crate::checks::{CheckMode, Stats};
 use crate::clock::{Clock, CostModel};
 use crate::error::RtError;
+use crate::events::{TraceEvent, TraceSink};
+use crate::metrics::{CheckKind, CheckOutcome, MetricsRegistry, MetricsSnapshot};
 use crate::objects::{object_size, ObjectStore};
 use crate::region::{RegionClass, RegionRecord, RegionSpec, RegionState, RegionTable};
 use crate::value::{
@@ -43,7 +52,7 @@ pub struct GcState {
 }
 
 /// The simulated RTSJ platform.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Runtime {
     cost: CostModel,
     mode: CheckMode,
@@ -53,7 +62,8 @@ pub struct Runtime {
     threads: Vec<ThreadRecord>,
     gc: GcState,
     gc_enabled: bool,
-    stats: Stats,
+    metrics: MetricsRegistry,
+    sink: Option<Box<dyn TraceSink>>,
     trace: Vec<String>,
     heap: RegionId,
     immortal: RegionId,
@@ -90,7 +100,8 @@ impl Runtime {
             threads: vec![main],
             gc: GcState::default(),
             gc_enabled: false,
-            stats: Stats::default(),
+            metrics: MetricsRegistry::default(),
+            sink: None,
             trace: Vec::new(),
             heap,
             immortal,
@@ -138,9 +149,92 @@ impl Runtime {
         self.clock.advance(cycles);
     }
 
-    /// Run statistics so far.
-    pub fn stats(&self) -> &Stats {
-        &self.stats
+    /// The legacy coarse statistics, derived from the metrics registry.
+    ///
+    /// Returned by value: the registry is the source of truth and this
+    /// view is computed on demand. For per-check-kind counters, elision
+    /// counts, and cost histograms use [`Runtime::metrics_snapshot`].
+    pub fn stats(&self) -> Stats {
+        self.metrics.to_stats()
+    }
+
+    /// Exports the full per-check-kind metrics, stamped with the run's
+    /// mode and current virtual time (`rtj-metrics/v1`).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot(self.mode, self.clock.now())
+    }
+
+    /// Installs a trace sink. Subsequent runtime transitions emit
+    /// [`TraceEvent`]s into it; threads already alive get a synthetic
+    /// `ThreadStart` so every thread in the trace has one.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = Some(sink);
+        let now = self.clock.now();
+        let alive: Vec<(ThreadId, ThreadClass)> = self
+            .threads
+            .iter()
+            .filter(|r| r.alive)
+            .map(|r| (r.id, r.class))
+            .collect();
+        if let Some(sink) = self.sink.as_mut() {
+            for (thread, class) in alive {
+                sink.record(&TraceEvent::ThreadStart {
+                    at: now,
+                    thread,
+                    class,
+                });
+            }
+        }
+    }
+
+    /// Removes and returns the installed trace sink, if any. Emission
+    /// stops (and costs nothing) once the sink is gone.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.sink.take()
+    }
+
+    /// Whether a trace sink is currently installed.
+    pub fn tracing_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Emits an event if (and only if) a sink is installed: the closure
+    /// runs — and the event is constructed — only on the traced path, so
+    /// untraced runs pay one `Option` discriminant test.
+    fn emit(&mut self, build: impl FnOnce(u64) -> TraceEvent) {
+        if let Some(sink) = self.sink.as_mut() {
+            let event = build(self.clock.now());
+            sink.record(&event);
+        }
+    }
+
+    /// Records a dynamic-check site: resolves the mode to an outcome
+    /// (`Dynamic` → charged at `cost`, `Audit` → audited free, `Static`
+    /// → elided), advances the clock, updates the registry, and emits a
+    /// `Check` event. `ok` is `false` when the performed check failed
+    /// (callers pass `true` in `Static` mode — an elided check cannot
+    /// fail).
+    fn note_check(&mut self, t: ThreadId, kind: CheckKind, cost: u64, ok: bool) {
+        let (outcome, charged) = match self.mode {
+            CheckMode::Dynamic => (CheckOutcome::Charged, cost),
+            CheckMode::Audit => (CheckOutcome::Audited, 0),
+            CheckMode::Static => (CheckOutcome::Elided, 0),
+        };
+        if charged > 0 {
+            self.clock.advance(charged);
+        }
+        self.metrics.record_check(kind, outcome, charged);
+        if !ok {
+            self.metrics.record_check_failure(kind);
+        }
+        self.emit(|at| TraceEvent::Check {
+            at,
+            thread: t,
+            kind,
+            outcome,
+            cycles: charged,
+            ok,
+        });
     }
 
     /// Trace output produced by `print`.
@@ -205,7 +299,12 @@ impl Runtime {
             region_stack: inherited,
             alive: true,
         });
-        self.stats.threads_spawned += 1;
+        self.metrics.record_thread_spawned();
+        self.emit(|at| TraceEvent::ThreadStart {
+            at,
+            thread: id,
+            class,
+        });
         id
     }
 
@@ -218,12 +317,18 @@ impl Runtime {
                 self.regions.get(r).class,
                 RegionClass::Heap | RegionClass::Immortal
             ) {
+                self.emit(|at| TraceEvent::RegionExit {
+                    at,
+                    thread: t,
+                    region: r,
+                });
                 self.release_region(r)?;
             }
         }
         let rec = &mut self.threads[t.0 as usize];
         rec.region_stack.clear();
         rec.alive = false;
+        self.emit(|at| TraceEvent::ThreadStop { at, thread: t });
         Ok(())
     }
 
@@ -262,8 +367,13 @@ impl Runtime {
         spec: RegionSpec,
         shared: bool,
     ) -> Result<RegionId, RtError> {
-        if self.mode.checks_run() && self.threads[t.0 as usize].class == ThreadClass::RealTime {
-            return Err(RtError::HeapAllocFromRealTime { thread: t });
+        if self.threads[t.0 as usize].class == ThreadClass::RealTime {
+            // A heap-allocation check site: region creation allocates.
+            let ok = !self.mode.checks_run();
+            self.note_check(t, CheckKind::HeapAlloc, 0, ok);
+            if !ok {
+                return Err(RtError::HeapAllocFromRealTime { thread: t });
+            }
         }
         let outlived_by: BTreeSet<RegionId> = self.regions.alive_ids().into_iter().collect();
         let lt_bytes = spec.transitive_lt_bytes();
@@ -273,11 +383,23 @@ impl Runtime {
             RegionClass::Local { owner: t }
         };
         let (id, n) = self.regions.create(spec, class, outlived_by);
-        self.stats.regions_created += n as u64;
+        self.metrics.record_regions_created(n as u64);
         self.clock
             .advance(self.cost.region_create * n as u64 + self.cost.zeroing(lt_bytes));
         self.regions.get_mut(id).thread_count = 1;
         self.threads[t.0 as usize].region_stack.push(id);
+        self.emit(|at| TraceEvent::RegionCreate {
+            at,
+            thread: t,
+            region: id,
+            count: n as u64,
+        });
+        self.emit(|at| TraceEvent::RegionEnter {
+            at,
+            thread: t,
+            region: id,
+            fresh: false,
+        });
         Ok(id)
     }
 
@@ -295,6 +417,11 @@ impl Runtime {
             }
         }
         self.clock.advance(self.cost.region_enter_exit);
+        self.emit(|at| TraceEvent::RegionExit {
+            at,
+            thread: t,
+            region: r,
+        });
         self.release_region(r)
     }
 
@@ -314,10 +441,11 @@ impl Runtime {
             RegionClass::Local { .. } => {
                 if empty {
                     let dead = self.regions.delete(r);
-                    self.stats.regions_deleted += 1;
+                    self.metrics.record_region_deleted();
                     for o in dead {
                         self.objects.kill(o);
                     }
+                    self.emit(|at| TraceEvent::RegionDelete { at, region: r });
                 }
             }
             RegionClass::Shared => {
@@ -325,10 +453,11 @@ impl Runtime {
                     // A top-level shared region is deleted when the last
                     // thread exits it.
                     let dead = self.regions.delete(r);
-                    self.stats.regions_deleted += 1;
+                    self.metrics.record_region_deleted();
                     for o in dead {
                         self.objects.kill(o);
                     }
+                    self.emit(|at| TraceEvent::RegionDelete { at, region: r });
                 }
             }
             RegionClass::SubInstance { .. } => {
@@ -337,10 +466,11 @@ impl Runtime {
                 // are flushed.
                 if empty && self.regions.can_flush(r) {
                     let dead = self.regions.flush(r);
-                    self.stats.regions_flushed += 1;
+                    self.metrics.record_region_flushed();
                     for o in dead {
                         self.objects.kill(o);
                     }
+                    self.emit(|at| TraceEvent::RegionFlush { at, region: r });
                 }
             }
             RegionClass::Heap | RegionClass::Immortal => {}
@@ -381,8 +511,8 @@ impl Runtime {
 
     /// Records cycles a real-time thread spent waiting for a region lock.
     pub fn note_rt_lock_wait(&mut self, cycles: u64) {
-        self.stats.rt_lock_wait_cycles += cycles;
-        self.stats.rt_max_lock_wait = self.stats.rt_max_lock_wait.max(cycles);
+        self.metrics.record_rt_lock_wait(cycles);
+        self.emit(|at| TraceEvent::RtLockWait { at, cycles });
     }
 
     /// The region whose bookkeeping lock must be held to enter subregion
@@ -443,9 +573,14 @@ impl Runtime {
             let mut outlives = self.regions.get(parent).outlived_by.clone();
             outlives.insert(parent);
             let gen = self.regions.get(cur).generation + 1;
-            if self.mode.checks_run() && self.threads[t.0 as usize].class == ThreadClass::RealTime {
-                // Creating a fresh instance allocates memory.
-                return Err(RtError::HeapAllocFromRealTime { thread: t });
+            if self.threads[t.0 as usize].class == ThreadClass::RealTime {
+                // Creating a fresh instance allocates memory: a
+                // heap-allocation check site.
+                let ok = !self.mode.checks_run();
+                self.note_check(t, CheckKind::HeapAlloc, 0, ok);
+                if !ok {
+                    return Err(RtError::HeapAllocFromRealTime { thread: t });
+                }
             }
             let lt = spec.transitive_lt_bytes();
             let (id, n) = self.regions.create(
@@ -456,7 +591,7 @@ impl Runtime {
                 },
                 outlives,
             );
-            self.stats.regions_created += n as u64;
+            self.metrics.record_regions_created(n as u64);
             self.clock
                 .advance(self.cost.region_create * n as u64 + self.cost.zeroing(lt));
             self.regions.get_mut(id).generation = gen;
@@ -464,26 +599,37 @@ impl Runtime {
                 .get_mut(parent)
                 .subs
                 .insert(member.to_string(), id);
+            self.emit(|at| TraceEvent::RegionCreate {
+                at,
+                thread: t,
+                region: id,
+                count: n as u64,
+            });
             id
         } else {
             cur
         };
         let tclass = self.threads[t.0 as usize].class;
         let rec = self.regions.get(target);
-        if self.mode.checks_run() {
-            let bad = match rec.spec.reservation {
+        let reservation = rec.spec.reservation;
+        let state = rec.state;
+        if reservation != Reservation::Any {
+            // A reservation check site (only reserved subregions check).
+            let bad = match reservation {
                 Reservation::Any => false,
                 Reservation::RtOnly => tclass == ThreadClass::Regular,
                 Reservation::NoRtOnly => tclass == ThreadClass::RealTime,
             };
-            if bad {
+            let checked_bad = self.mode.checks_run() && bad;
+            self.note_check(t, CheckKind::Reservation, 0, !checked_bad);
+            if checked_bad {
                 return Err(RtError::ReservationViolation {
                     thread: t,
                     region: target,
                 });
             }
         }
-        match rec.state {
+        match state {
             RegionState::Alive => {}
             RegionState::Flushed => self.regions.revive(target),
             RegionState::Deleted => return Err(RtError::RegionNotAlive { region: target }),
@@ -491,6 +637,12 @@ impl Runtime {
         self.regions.get_mut(target).thread_count += 1;
         self.threads[t.0 as usize].region_stack.push(target);
         self.clock.advance(self.cost.region_enter_exit);
+        self.emit(|at| TraceEvent::RegionEnter {
+            at,
+            thread: t,
+            region: target,
+            fresh,
+        });
         Ok(target)
     }
 
@@ -521,6 +673,11 @@ impl Runtime {
             }
         }
         self.clock.advance(self.cost.region_enter_exit);
+        self.emit(|at| TraceEvent::RegionExit {
+            at,
+            thread: t,
+            region: r,
+        });
         self.release_region(r)
     }
 
@@ -555,13 +712,19 @@ impl Runtime {
         if !rec.is_alive() {
             return Err(RtError::RegionNotAlive { region });
         }
+        let policy = rec.spec.policy;
+        let used = rec.used;
+        let committed = rec.committed;
         let size = object_size(n_fields);
         let tclass = self.threads[t.0 as usize].class;
         let is_heap = region == self.heap;
         let mut cycles = self.cost.alloc_base + self.cost.zeroing(size);
-        match rec.spec.policy {
+        match policy {
             AllocPolicy::Lt { capacity } => {
-                if rec.used + size > capacity {
+                // The LT capacity check is *not* an elidable RTSJ check:
+                // the paper's LT regions throw when undersized in every
+                // mode, so it is not recorded as a check site.
+                if used + size > capacity {
                     return Err(RtError::LtCapacityExceeded {
                         region,
                         capacity,
@@ -571,8 +734,12 @@ impl Runtime {
             }
             AllocPolicy::Vt => {
                 if is_heap {
-                    if self.mode.checks_run() && tclass == ThreadClass::RealTime {
-                        return Err(RtError::HeapAllocFromRealTime { thread: t });
+                    if tclass == ThreadClass::RealTime {
+                        let ok = !self.mode.checks_run();
+                        self.note_check(t, CheckKind::HeapAlloc, 0, ok);
+                        if !ok {
+                            return Err(RtError::HeapAllocFromRealTime { thread: t });
+                        }
                     }
                     cycles += self.cost.heap_alloc;
                     self.gc.debt += size;
@@ -580,12 +747,16 @@ impl Runtime {
                         self.gc.pending = true;
                         self.gc.debt = 0;
                     }
-                } else if rec.used + size > rec.committed {
+                } else if used + size > committed {
                     // Need a fresh chunk: variable-time work.
-                    if self.mode.checks_run() && tclass == ThreadClass::RealTime {
-                        return Err(RtError::HeapAllocFromRealTime { thread: t });
+                    if tclass == ThreadClass::RealTime {
+                        let ok = !self.mode.checks_run();
+                        self.note_check(t, CheckKind::HeapAlloc, 0, ok);
+                        if !ok {
+                            return Err(RtError::HeapAllocFromRealTime { thread: t });
+                        }
                     }
-                    let needed = rec.used + size - rec.committed;
+                    let needed = used + size - committed;
                     let chunks = needed.div_ceil(self.cost.vt_chunk_bytes);
                     cycles += self.cost.vt_chunk * chunks;
                     self.regions.get_mut(region).committed += chunks * self.cost.vt_chunk_bytes;
@@ -600,9 +771,16 @@ impl Runtime {
             .alloc(class_name.to_string(), region, owners, n_fields);
         self.regions.get_mut(region).objects.push(id);
         self.clock.advance(cycles);
-        self.stats.objects_allocated += 1;
-        self.stats.bytes_allocated += size;
-        self.stats.alloc_cycles += cycles;
+        self.metrics.record_alloc(size, cycles);
+        self.emit(|at| TraceEvent::Alloc {
+            at,
+            thread: t,
+            region,
+            object: id,
+            class: class_name.to_string(),
+            bytes: size,
+            cycles,
+        });
         Ok(id)
     }
 
@@ -675,45 +853,59 @@ impl Runtime {
     ///
     /// As in the RTSJ, reference *loads* are only checked for
     /// `NoHeapRealtimeThread`s (the read barrier keeps them away from heap
-    /// references); regular threads pay no per-load cost.
+    /// references); regular threads pay no per-load cost. The site is
+    /// recorded in every mode — charged, audited, or elided — so elision
+    /// counts line up one-to-one with the checks a `Dynamic` run performs.
     fn check_load(
         &mut self,
         t: ThreadId,
         holder_region: RegionId,
         v: &Value,
     ) -> Result<(), RtError> {
-        if !self.mode.checks_run()
-            || !Self::value_is_reflike(v)
-            || self.threads[t.0 as usize].class != ThreadClass::RealTime
-        {
+        if !Self::value_is_reflike(v) || self.threads[t.0 as usize].class != ThreadClass::RealTime {
             return Ok(());
         }
-        self.stats.load_checks += 1;
-        if self.mode.checks_charged() {
-            self.clock.advance(self.cost.load_check);
-            self.stats.check_cycles += self.cost.load_check;
-        }
-        if holder_region == self.heap {
-            if let Value::Ref(o) = v {
-                return Err(RtError::HeapRefFromRealTime {
-                    thread: t,
-                    object: *o,
-                });
+        // A reference-check site. Evaluate the predicate only when the
+        // check runs; an elided check cannot fail.
+        let err: Option<RtError> = if self.mode.checks_run() {
+            if holder_region == self.heap {
+                Some(if let Value::Ref(o) = v {
+                    RtError::HeapRefFromRealTime {
+                        thread: t,
+                        object: *o,
+                    }
+                } else {
+                    RtError::HeapAllocFromRealTime { thread: t }
+                })
+            } else if let Value::Ref(o) = v {
+                if self.objects.get(*o).region == self.heap {
+                    Some(RtError::HeapRefFromRealTime {
+                        thread: t,
+                        object: *o,
+                    })
+                } else {
+                    None
+                }
+            } else {
+                None
             }
-            return Err(RtError::HeapAllocFromRealTime { thread: t });
+        } else {
+            None
+        };
+        self.note_check(t, CheckKind::Reference, self.cost.load_check, err.is_none());
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
-        if let Value::Ref(o) = v {
-            if self.objects.get(*o).region == self.heap {
-                return Err(RtError::HeapRefFromRealTime {
-                    thread: t,
-                    object: *o,
-                });
-            }
-        }
-        Ok(())
     }
 
     /// Checks a reference store of `new` over `old` into `holder_region`.
+    ///
+    /// The counted site is a store of an actual reference (storing `null`
+    /// is always legal and free). One uncounted failure path remains: a
+    /// real-time thread overwriting a heap reference with `null` fails
+    /// when checks run but is not a check site — mirroring the RTSJ,
+    /// whose write barrier only prices reference stores.
     fn check_store(
         &mut self,
         t: ThreadId,
@@ -721,44 +913,54 @@ impl Runtime {
         old: &Value,
         new: &Value,
     ) -> Result<(), RtError> {
-        if !self.mode.checks_run() || !(Self::value_is_reflike(new) || Self::value_is_reflike(old))
-        {
+        if !(Self::value_is_reflike(new) || Self::value_is_reflike(old)) {
             return Ok(());
         }
-        // The RTSJ assignment check runs (and costs) only when an actual
-        // reference is stored; storing `null` is always legal.
-        if matches!(new, Value::Ref(_)) {
-            self.stats.store_checks += 1;
-            if self.mode.checks_charged() {
-                self.clock.advance(self.cost.store_check);
-                self.stats.check_cycles += self.cost.store_check;
+        let counted = matches!(new, Value::Ref(_));
+        let err: Option<RtError> = if self.mode.checks_run() {
+            // The RTSJ assignment check: the stored reference's region
+            // must outlive the holder's region.
+            let mut found = None;
+            if let Value::Ref(o) = new {
+                let vr = self.objects.get(*o).region;
+                if !self.regions.outlives(vr, holder_region) {
+                    found = Some(RtError::IllegalAssignment {
+                        holder_region,
+                        value_region: vr,
+                    });
+                }
             }
-        }
-        // The RTSJ assignment check: the stored reference's region must
-        // outlive the holder's region.
-        if let Value::Ref(o) = new {
-            let vr = self.objects.get(*o).region;
-            if !self.regions.outlives(vr, holder_region) {
-                return Err(RtError::IllegalAssignment {
-                    holder_region,
-                    value_region: vr,
-                });
-            }
-        }
-        // Real-time threads must not create or destroy heap references.
-        if self.threads[t.0 as usize].class == ThreadClass::RealTime {
-            for v in [old, new] {
-                if let Value::Ref(o) = v {
-                    if self.objects.get(*o).region == self.heap {
-                        return Err(RtError::HeapRefFromRealTime {
-                            thread: t,
-                            object: *o,
-                        });
+            // Real-time threads must not create or destroy heap
+            // references.
+            if found.is_none() && self.threads[t.0 as usize].class == ThreadClass::RealTime {
+                for v in [old, new] {
+                    if let Value::Ref(o) = v {
+                        if self.objects.get(*o).region == self.heap {
+                            found = Some(RtError::HeapRefFromRealTime {
+                                thread: t,
+                                object: *o,
+                            });
+                            break;
+                        }
                     }
                 }
             }
+            found
+        } else {
+            None
+        };
+        if counted {
+            self.note_check(
+                t,
+                CheckKind::Assignment,
+                self.cost.store_check,
+                err.is_none(),
+            );
         }
-        Ok(())
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Loads a field.
@@ -818,6 +1020,12 @@ impl Runtime {
             .cloned()
             .ok_or_else(|| RtError::Protocol(format!("no portal `{name}`")))?;
         self.check_load(t, r, &v)?;
+        self.emit(|at| TraceEvent::PortalRead {
+            at,
+            thread: t,
+            region: r,
+            name: name.to_string(),
+        });
         Ok(v)
     }
 
@@ -842,6 +1050,12 @@ impl Runtime {
             .ok_or_else(|| RtError::Protocol(format!("no portal `{name}`")))?;
         self.check_store(t, r, &old, &v)?;
         self.regions.get_mut(r).portals.insert(name.to_string(), v);
+        self.emit(|at| TraceEvent::PortalWrite {
+            at,
+            thread: t,
+            region: r,
+            name: name.to_string(),
+        });
         Ok(())
     }
 
@@ -852,8 +1066,12 @@ impl Runtime {
         if self.gc.pending && self.gc.collecting_until.is_none() {
             self.gc.pending = false;
             self.gc.collecting_until = Some(self.clock.now() + self.cost.gc_pause);
-            self.stats.gc_collections += 1;
-            self.stats.gc_pause_cycles += self.cost.gc_pause;
+            let pause = self.cost.gc_pause;
+            self.metrics.record_gc(pause);
+            self.emit(|at| TraceEvent::Gc {
+                at,
+                pause_cycles: pause,
+            });
         }
         if let Some(until) = self.gc.collecting_until {
             if self.clock.now() >= until {
@@ -963,6 +1181,113 @@ mod tests {
         r.exit_created_region(t, inner).unwrap();
         let e = r.load_field(t, inner_obj, 0).unwrap_err();
         assert!(matches!(e, RtError::DanglingReference { .. }));
+    }
+
+    /// A short legal workout touching several check sites.
+    fn workout(r: &mut Runtime) {
+        let t = r.main_thread();
+        let region = r.create_region(t, RegionSpec::plain_vt(), false).unwrap();
+        let a = r
+            .alloc(t, RuntimeOwner::Region(region), "A", vec![], 1)
+            .unwrap();
+        let b = r
+            .alloc(t, RuntimeOwner::Region(region), "B", vec![], 0)
+            .unwrap();
+        r.store_field(t, a, 0, Value::Ref(b)).unwrap();
+        let rt_thread = r.spawn_thread(t, ThreadClass::RealTime);
+        // RT loads from a non-heap region: reference-check sites.
+        r.load_field(rt_thread, a, 0).unwrap();
+        r.load_field(rt_thread, a, 0).unwrap();
+        r.finish_thread(rt_thread).unwrap();
+        r.exit_created_region(t, region).unwrap();
+    }
+
+    #[test]
+    fn static_elisions_mirror_dynamic_checks() {
+        let mut dynamic = Runtime::with_mode(CheckMode::Dynamic);
+        workout(&mut dynamic);
+        let mut fully_static = Runtime::with_mode(CheckMode::Static);
+        workout(&mut fully_static);
+        let d = dynamic.metrics_snapshot();
+        let s = fully_static.metrics_snapshot();
+        assert!(d.checks_performed() > 0);
+        assert_eq!(d.checks_elided(), 0);
+        assert_eq!(s.checks_performed(), 0);
+        for kind in CheckKind::ALL {
+            assert_eq!(
+                s.check(kind).elided,
+                d.check(kind).performed,
+                "elision parity for {}",
+                kind.name()
+            );
+            assert_eq!(d.check(kind).failed, 0);
+            assert_eq!(s.check(kind).failed, 0);
+        }
+        assert_eq!(s.check_cycles(), 0, "elided checks cost nothing");
+        assert!(
+            s.total_cycles < d.total_cycles,
+            "static runs are cheaper: {} vs {}",
+            s.total_cycles,
+            d.total_cycles
+        );
+    }
+
+    #[test]
+    fn failed_checks_are_counted() {
+        let mut r = rt();
+        let t = r.main_thread();
+        let outer = r.create_region(t, RegionSpec::plain_vt(), false).unwrap();
+        let outer_obj = r
+            .alloc(t, RuntimeOwner::Region(outer), "O", vec![], 1)
+            .unwrap();
+        let inner = r.create_region(t, RegionSpec::plain_vt(), false).unwrap();
+        let inner_obj = r
+            .alloc(t, RuntimeOwner::Region(inner), "I", vec![], 0)
+            .unwrap();
+        r.store_field(t, outer_obj, 0, Value::Ref(inner_obj))
+            .unwrap_err();
+        let snap = r.metrics_snapshot();
+        assert_eq!(snap.check(CheckKind::Assignment).performed, 1);
+        assert_eq!(snap.check(CheckKind::Assignment).failed, 1);
+    }
+
+    #[test]
+    fn trace_sink_captures_the_run() {
+        use crate::events::JsonlSink;
+        use crate::json::Json;
+
+        let mut r = rt();
+        r.set_trace_sink(Box::new(JsonlSink::new()));
+        workout(&mut r);
+        let mut sink = r.take_trace_sink().expect("sink installed");
+        assert!(!r.tracing_enabled());
+        let lines = sink.drain_jsonl();
+        let mut tags = std::collections::BTreeSet::new();
+        let mut last_at = 0;
+        for line in &lines {
+            let v = Json::parse(line).unwrap_or_else(|e| panic!("invalid JSONL `{line}`: {e}"));
+            let at = v.get("at").and_then(Json::as_u64).expect("at field");
+            assert!(at >= last_at, "virtual timestamps are non-decreasing");
+            last_at = at;
+            tags.insert(v.get("ev").and_then(Json::as_str).unwrap().to_string());
+        }
+        for expected in [
+            "thread_start",
+            "thread_stop",
+            "region_create",
+            "region_enter",
+            "region_exit",
+            "region_delete",
+            "alloc",
+            "check",
+        ] {
+            assert!(tags.contains(expected), "missing `{expected}` in {tags:?}");
+        }
+        // Untraced runs emit nothing and behave identically.
+        let mut plain = rt();
+        workout(&mut plain);
+        assert_eq!(plain.now(), r.now(), "tracing does not perturb the clock");
+        assert_eq!(plain.metrics_snapshot(), r.metrics_snapshot());
     }
 
     #[test]

@@ -4,9 +4,17 @@
 //! ```sh
 //! cargo run --example quickstart
 //! ```
+//!
+//! The CLI spelling of the same pipeline (see README / OBSERVABILITY.md):
+//!
+//! ```sh
+//! rtjc check --stats --jobs 4 prog.rtj
+//! rtjc run --dynamic --trace trace.jsonl --metrics=metrics.json prog.rtj
+//! rtjc report metrics.json
+//! ```
 
-use rtjava::interp::{build, run_checked, run_source, RunConfig};
-use rtjava::runtime::CheckMode;
+use rtjava::interp::{build, run_checked, run_source, RunConfig, TraceCapture};
+use rtjava::runtime::{CheckKind, CheckMode};
 
 fn main() {
     let src = r#"
@@ -35,22 +43,40 @@ fn main() {
     "#;
 
     // 1. RTSJ mode: every reference store pays a dynamic assignment check.
-    let dynamic = run_source(src, RunConfig::new(CheckMode::Dynamic)).unwrap();
+    //    Capture the structured event trace while we're at it (JSONL; see
+    //    OBSERVABILITY.md — `rtjc run --trace` is the CLI spelling).
+    let mut cfg = RunConfig::new(CheckMode::Dynamic);
+    cfg.events = TraceCapture::Full;
+    let dynamic = run_source(src, cfg).unwrap();
     println!("trace          : {:?}", dynamic.trace);
     println!(
-        "dynamic checks : {} checks, {} cycles total",
-        dynamic.stats.store_checks + dynamic.stats.load_checks,
+        "dynamic checks : {} performed ({} were assignment checks), {} cycles total",
+        dynamic.metrics.checks_performed(),
+        dynamic.metrics.check(CheckKind::Assignment).performed,
         dynamic.cycles
+    );
+    let events = dynamic.events.as_deref().unwrap_or_default();
+    println!(
+        "events         : {} captured; first: {}",
+        events.len(),
+        events.first().map_or("-", String::as_str)
     );
 
     // 2. Statically-checked mode: the ownership/region type system proved
-    //    the checks can never fail, so they are gone.
+    //    the checks can never fail, so they are gone — and the metrics
+    //    registry counts every site it *elided* instead of running.
     let fast = run_source(src, RunConfig::new(CheckMode::Static)).unwrap();
     println!(
-        "static         : {} checks, {} cycles total ({:.2}x faster)",
-        fast.stats.store_checks + fast.stats.load_checks,
+        "static         : {} checks performed, {} elided, {} cycles total ({:.2}x faster)",
+        fast.metrics.checks_performed(),
+        fast.metrics.checks_elided(),
         fast.cycles,
         dynamic.cycles as f64 / fast.cycles as f64
+    );
+    assert_eq!(
+        fast.metrics.checks_elided(),
+        dynamic.metrics.checks_performed(),
+        "the static run elides exactly what the dynamic run performs"
     );
 
     // 3. And this is what it protects you from: a program that would

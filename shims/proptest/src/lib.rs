@@ -3,10 +3,11 @@
 //! The build environment has no crates.io access, so this crate implements
 //! the subset of proptest's API that the workspace's property tests use:
 //!
-//! * the [`Strategy`] trait with `prop_map`, `prop_filter`, `prop_filter_map`,
-//!   `prop_recursive`, and `boxed`;
-//! * strategies for integer ranges, tuples, `Vec<S>`, [`Just`],
-//!   [`any`] (`bool` and [`sample::Index`]), `collection::vec`, and a small
+//! * the [`strategy::Strategy`] trait with `prop_map`, `prop_filter`,
+//!   `prop_filter_map`, `prop_recursive`, and `boxed`;
+//! * strategies for integer ranges, tuples, `Vec<S>`, [`strategy::Just`],
+//!   [`arbitrary::any`] (`bool` and [`sample::Index`]), `collection::vec`,
+//!   and a small
 //!   regex-pattern subset for `&'static str` (char classes + `{m,n}`);
 //! * the [`proptest!`], [`prop_oneof!`], and `prop_assert*` macros and
 //!   [`test_runner::Config`] (`ProptestConfig`).
@@ -574,7 +575,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Clone)]
     pub struct VecStrategy<S> {
         element: S,
