@@ -1,0 +1,70 @@
+//! Cost of the checker's self-profiling (ISSUE acceptance criterion:
+//! profiling *disabled* must not measurably slow the checking pipeline).
+//!
+//! Two configurations check the same scaled corpus program:
+//!
+//! * `off` — `CheckOptions::profile = false`, the default: the driver
+//!   pays one boolean test per phase boundary and takes no timestamps;
+//! * `on` — per-phase and per-class spans recorded, folded into the
+//!   `rtj-checker-metrics/v1` snapshot afterwards.
+//!
+//! Profiling is pure observation: diagnostics, statistics counters, and
+//! the span-tree *structure* are invariant across repetitions and the
+//! profile flag — asserted here before timing anything.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtj_corpus::scaled_classes;
+use rtj_lang::parse_program;
+use rtj_types::{check_program_in, CheckOptions, CheckerSnapshot};
+use std::hint::black_box;
+
+fn opts(profile: bool) -> CheckOptions {
+    CheckOptions { jobs: 1, profile }
+}
+
+fn check_profile_overhead(c: &mut Criterion) {
+    let source = scaled_classes(12);
+    let program = parse_program(&source).expect("scaled corpus parses");
+
+    let off = check_program_in(program.clone(), &opts(false)).expect("well-typed");
+    let on = check_program_in(program.clone(), &opts(true)).expect("well-typed");
+    assert!(off.profile.is_none(), "no span tree when profiling is off");
+    let profile = on.profile.as_ref().expect("span tree when profiling is on");
+    assert_eq!(
+        off.stats.judgments, on.stats.judgments,
+        "profiling must not change the judgment cache traffic"
+    );
+    let again = check_program_in(program.clone(), &opts(true)).expect("well-typed");
+    assert_eq!(
+        CheckerSnapshot::capture(&on.stats, on.profile.as_ref()).structure(),
+        CheckerSnapshot::capture(&again.stats, again.profile.as_ref()).structure(),
+        "snapshot structure must be deterministic"
+    );
+    println!(
+        "profile volume: {} top-level phases, {} class spans",
+        profile.phases.len(),
+        profile
+            .phases
+            .iter()
+            .find(|p| p.name == "classes")
+            .map_or(0, |p| p.children.len()),
+    );
+
+    let mut group = c.benchmark_group("check_profile");
+    group.bench_function("off", |b| {
+        b.iter(|| {
+            let p = program.clone();
+            black_box(check_program_in(p, &opts(false)).expect("well-typed").stats)
+        })
+    });
+    group.bench_function("on", |b| {
+        b.iter(|| {
+            let p = program.clone();
+            black_box(check_program_in(p, &opts(true)).expect("well-typed").stats)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, check_profile_overhead);
+criterion_main!(benches);

@@ -44,14 +44,28 @@ fn scaled_corpus(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("serial", copies), &parsed, |b, p| {
             b.iter(|| {
                 black_box(
-                    check_program_in(black_box(p.clone()), &CheckOptions { jobs: 1 }).unwrap(),
+                    check_program_in(
+                        black_box(p.clone()),
+                        &CheckOptions {
+                            jobs: 1,
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap(),
                 )
             })
         });
         group.bench_with_input(BenchmarkId::new("parallel", copies), &parsed, |b, p| {
             b.iter(|| {
                 black_box(
-                    check_program_in(black_box(p.clone()), &CheckOptions { jobs: 0 }).unwrap(),
+                    check_program_in(
+                        black_box(p.clone()),
+                        &CheckOptions {
+                            jobs: 0,
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap(),
                 )
             })
         });

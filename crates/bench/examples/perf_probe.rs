@@ -20,7 +20,10 @@ fn main() {
     let p = rtj_lang::parse_program(&src).unwrap();
     println!("copies={copies} ({} bytes)", src.len());
     for jobs in [1usize, 0] {
-        let opts = CheckOptions { jobs };
+        let opts = CheckOptions {
+            jobs,
+            ..Default::default()
+        };
         for _ in 0..3 {
             check_program_in(p.clone(), &opts).unwrap();
         }

@@ -3,7 +3,11 @@
 //! ```text
 //! rtjc check <file.rtj>        type-check a program
 //! rtjc check --stats <file>    …and print checker-pipeline statistics
+//! rtjc check --stats --format json <file>  …as an rtj-checker-metrics/v1 doc
 //! rtjc check --jobs N <file>   …with N worker threads (1 = serial, 0 = auto)
+//! rtjc check --explain <file>  …rendering each error's derivation trace
+//! rtjc check --profile[=FILE] [--trace-format chrome|jsonl] <file>
+//!                              …self-profiling the checker pipeline
 //! rtjc run <file.rtj>          check then run (static mode)
 //! rtjc run --dynamic <file>    run with the RTSJ dynamic checks
 //! rtjc run --audit <file>      run the checks at zero virtual cost
@@ -14,15 +18,18 @@
 //! rtjc lower <file.rtj>        translate to RTSJ Java (Section 2.6)
 //! rtjc fig11 [--format json]   regenerate paper Figure 11
 //! rtjc fig12 [--smoke] [--format json]  regenerate paper Figure 12
-//! rtjc report <snapshot.json>  elision report from a metrics/fig12 snapshot
+//! rtjc report <snapshot.json>...  render metrics/checker/fig12 snapshots
 //! rtjc bench <name>            print a corpus program's source
 //! ```
 //!
-//! `run --trace`/`run --metrics` and `report` are the observability
-//! surface: traces are JSONL (one event per line), metrics snapshots are
-//! `rtj-metrics/v1` documents, and `report` renders either a snapshot or
-//! an `rtj-fig12/v1` document (from `fig12 --format json`) as the
-//! Figure-12-style elision table. `FILE` may be `-` for stdout.
+//! `run --trace`/`run --metrics`, `check --profile`, and `report` are
+//! the observability surface: traces are JSONL (one event per line),
+//! runtime metrics snapshots are `rtj-metrics/v1` documents, checker
+//! snapshots are `rtj-checker-metrics/v1` documents, and `report`
+//! renders any mix of those plus `rtj-fig12/v1` documents (from `fig12
+//! --format json`) — given both a checker and a runtime snapshot it
+//! appends the combined static-cost vs. checks-elided view. `FILE` may
+//! be `-` for stdout.
 
 use rtj_interp::{build, run_checked, RunConfig, TraceCapture};
 use rtj_runtime::{CheckMode, CheckerMetrics, Json, MetricsSnapshot};
@@ -155,6 +162,22 @@ fn main() -> ExitCode {
         },
         Some("report") => report_cmd(&args[1..]),
         Some("bench") => match args.get(1) {
+            // `scaled[:N]` prints the synthetic N-block scaled corpus
+            // (the checker-pipeline stress program).
+            Some(name) if name == "scaled" || name.starts_with("scaled:") => {
+                let n = match name.strip_prefix("scaled:") {
+                    None | Some("") => 8,
+                    Some(n) => match n.parse() {
+                        Ok(n) => n,
+                        Err(_) => {
+                            eprintln!("`scaled:` expects a block count, got `{n}`");
+                            return ExitCode::FAILURE;
+                        }
+                    },
+                };
+                print!("{}", rtj_corpus::scaled_classes(n));
+                ExitCode::SUCCESS
+            }
             Some(name) => {
                 let benches = rtj_corpus::all(rtj_corpus::Scale::Paper);
                 match benches.iter().find(|b| b.name == name) {
@@ -164,7 +187,7 @@ fn main() -> ExitCode {
                     }
                     None => {
                         eprintln!(
-                            "unknown benchmark `{name}`; available: {}",
+                            "unknown benchmark `{name}`; available: {}, scaled[:N]",
                             benches
                                 .iter()
                                 .map(|b| b.name)
@@ -176,7 +199,7 @@ fn main() -> ExitCode {
                 }
             }
             None => {
-                eprintln!("usage: rtjc bench <name>");
+                eprintln!("usage: rtjc bench <name|scaled[:N]>");
                 ExitCode::FAILURE
             }
         },
@@ -184,7 +207,12 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: rtjc <check|run|fmt|fig11|fig12|report|bench> [args]\n\
                  \n\
-                 check [--stats] [--jobs N] <file>  type-check a program\n\
+                 check [--stats] [--format json] [--jobs N] [--explain]\n\
+                 \x20     [--profile[=FILE]] [--trace-format chrome|jsonl] <file>\n\
+                 \x20                   type-check a program; --stats --format json\n\
+                 \x20                   emits the rtj-checker-metrics/v1 document,\n\
+                 \x20                   --explain renders derivation traces,\n\
+                 \x20                   --profile exports the self-profiling snapshot\n\
                  run [--static|--dynamic|--audit] [--trace FILE] [--metrics[=FILE]] <file>\n\
                  \x20                   check then interpret; --trace writes the\n\
                  \x20                   JSONL event trace, --metrics the\n\
@@ -195,8 +223,9 @@ fn main() -> ExitCode {
                  advise <file>       run once and suggest LT region sizes\n\
                  fig11 [--format json]           regenerate paper Figure 11\n\
                  fig12 [--smoke] [--format json] regenerate paper Figure 12\n\
-                 report <snapshot.json>  render the elision report from an\n\
-                 \x20                   rtj-metrics/v1 or rtj-fig12/v1 document\n\
+                 report <snapshot.json>...  render the report(s) from any mix of\n\
+                 \x20                   rtj-metrics/v1, rtj-checker-metrics/v1,\n\
+                 \x20                   and rtj-fig12/v1 documents\n\
                  bench <name>        print a corpus program"
             );
             ExitCode::FAILURE
@@ -204,17 +233,60 @@ fn main() -> ExitCode {
     }
 }
 
-/// `rtjc check [--stats] [--jobs N] <file>`: type-check, optionally
-/// reporting pipeline statistics and controlling the worker-thread count
-/// (`--jobs 1` forces the serial driver, `--jobs 0` one thread per core).
+/// `rtjc check [--stats] [--format text|json] [--jobs N] [--explain]
+/// [--profile[=FILE]] [--trace-format chrome|jsonl] <file>`: type-check,
+/// optionally reporting pipeline statistics (`--format json` turns the
+/// stats into a versioned `rtj-checker-metrics/v1` document on stdout),
+/// rendering the derivation trace behind each type error (`--explain`),
+/// and exporting the checker's self-profiling snapshot (`--profile`,
+/// with `--trace-format` switching the export to Chrome trace events or
+/// their JSONL form). `--jobs 1` forces the serial driver, `--jobs 0`
+/// one thread per core. `FILE` may be `-` for stdout.
 fn check_cmd(args: &[String]) -> ExitCode {
+    const USAGE: &str = "usage: rtjc check [--stats] [--format text|json] [--jobs N] \
+                         [--explain] [--profile[=FILE]] [--trace-format chrome|jsonl] <file>";
     let mut stats = false;
+    let mut json = false;
     let mut jobs = 0usize;
+    let mut explain = false;
+    let mut profile_out: Option<String> = None;
+    let mut trace_format: Option<String> = None;
     let mut file = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--stats" {
             stats = true;
+        } else if a == "--explain" {
+            explain = true;
+        } else if let Some(p) = a.strip_prefix("--profile=") {
+            profile_out = Some(p.to_string());
+        } else if a == "--profile" {
+            profile_out = Some("-".to_string());
+        } else if let Some(f) = a.strip_prefix("--trace-format=") {
+            trace_format = Some(f.to_string());
+        } else if a == "--trace-format" {
+            match it.next() {
+                Some(f) => trace_format = Some(f.clone()),
+                None => {
+                    eprintln!("--trace-format expects `chrome` or `jsonl`");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if let Some(v) = a.strip_prefix("--format=") {
+            json = v == "json";
+            if !json && v != "text" {
+                eprintln!("--format expects `text` or `json`, got `{v}`");
+                return ExitCode::FAILURE;
+            }
+        } else if a == "--format" {
+            match it.next().map(String::as_str) {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                _ => {
+                    eprintln!("--format expects `text` or `json`");
+                    return ExitCode::FAILURE;
+                }
+            }
         } else if let Some(n) = a.strip_prefix("--jobs=") {
             match n.parse() {
                 Ok(n) => jobs = n,
@@ -232,10 +304,20 @@ fn check_cmd(args: &[String]) -> ExitCode {
                 }
             }
         } else if a.starts_with("--") {
-            eprintln!("unknown flag `{a}`; usage: rtjc check [--stats] [--jobs N] <file>");
+            eprintln!("unknown flag `{a}`; {USAGE}");
             return ExitCode::FAILURE;
         } else {
             file = Some(a.clone());
+        }
+    }
+    if let Some(f) = &trace_format {
+        if profile_out.is_none() {
+            eprintln!("--trace-format requires --profile");
+            return ExitCode::FAILURE;
+        }
+        if f != "chrome" && f != "jsonl" {
+            eprintln!("--trace-format expects `chrome` or `jsonl`, got `{f}`");
+            return ExitCode::FAILURE;
         }
     }
     let Some(path) = file else {
@@ -249,6 +331,7 @@ fn check_cmd(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let parse_start = std::time::Instant::now();
     let program = match rtj_lang::parse_program(&src) {
         Ok(p) => p,
         Err(e) => {
@@ -256,17 +339,55 @@ fn check_cmd(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match rtj_types::check_program_in(program, &rtj_types::CheckOptions { jobs }) {
+    let parse_wall = parse_start.elapsed();
+    let opts = rtj_types::CheckOptions {
+        jobs,
+        profile: profile_out.is_some(),
+    };
+    match rtj_types::check_program_in(program, &opts) {
         Ok(checked) => {
-            println!("ok");
-            if stats {
-                print_stats(&checked.stats);
+            // The lex/parse span runs before `check_program_in` (the
+            // profile epoch), so it is prepended at offset zero.
+            let profile = checked.profile.clone().map(|mut p| {
+                p.prepend(rtj_types::PhaseSpan::leaf(
+                    "parse",
+                    std::time::Duration::ZERO,
+                    parse_wall,
+                ));
+                p
+            });
+            let snap = rtj_types::CheckerSnapshot::capture(&checked.stats, profile.as_ref());
+            if stats && json {
+                println!("{}", snap.render());
+            } else {
+                println!("ok");
+                if stats {
+                    print_stats(&checked.stats);
+                }
+            }
+            if let Some(dest) = &profile_out {
+                let text = match trace_format.as_deref() {
+                    Some("chrome") => format!("{}\n", snap.to_chrome_trace().render()),
+                    Some("jsonl") => snap.to_trace_jsonl(),
+                    _ => format!("{}\n", snap.render()),
+                };
+                if let Err(e) = write_output(dest, &text) {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
             }
             ExitCode::SUCCESS
         }
         Err(errs) => {
             for t in &errs {
-                eprintln!("{}", rtj_lang::diag::render(&src, t.span, &t.message));
+                if explain {
+                    eprintln!(
+                        "{}",
+                        rtj_lang::diag::render_with_notes(&src, t.span, &t.message, &t.notes)
+                    );
+                } else {
+                    eprintln!("{}", rtj_lang::diag::render(&src, t.span, &t.message));
+                }
             }
             ExitCode::FAILURE
         }
@@ -377,59 +498,128 @@ fn run_cmd(args: &[String]) -> ExitCode {
     }
 }
 
-/// `rtjc report <snapshot.json>`: render the elision report from an
-/// `rtj-metrics/v1` snapshot (`rtjc run --metrics`) or the full
-/// Figure-12 table from an `rtj-fig12/v1` document (`rtjc fig12 --format
-/// json`).
+/// `rtjc report <snapshot.json>...`: render the report(s) from any mix
+/// of observability documents — `rtj-metrics/v1` (from `rtjc run
+/// --metrics`), `rtj-checker-metrics/v1` (from `rtjc check --profile` or
+/// `check --stats --format json`), and `rtj-fig12/v1` (from `rtjc fig12
+/// --format json`). Given both a checker and a runtime document, a
+/// combined static-cost vs. dynamic-checks-elided section follows the
+/// per-document reports.
 fn report_cmd(args: &[String]) -> ExitCode {
-    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
-        eprintln!("usage: rtjc report <snapshot.json>");
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    if paths.is_empty() {
+        eprintln!("usage: rtjc report <snapshot.json>...");
         return ExitCode::FAILURE;
-    };
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("cannot read {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let doc = match Json::parse(&text) {
-        Ok(d) => d,
-        Err(e) => {
-            eprintln!("{path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    match doc.get("schema").and_then(Json::as_str) {
-        Some(rtj_runtime::METRICS_SCHEMA) => match MetricsSnapshot::from_json(&doc) {
-            Ok(snap) => {
-                print!("{}", snap.render_report());
-                ExitCode::SUCCESS
+    }
+    let mut checker: Option<rtj_types::CheckerSnapshot> = None;
+    let mut runtime: Option<MetricsSnapshot> = None;
+    let mut out = String::new();
+    for (i, path) in paths.iter().enumerate() {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
             }
+        };
+        let doc = match Json::parse(&text) {
+            Ok(d) => d,
             Err(e) => {
                 eprintln!("{path}: {e}");
-                ExitCode::FAILURE
+                return ExitCode::FAILURE;
             }
-        },
-        Some(rtj_corpus::FIG12_SCHEMA) => match render_fig12_document(&doc) {
-            Ok(report) => {
-                print!("{report}");
-                ExitCode::SUCCESS
+        };
+        if i > 0 {
+            out.push('\n');
+        }
+        match doc.get("schema").and_then(Json::as_str) {
+            Some(rtj_runtime::METRICS_SCHEMA) => match MetricsSnapshot::from_json(&doc) {
+                Ok(snap) => {
+                    out += &snap.render_report();
+                    match &mut runtime {
+                        Some(agg) => agg.merge(&snap),
+                        None => runtime = Some(snap),
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Some(rtj_types::CHECKER_METRICS_SCHEMA) => {
+                match rtj_types::CheckerSnapshot::from_json(&doc) {
+                    Ok(snap) => {
+                        out += &snap.render_report();
+                        checker = Some(snap);
+                    }
+                    Err(e) => {
+                        eprintln!("{path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
             }
-            Err(e) => {
-                eprintln!("{path}: {e}");
-                ExitCode::FAILURE
+            Some(rtj_corpus::FIG12_SCHEMA) => match render_fig12_document(&doc) {
+                Ok(report) => out += &report,
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!(
+                    "{path}: unsupported schema {other:?}; expected `{}`, `{}`, or `{}`",
+                    rtj_runtime::METRICS_SCHEMA,
+                    rtj_types::CHECKER_METRICS_SCHEMA,
+                    rtj_corpus::FIG12_SCHEMA
+                );
+                return ExitCode::FAILURE;
             }
-        },
-        other => {
-            eprintln!(
-                "{path}: unsupported schema {other:?}; expected `{}` or `{}`",
-                rtj_runtime::METRICS_SCHEMA,
-                rtj_corpus::FIG12_SCHEMA
-            );
-            ExitCode::FAILURE
         }
     }
+    if let (Some(ck), Some(rt)) = (&checker, &runtime) {
+        out.push('\n');
+        out += &render_combined(ck, rt);
+    }
+    print!("{out}");
+    ExitCode::SUCCESS
+}
+
+/// The unified observability view: what the static checker spent (cache
+/// traffic, wall time) against what that spending bought at run time
+/// (dynamic checks elided and the virtual cycles they would have cost).
+fn render_combined(ck: &rtj_types::CheckerSnapshot, rt: &MetricsSnapshot) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("combined static/dynamic view\n");
+    let queries: u64 = ck.judgments.iter().map(|(_, j)| j.hits + j.misses).sum();
+    let evals: u64 = ck.judgments.iter().map(|(_, j)| j.evals).sum();
+    let _ = writeln!(
+        out,
+        "  static cost     : {queries} judgment queries ({evals} deduced), {:?} wall",
+        ck.elapsed
+    );
+    let performed = rt.checks_performed();
+    let elided = rt.checks_elided();
+    let _ = writeln!(
+        out,
+        "  dynamic effect  : {elided} checks elided, {performed} performed ({} mode)",
+        rt.mode.name()
+    );
+    let total = performed + elided;
+    if total > 0 {
+        let _ = writeln!(
+            out,
+            "  elision rate    : {:.1}% of candidate checks discharged statically",
+            elided as f64 / total as f64 * 100.0
+        );
+    }
+    if elided > 0 {
+        let _ = writeln!(
+            out,
+            "  leverage        : {:.2} checks elided per judgment query",
+            elided as f64 / queries.max(1) as f64
+        );
+    }
+    out
 }
 
 /// Renders an `rtj-fig12/v1` document: the Figure-12 table reconstructed
@@ -531,8 +721,8 @@ fn checker_metrics(s: &rtj_types::CheckStats) -> CheckerMetrics {
     CheckerMetrics {
         classes_checked: s.classes_checked as u64,
         methods_checked: s.methods_checked as u64,
-        cache_hits: s.cache_hits,
-        cache_misses: s.cache_misses,
+        cache_hits: s.cache_hits(),
+        cache_misses: s.cache_misses(),
         threads_used: s.threads_used as u64,
     }
 }
@@ -542,10 +732,13 @@ fn print_stats(s: &rtj_types::CheckStats) {
     eprintln!("methods checked : {}", s.methods_checked);
     eprintln!(
         "judgment cache  : {} hits / {} misses ({:.1}% hit rate)",
-        s.cache_hits,
-        s.cache_misses,
+        s.cache_hits(),
+        s.cache_misses(),
         s.hit_rate() * 100.0
     );
+    for (family, c) in s.judgments.families() {
+        eprintln!("  {family:<9}     : {} hits / {} misses", c.hits, c.misses);
+    }
     eprintln!("threads used    : {}", s.threads_used);
     eprintln!("wall time       : {:?}", s.elapsed);
 }

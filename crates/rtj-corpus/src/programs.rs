@@ -1338,6 +1338,20 @@ pub fn negatives() -> Vec<(&'static str, String)> {
             .to_owned(),
         ),
         (
+            // The field `E<q, p>` needs `p ≽ q`, which fails — but the
+            // reverse direction `q ≽ p` holds through the two declared
+            // `where` edges (`q ≽ r ≽ p`), so `--explain` surfaces a
+            // multi-step derivation chain for the failure.
+            "outlives-chain",
+            r#"class E<Owner x, Owner y> { }
+class D<Owner o, Owner p, Owner q, Owner r> where q outlives r, r outlives p {
+    E<q, p> f;
+}
+{ }
+"#
+            .to_owned(),
+        ),
+        (
             "unknown-owner",
             "class C<Owner o> { } { let C<ghost> c = new C<ghost>; }\n".to_owned(),
         ),

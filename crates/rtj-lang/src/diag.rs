@@ -44,6 +44,31 @@ pub fn render(src: &str, span: Span, message: &str) -> String {
     out
 }
 
+/// Renders a diagnostic like [`render`], followed by secondary `note:`
+/// labels — one per entry of `notes`. With an empty `notes` the output
+/// is byte-identical to [`render`], which is what keeps the checker's
+/// default diagnostics stable while `--explain` layers derivation
+/// traces on top.
+///
+/// ```text
+/// error: <message>
+///   --> line 3, column 7
+///    |
+///  3 |     TStack<r1, r2> s6;
+///    |            ^^^^^^
+///    = note: required `r2 ≽ r1`
+///    = note: no outlives fact extends the chain from `r2`
+/// ```
+pub fn render_with_notes(src: &str, span: Span, message: &str, notes: &[String]) -> String {
+    let mut out = render(src, span, message);
+    for note in notes {
+        out.push_str("   = note: ");
+        out.push_str(note);
+        out.push('\n');
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -70,5 +95,23 @@ mod tests {
         // Degenerate spans must not panic.
         let out = render("ab", Span::new(2, 2), "eof");
         assert!(out.contains("error: eof"));
+    }
+
+    #[test]
+    fn notes_render_after_excerpt() {
+        let src = "abc def\n";
+        let notes = vec!["first premise".to_string(), "second premise".to_string()];
+        let out = render_with_notes(src, Span::new(0, 3), "boom", &notes);
+        assert!(out.contains("= note: first premise\n"));
+        assert!(out.ends_with("= note: second premise\n"));
+    }
+
+    #[test]
+    fn empty_notes_match_plain_render() {
+        let src = "abc def\n";
+        assert_eq!(
+            render_with_notes(src, Span::new(0, 3), "boom", &[]),
+            render(src, Span::new(0, 3), "boom")
+        );
     }
 }

@@ -66,6 +66,19 @@ impl Symbol {
     }
 }
 
+/// Sizes of the global intern table: `(symbols, bytes)`.
+///
+/// `symbols` is the number of distinct interned strings alive in the
+/// process and `bytes` the total length of their contents. Reported in
+/// the checker's `rtj-checker-metrics/v1` snapshot as a proxy for
+/// frontend arena footprint. The table is process-global, so the numbers
+/// are cumulative across every program interned so far.
+pub fn intern_table_stats() -> (usize, usize) {
+    let t = table().read().unwrap();
+    let bytes = t.keys().map(|s| s.len()).sum();
+    (t.len(), bytes)
+}
+
 // One allocation per distinct string, so pointer equality is string
 // equality — and a pointer hash stands in for a content hash.
 impl PartialEq for Symbol {

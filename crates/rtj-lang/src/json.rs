@@ -1,9 +1,12 @@
 //! A minimal, dependency-free JSON value: render and parse.
 //!
-//! The observability layer serializes trace events (JSONL) and metrics
-//! snapshots (a single JSON document) and `rtjc report` reads snapshots
-//! back. The container has no crates.io access, so instead of `serde`
-//! this module provides the small subset the repo needs:
+//! The observability layers serialize trace events (JSONL), runtime
+//! metrics snapshots (`rtj-metrics/v1`), and checker profiles
+//! (`rtj-checker-metrics/v1`), and `rtjc report` reads snapshots back.
+//! It lives in `rtj-lang` — the root of the crate graph — so both the
+//! runtime (`rtj-runtime`) and the static checker (`rtj-types`) share
+//! one implementation. The container has no crates.io access, so instead
+//! of `serde` this module provides the small subset the repo needs:
 //!
 //! * [`Json`] — a JSON value whose objects preserve insertion order, so
 //!   rendering is byte-deterministic (a requirement of the determinism

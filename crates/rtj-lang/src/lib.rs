@@ -40,6 +40,7 @@
 pub mod ast;
 pub mod diag;
 pub mod intern;
+pub mod json;
 pub mod lexer;
 pub mod parser;
 pub mod pretty;
@@ -48,6 +49,7 @@ pub mod token;
 
 pub use ast::Program;
 pub use intern::Symbol;
+pub use json::{Json, JsonError};
 pub use parser::{parse_expr, parse_program, ParseError};
 pub use pretty::pretty_program;
 pub use span::Span;

@@ -554,4 +554,45 @@ mod tests {
         assert_eq!(ats, vec![3, 4]);
         assert_eq!(sink.dropped(), 0);
     }
+
+    fn drained_ats(sink: &mut RingSink) -> Vec<u64> {
+        sink.drain_jsonl()
+            .iter()
+            .map(|l| Json::parse(l).unwrap().get("at").unwrap().as_u64().unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn ring_sink_at_exact_capacity_drops_nothing() {
+        let mut sink = RingSink::new(3);
+        for at in 0..3 {
+            sink.record(&ev(at));
+        }
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.dropped(), 0, "filling to capacity evicts nothing");
+        assert_eq!(drained_ats(&mut sink), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn ring_sink_one_past_capacity_drops_exactly_oldest() {
+        let mut sink = RingSink::new(3);
+        for at in 0..4 {
+            sink.record(&ev(at));
+        }
+        assert_eq!(sink.len(), 3, "wrap-around must not grow the buffer");
+        assert_eq!(sink.dropped(), 1, "exactly one eviction at capacity+1");
+        assert_eq!(drained_ats(&mut sink), vec![1, 2, 3]);
+        // The drain resets the eviction counter and empties the ring.
+        assert_eq!(sink.len(), 0);
+        assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_sink_zero_capacity_keeps_nothing() {
+        let mut sink = RingSink::new(0);
+        sink.record(&ev(7));
+        assert_eq!(sink.len(), 0);
+        assert_eq!(sink.dropped(), 1);
+        assert!(sink.drain_jsonl().is_empty());
+    }
 }

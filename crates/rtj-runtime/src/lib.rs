@@ -39,7 +39,6 @@ pub mod checks;
 pub mod clock;
 pub mod error;
 pub mod events;
-pub mod json;
 pub mod metrics;
 pub mod objects;
 pub mod region;
@@ -51,13 +50,16 @@ pub use checks::{CheckMode, Stats};
 pub use clock::{Clock, CostModel};
 pub use error::RtError;
 pub use events::{JsonlSink, RingSink, TraceEvent, TraceSink};
-pub use json::{Json, JsonError};
 pub use metrics::{
     CheckCounters, CheckKind, CheckOutcome, CheckerMetrics, Histogram, MetricsRegistry,
     MetricsSnapshot, METRICS_SCHEMA,
 };
 pub use objects::{object_size, ObjectRecord, ObjectStore};
 pub use region::{RegionClass, RegionRecord, RegionSpec, RegionState, RegionTable};
+/// Shared dependency-free JSON plumbing (re-exported from `rtj-lang`, where
+/// it also serves the static checker's snapshots).
+pub use rtj_lang::json;
+pub use rtj_lang::json::{Json, JsonError};
 pub use runtime::{GcState, Runtime, ThreadRecord};
 pub use value::{
     AllocPolicy, ObjId, RegionId, Reservation, RuntimeOwner, ThreadClass, ThreadId, Value,

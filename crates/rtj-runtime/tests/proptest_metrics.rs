@@ -1,0 +1,132 @@
+//! Property tests over [`MetricsSnapshot::merge`].
+//!
+//! Reports aggregated from many runs (`rtjc report a.json b.json …`,
+//! the Figure-12 aggregate) must not depend on the order the documents
+//! are merged in, so `merge` has to be associative and commutative —
+//! for snapshots sharing a [`CheckMode`]. (The mode field itself keeps
+//! `self`'s value, so mixing modes is order-sensitive by design; every
+//! aggregation in the repo merges runs of one mode.)
+
+use proptest::prelude::*;
+use rtj_runtime::{CheckCounters, CheckMode, CheckerMetrics, Histogram, MetricsSnapshot};
+
+fn counters_strategy() -> impl Strategy<Value = CheckCounters> {
+    (
+        0u64..1_000,
+        0u64..1_000,
+        0u64..1_000,
+        0u64..100,
+        0u64..100_000,
+        prop::collection::vec((0usize..65, 0u64..50), 0..6),
+    )
+        .prop_map(|(performed, charged, elided, failed, cycles, hist)| {
+            let mut cost_hist = Histogram::default();
+            for (bucket, count) in hist {
+                cost_hist.buckets[bucket] += count;
+            }
+            CheckCounters {
+                performed,
+                charged,
+                elided,
+                failed,
+                cycles,
+                cost_hist,
+            }
+        })
+}
+
+fn checker_strategy() -> impl Strategy<Value = Option<CheckerMetrics>> {
+    (any::<bool>(), 0u64..50, 0u64..200, 0u64..5_000, 1u64..16).prop_map(
+        |(present, classes_checked, methods_checked, cache_hits, threads_used)| {
+            present.then_some(CheckerMetrics {
+                classes_checked,
+                methods_checked,
+                cache_hits,
+                cache_misses: cache_hits / 2,
+                threads_used,
+            })
+        },
+    )
+}
+
+/// A random snapshot in the given mode. All snapshots of a case share
+/// one mode, matching how the repo aggregates runs.
+fn snapshot_strategy(mode: CheckMode) -> impl Strategy<Value = MetricsSnapshot> {
+    (
+        prop::collection::vec(counters_strategy(), 4..5),
+        prop::collection::vec(0u64..100_000, 12..13),
+        checker_strategy(),
+    )
+        .prop_map(move |(checks, nums, checker)| MetricsSnapshot {
+            mode,
+            total_cycles: nums[0],
+            checks: checks.try_into().expect("exactly four check kinds"),
+            objects_allocated: nums[1],
+            bytes_allocated: nums[2],
+            alloc_cycles: nums[3],
+            regions_created: nums[4],
+            regions_flushed: nums[5],
+            regions_deleted: nums[6],
+            gc_collections: nums[7],
+            gc_pause_cycles: nums[8],
+            threads_spawned: nums[9],
+            rt_lock_wait_cycles: nums[10],
+            rt_max_lock_wait: nums[11],
+            checker,
+        })
+}
+
+fn mode_strategy() -> impl Strategy<Value = CheckMode> {
+    prop_oneof![
+        Just(CheckMode::Static),
+        Just(CheckMode::Dynamic),
+        Just(CheckMode::Audit),
+    ]
+}
+
+fn merged(a: &MetricsSnapshot, b: &MetricsSnapshot) -> MetricsSnapshot {
+    let mut m = a.clone();
+    m.merge(b);
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn merge_is_commutative_within_a_mode(
+        (a, b) in mode_strategy().prop_flat_map(|m| (snapshot_strategy(m), snapshot_strategy(m)))
+    ) {
+        let ab = merged(&a, &b);
+        let ba = merged(&b, &a);
+        prop_assert_eq!(&ab, &ba);
+        // Identical snapshots must also serialize and report identically.
+        prop_assert_eq!(ab.render(), ba.render());
+        prop_assert_eq!(ab.render_report(), ba.render_report());
+    }
+
+    #[test]
+    fn merge_is_associative(
+        (a, b, c) in mode_strategy().prop_flat_map(|m| (
+            snapshot_strategy(m),
+            snapshot_strategy(m),
+            snapshot_strategy(m),
+        ))
+    ) {
+        let left = merged(&merged(&a, &b), &c);
+        let right = merged(&a, &merged(&b, &c));
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(left.render(), right.render());
+    }
+
+    #[test]
+    fn merge_with_default_is_identity_on_counters(
+        a in snapshot_strategy(CheckMode::Dynamic)
+    ) {
+        // `MetricsSnapshot::default()` is the merge unit for every
+        // counter (its `checker` is `None`, so the optional section is
+        // untouched too).
+        let m = merged(&a, &MetricsSnapshot::default());
+        prop_assert_eq!(&m, &a);
+    }
+}

@@ -23,11 +23,12 @@
 //! | `[AV ...]`, `[RKIND ...]` | [`crate::env::Env`] queries |
 //! | `InheritanceOK`, `OverridesOK` | `check_inheritance` |
 
-use crate::env::{Effects, Env};
+use crate::env::{Effects, Env, JudgmentCounters};
 use crate::error::TypeError;
 use crate::infer;
-use crate::kind::{is_subkind, Kind};
+use crate::kind::Kind;
 use crate::owner::{Owner, Subst};
+use crate::profile::{CheckProfile, PhaseSpan};
 use crate::stype::SType;
 use crate::table::{resolve_kind, ClassInfo, ProgramTable, SConstraint};
 use rtj_lang::ast::*;
@@ -45,6 +46,8 @@ pub struct Checked {
     pub table: ProgramTable,
     /// Statistics from the checking run.
     pub stats: CheckStats,
+    /// Phase-span tree recorded when [`CheckOptions::profile`] was set.
+    pub profile: Option<CheckProfile>,
 }
 
 /// Options for the checking driver.
@@ -53,6 +56,11 @@ pub struct CheckOptions {
     /// Worker threads for per-class checking. `0` means one per available
     /// CPU core; `1` forces the fully serial driver.
     pub jobs: usize,
+    /// Record a per-phase (and per-class) span tree in
+    /// [`Checked::profile`]. Off by default; when off the driver takes no
+    /// phase or per-class timestamps at all, so checking runs exactly the
+    /// PR 1 code path.
+    pub profile: bool,
 }
 
 /// Statistics produced by a checking run (surfaced by `rtjc check --stats`).
@@ -62,10 +70,10 @@ pub struct CheckStats {
     pub classes_checked: usize,
     /// Method bodies checked.
     pub methods_checked: usize,
-    /// Judgment-cache hits summed over all typing environments.
-    pub cache_hits: u64,
-    /// Judgment-cache misses summed over all typing environments.
-    pub cache_misses: u64,
+    /// Judgment-cache counters, broken out per judgment family
+    /// (ownership `≽ₒ`, outlives `≽`, subkinding `≤ₖ`, region kinds,
+    /// handle availability), summed over all typing environments.
+    pub judgments: JudgmentCounters,
     /// Worker threads used for the class-checking phase.
     pub threads_used: usize,
     /// Wall-clock time of the whole checking run.
@@ -73,13 +81,24 @@ pub struct CheckStats {
 }
 
 impl CheckStats {
+    /// Judgment-cache hits summed over every family (derived; the
+    /// per-family split lives in [`CheckStats::judgments`]).
+    pub fn cache_hits(&self) -> u64 {
+        self.judgments.hits()
+    }
+
+    /// Judgment-cache misses summed over every family (derived).
+    pub fn cache_misses(&self) -> u64 {
+        self.judgments.misses()
+    }
+
     /// Judgment-cache hit rate in `[0, 1]`; `0` when no queries ran.
     pub fn hit_rate(&self) -> f64 {
-        let total = self.cache_hits + self.cache_misses;
+        let total = self.cache_hits() + self.cache_misses();
         if total == 0 {
             0.0
         } else {
-            self.cache_hits as f64 / total as f64
+            self.cache_hits() as f64 / total as f64
         }
     }
 }
@@ -124,8 +143,23 @@ pub fn check_program(p: &Program) -> Result<Checked, Vec<TypeError>> {
 /// Returns every type error found, sorted by span.
 pub fn check_program_in(mut prog: Program, opts: &CheckOptions) -> Result<Checked, Vec<TypeError>> {
     let start = Instant::now();
+    // Profiling spans: every timestamp below is behind this flag, so an
+    // unprofiled run takes exactly two clock reads (start/elapsed), the
+    // same as before the profiler existed.
+    let profiling = opts.profile;
+    let mut phases: Vec<PhaseSpan> = Vec::new();
+
+    let p0 = profiling.then(|| start.elapsed());
     infer::apply_declaration_defaults(&mut prog);
+    if let Some(p0) = p0 {
+        phases.push(PhaseSpan::leaf("lower", p0, start.elapsed() - p0));
+    }
+
+    let p0 = profiling.then(|| start.elapsed());
     let table = ProgramTable::build(&prog)?;
+    if let Some(p0) = p0 {
+        phases.push(PhaseSpan::leaf("table", p0, start.elapsed() - p0));
+    }
     let mut stats = CheckStats {
         classes_checked: prog.classes.len(),
         ..CheckStats::default()
@@ -134,12 +168,16 @@ pub fn check_program_in(mut prog: Program, opts: &CheckOptions) -> Result<Checke
     // Serial prelude: region kinds and inheritance (cheap, and inheritance
     // reads the whole table). Iterated in declaration order so diagnostics
     // are deterministic run to run.
+    let p0 = profiling.then(|| start.elapsed());
     let mut ck = Checker::new(&table);
     for rk in &prog.region_kinds {
         ck.check_region_kind(rk);
     }
     ck.check_inheritance(&prog.classes);
     let prelude_errors = std::mem::take(&mut ck.errors);
+    if let Some(p0) = p0 {
+        phases.push(PhaseSpan::leaf("wf", p0, start.elapsed() - p0));
+    }
 
     // Per-class units, checked serially or in parallel; either way each
     // unit's diagnostics land in its own slot, so the merge below is the
@@ -153,16 +191,28 @@ pub fn check_program_in(mut prog: Program, opts: &CheckOptions) -> Result<Checke
     }
     .min(classes.len().max(1));
     stats.threads_used = workers;
+    let p0 = profiling.then(|| start.elapsed());
+    // Per-class timing `(start offset, wall)`, indexed by declaration
+    // position. Workers may fill these in any order, but the span tree is
+    // assembled from this index-ordered table, so its *structure* (names
+    // and ordering) never depends on scheduling.
+    let mut class_times: Vec<Option<(Duration, Duration)>> = vec![None; classes.len()];
     let mut unit_errors: Vec<Vec<TypeError>> = (0..classes.len()).map(|_| Vec::new()).collect();
     if workers <= 1 {
         for (i, c) in classes.iter_mut().enumerate() {
+            let c0 = profiling.then(|| start.elapsed());
             ck.check_class(c);
+            if let Some(c0) = c0 {
+                class_times[i] = Some((c0, start.elapsed() - c0));
+            }
             unit_errors[i] = std::mem::take(&mut ck.errors);
         }
     } else {
-        // A worker's result: per-class diagnostics tagged with the class
-        // index, plus the worker itself (for its accumulated stats).
-        type WorkerResult<'t> = (Vec<(usize, Vec<TypeError>)>, Checker<'t>);
+        // A worker's result: per-class diagnostics (and timings) tagged
+        // with the class index, plus the worker itself (for its
+        // accumulated stats).
+        type Unit = (usize, Vec<TypeError>, Option<(Duration, Duration)>);
+        type WorkerResult<'t> = (Vec<Unit>, Checker<'t>);
         let queue = Mutex::new(classes.iter_mut().enumerate());
         let results: Vec<WorkerResult> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
@@ -175,8 +225,10 @@ pub fn check_program_in(mut prog: Program, opts: &CheckOptions) -> Result<Checke
                         loop {
                             let item = queue.lock().unwrap().next();
                             let Some((i, c)) = item else { break };
+                            let c0 = profiling.then(|| start.elapsed());
                             w.check_class(c);
-                            units.push((i, std::mem::take(&mut w.errors)));
+                            let t = c0.map(|c0| (c0, start.elapsed() - c0));
+                            units.push((i, std::mem::take(&mut w.errors), t));
                         }
                         (units, w)
                     })
@@ -186,17 +238,34 @@ pub fn check_program_in(mut prog: Program, opts: &CheckOptions) -> Result<Checke
         });
         for (units, w) in results {
             ck.methods_checked += w.methods_checked;
-            ck.cache_hits += w.cache_hits;
-            ck.cache_misses += w.cache_misses;
-            for (i, errs) in units {
+            ck.judgments.absorb(&w.judgments);
+            for (i, errs, t) in units {
                 unit_errors[i] = errs;
+                class_times[i] = t;
             }
         }
+    }
+    if let Some(p0) = p0 {
+        let children = classes
+            .iter()
+            .zip(&class_times)
+            .map(|(c, t)| {
+                let (s0, w) = t.unwrap_or((Duration::ZERO, Duration::ZERO));
+                PhaseSpan::leaf(format!("class {}", c.name.name), s0, w)
+            })
+            .collect();
+        phases.push(PhaseSpan {
+            name: "classes".to_string(),
+            start: p0,
+            wall: start.elapsed() - p0,
+            children,
+        });
     }
     prog.classes = classes;
 
     // [PROG]: the initial expression runs on the main (regular) thread with
     // the heap as the current region.
+    let p0 = profiling.then(|| start.elapsed());
     let mut env = Env::base();
     let x: Effects = [Owner::Heap, Owner::Immortal].into_iter().collect();
     let mut main = std::mem::take(&mut prog.main.stmts);
@@ -206,6 +275,9 @@ pub fn check_program_in(mut prog: Program, opts: &CheckOptions) -> Result<Checke
     ck.absorb_env(&env);
     prog.main.stmts = main;
     let main_errors = std::mem::take(&mut ck.errors);
+    if let Some(p0) = p0 {
+        phases.push(PhaseSpan::leaf("main", p0, start.elapsed() - p0));
+    }
 
     // Single merge path for serial and parallel drivers: declaration
     // order, then a stable sort by span (same-span diagnostics keep
@@ -216,8 +288,7 @@ pub fn check_program_in(mut prog: Program, opts: &CheckOptions) -> Result<Checke
     all.sort_by_key(|e| e.span);
 
     stats.methods_checked = ck.methods_checked;
-    stats.cache_hits = ck.cache_hits;
-    stats.cache_misses = ck.cache_misses;
+    stats.judgments = ck.judgments;
     stats.elapsed = start.elapsed();
     if all.is_empty() {
         // Refresh the stored declarations so the table contains the
@@ -231,6 +302,7 @@ pub fn check_program_in(mut prog: Program, opts: &CheckOptions) -> Result<Checke
             program: prog,
             table,
             stats,
+            profile: profiling.then_some(CheckProfile { phases }),
         })
     } else {
         Err(all)
@@ -241,8 +313,7 @@ struct Checker<'t> {
     table: &'t ProgramTable,
     errors: Vec<TypeError>,
     methods_checked: usize,
-    cache_hits: u64,
-    cache_misses: u64,
+    judgments: JudgmentCounters,
 }
 
 impl<'t> Checker<'t> {
@@ -251,8 +322,7 @@ impl<'t> Checker<'t> {
             table,
             errors: Vec::new(),
             methods_checked: 0,
-            cache_hits: 0,
-            cache_misses: 0,
+            judgments: JudgmentCounters::default(),
         }
     }
 
@@ -260,13 +330,26 @@ impl<'t> Checker<'t> {
         self.errors.push(TypeError::new(message, span));
     }
 
+    /// Like [`Checker::err`], carrying the derivation trace the failed
+    /// judgment explored (rendered by `rtjc check --explain`).
+    fn err_with(&mut self, message: impl Into<String>, span: Span, notes: Vec<String>) {
+        self.errors
+            .push(TypeError::with_notes(message, span, notes));
+    }
+
+    /// Derivation notes for a failed `where` constraint.
+    fn explain_constraint(env: &Env, c: &SConstraint) -> Vec<String> {
+        match c.rel {
+            ConstraintRel::Owns => env.explain_owns(&c.lhs, &c.rhs),
+            ConstraintRel::Outlives => env.explain_outlives(&c.lhs, &c.rhs),
+        }
+    }
+
     /// Folds an environment's judgment-cache counters into the run totals.
     /// Counters reset when an `Env` is cloned, so each environment is
     /// absorbed exactly once, just before it goes out of scope.
     fn absorb_env(&mut self, env: &Env) {
-        let (h, m) = env.cache_counters();
-        self.cache_hits += h;
-        self.cache_misses += m;
+        self.judgments.absorb(&env.judgment_counters());
     }
 
     // -------------------------------------------------------------- resolve
@@ -386,13 +469,15 @@ impl<'t> Checker<'t> {
         for (o, dk) in owners.iter().zip(&formal_kinds) {
             let declared = dk.subst(&s);
             match env.kind_of(o) {
-                Some(k) if is_subkind(self.table, &k, &declared) => {}
+                Some(k) if env.subkind(self.table, &k, &declared) => {}
                 Some(k) => {
-                    self.err(
+                    let notes = crate::kind::explain_subkind(self.table, &k, &declared);
+                    self.err_with(
                         format!(
                             "owner `{o}` has kind `{k}`, which is not a subkind of `{declared}`"
                         ),
                         span,
+                        notes,
                     );
                     ok = false;
                 }
@@ -403,12 +488,14 @@ impl<'t> Checker<'t> {
             }
             // Every owner in a legal type outlives the first owner.
             if !env.outlives(o, first) {
-                self.err(
+                let notes = env.explain_outlives(o, first);
+                self.err_with(
                     format!(
                         "owner `{o}` must outlive the first owner `{first}` \
                          in type `{name}<...>`"
                     ),
                     span,
+                    notes,
                 );
                 ok = false;
             }
@@ -416,12 +503,14 @@ impl<'t> Checker<'t> {
         for c in &constraints {
             let c = c.subst(&s);
             if !self.constraint_holds(env, &c) {
-                self.err(
+                let notes = Self::explain_constraint(env, &c);
+                self.err_with(
                     format!(
                         "constraint `{} {} {}` of class `{name}` is not satisfied",
                         c.lhs, c.rel, c.rhs
                     ),
                     span,
+                    notes,
                 );
                 ok = false;
             }
@@ -454,14 +543,16 @@ impl<'t> Checker<'t> {
                 for (o, dk) in owners.iter().zip(&info.formal_kinds) {
                     let declared = dk.subst(&s);
                     match env.kind_of(o) {
-                        Some(ka) if is_subkind(self.table, &ka, &declared) => {}
+                        Some(ka) if env.subkind(self.table, &ka, &declared) => {}
                         Some(ka) => {
-                            self.err(
+                            let notes = crate::kind::explain_subkind(self.table, &ka, &declared);
+                            self.err_with(
                                 format!(
                                     "owner `{o}` has kind `{ka}`, \
                                      which is not a subkind of `{declared}`"
                                 ),
                                 span,
+                                notes,
                             );
                             ok = false;
                         }
@@ -474,13 +565,15 @@ impl<'t> Checker<'t> {
                 for c in &info.constraints {
                     let c = c.subst(&s);
                     if !self.constraint_holds(env, &c) {
-                        self.err(
+                        let notes = Self::explain_constraint(env, &c);
+                        self.err_with(
                             format!(
                                 "constraint `{} {} {}` of region kind `{name}` \
                                  is not satisfied",
                                 c.lhs, c.rel, c.rhs
                             ),
                             span,
+                            notes,
                         );
                         ok = false;
                     }
@@ -517,12 +610,14 @@ impl<'t> Checker<'t> {
 
     fn require_effect(&mut self, env: &Env, x: &Effects, o: &Owner, span: Span, what: &str) {
         if !env.effect_covered(x, o) {
-            self.err(
+            let notes = env.explain_effect_covered(x, o);
+            self.err_with(
                 format!(
                     "the permitted effects do not cover {what} `{o}`; \
                      add it (or an owner that outlives it) to the `accesses` clause"
                 ),
                 span,
+                notes,
             );
         }
     }
@@ -1162,7 +1257,7 @@ impl<'t> Checker<'t> {
                 .iter()
                 .filter(|o| {
                     env.rkind_of(self.table, o)
-                        .is_some_and(|k| is_subkind(self.table, &k, &Kind::SharedRegion.with_lt()))
+                        .is_some_and(|k| env.subkind(self.table, &k, &Kind::SharedRegion.with_lt()))
                 })
                 .copied()
                 .collect();
@@ -1176,8 +1271,9 @@ impl<'t> Checker<'t> {
         let Some(call_info) = self.check_call_expr(env, &x_callee, rcr, call) else {
             return;
         };
-        let non_local = |ck: &Self, k: &Kind| {
-            is_subkind(ck.table, k, &Kind::SharedRegion) || is_subkind(ck.table, k, &Kind::GcRegion)
+        let table = self.table;
+        let non_local = |env: &Env, k: &Kind| {
+            env.subkind(table, k, &Kind::SharedRegion) || env.subkind(table, k, &Kind::GcRegion)
         };
         let bound_name = if rt {
             "SharedRegion"
@@ -1186,8 +1282,8 @@ impl<'t> Checker<'t> {
         };
         // The current region must be shared (RT fork) or shared/heap (fork).
         match env.rkind_of(self.table, rcr) {
-            Some(k) if rt && is_subkind(self.table, &k, &Kind::SharedRegion) => {}
-            Some(k) if !rt && non_local(self, &k) => {}
+            Some(k) if rt && env.subkind(self.table, &k, &Kind::SharedRegion) => {}
+            Some(k) if !rt && non_local(env, &k) => {}
             Some(k) => self.err(
                 format!(
                     "cannot fork here: the current region `{rcr}` has kind `{k}`, \
@@ -1210,7 +1306,7 @@ impl<'t> Checker<'t> {
                     continue;
                 }
                 match env.rkind_of(self.table, fx) {
-                    Some(k) if is_subkind(self.table, &k, &Kind::SharedRegion.with_lt()) => {}
+                    Some(k) if env.subkind(self.table, &k, &Kind::SharedRegion.with_lt()) => {}
                     Some(k) => self.err(
                         format!(
                             "a real-time thread would access `{fx}`, which lives in a \
@@ -1233,8 +1329,8 @@ impl<'t> Checker<'t> {
         // region (or the heap, for regular forks).
         for o in call_info.recv_owners.iter().chain(&call_info.owner_args) {
             match env.rkind_of(self.table, o) {
-                Some(k) if rt && is_subkind(self.table, &k, &Kind::SharedRegion) => {}
-                Some(k) if !rt && non_local(self, &k) => {}
+                Some(k) if rt && env.subkind(self.table, &k, &Kind::SharedRegion) => {}
+                Some(k) if !rt && non_local(env, &k) => {}
                 Some(k) => self.err(
                     format!(
                         "cannot pass owner `{o}` to a forked thread: it lives in a \
@@ -1603,14 +1699,18 @@ impl<'t> Checker<'t> {
         for ((fname, fkind), o) in sig.formals.iter().zip(&oargs) {
             let declared = fkind.subst(&rename);
             match env.kind_of(o) {
-                Some(k) if is_subkind(self.table, &k, &declared) => {}
-                Some(k) => self.err(
-                    format!(
-                        "owner argument `{o}` for `{fname}` has kind `{k}`, \
-                         which is not a subkind of `{declared}`"
-                    ),
-                    span,
-                ),
+                Some(k) if env.subkind(self.table, &k, &declared) => {}
+                Some(k) => {
+                    let notes = crate::kind::explain_subkind(self.table, &k, &declared);
+                    self.err_with(
+                        format!(
+                            "owner argument `{o}` for `{fname}` has kind `{k}`, \
+                             which is not a subkind of `{declared}`"
+                        ),
+                        span,
+                        notes,
+                    )
+                }
                 None => self.err(format!("owner `{o}` has no kind here"), span),
             }
             // A formal instantiated with an *object* must own the receiver's
@@ -1619,12 +1719,14 @@ impl<'t> Checker<'t> {
             if !is_region {
                 if let Some(first) = recv_owners.first() {
                     if !env.owns(o, first) {
-                        self.err(
+                        let notes = env.explain_owns(o, first);
+                        self.err_with(
                             format!(
                                 "object owner argument `{o}` must (transitively) own \
                                  the receiver's owner `{first}`"
                             ),
                             span,
+                            notes,
                         );
                     }
                 }
@@ -1634,12 +1736,14 @@ impl<'t> Checker<'t> {
         for c in &sig.constraints {
             let c = c.subst(&rename);
             if !self.constraint_holds(env, &c) {
-                self.err(
+                let notes = Self::explain_constraint(env, &c);
+                self.err_with(
                     format!(
                         "method constraint `{} {} {}` is not satisfied at this call",
                         c.lhs, c.rel, c.rhs
                     ),
                     span,
+                    notes,
                 );
             }
         }

@@ -13,7 +13,7 @@
 //! * `RKind(o)` finds the kind of the region `o` is (or is allocated in)
 //!   by walking up the ownership relation.
 
-use crate::kind::{Kind, RegionKindLookup};
+use crate::kind::{is_subkind, Kind, RegionKindLookup};
 use crate::owner::Owner;
 use crate::stype::SType;
 use rtj_lang::intern::Symbol;
@@ -26,20 +26,96 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 /// diagnostic emission order) is deterministic across runs and drivers.
 pub type Effects = BTreeSet<Owner>;
 
+/// Cache counters for one memoized judgment family.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FamilyCounters {
+    /// Queries answered from the memo table.
+    pub hits: u64,
+    /// Queries that ran the underlying deduction.
+    pub misses: u64,
+}
+
+impl FamilyCounters {
+    /// Total queries (hits + misses).
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Folds another family's counters into this one.
+    pub fn absorb(&mut self, other: FamilyCounters) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
+/// Per-judgment-family cache counters, broken out so `--stats` and the
+/// checker profile can attribute deduction work to the paper's individual
+/// judgments instead of one summed pair.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JudgmentCounters {
+    /// The ownership judgment `o1 ≽ₒ o2`.
+    pub ownership: FamilyCounters,
+    /// The outlives judgment `o1 ≽ o2`.
+    pub outlives: FamilyCounters,
+    /// The subkinding judgment `k1 ≤ₖ k2`.
+    pub subkind: FamilyCounters,
+    /// The region-kind judgment `RKind(o) = k`.
+    pub rkind: FamilyCounters,
+    /// Handle availability `av RH(o)`.
+    pub handle: FamilyCounters,
+}
+
+impl JudgmentCounters {
+    /// Stable family names, in rendering order, paired with an accessor.
+    /// Used by snapshot serialization so the JSON field order never
+    /// depends on insertion order.
+    pub fn families(&self) -> [(&'static str, FamilyCounters); 5] {
+        [
+            ("ownership", self.ownership),
+            ("outlives", self.outlives),
+            ("subkind", self.subkind),
+            ("rkind", self.rkind),
+            ("handle", self.handle),
+        ]
+    }
+
+    /// Total cache hits summed across families.
+    pub fn hits(&self) -> u64 {
+        self.families().iter().map(|(_, f)| f.hits).sum()
+    }
+
+    /// Total cache misses summed across families.
+    pub fn misses(&self) -> u64 {
+        self.families().iter().map(|(_, f)| f.misses).sum()
+    }
+
+    /// Folds another set of counters into this one, family by family.
+    pub fn absorb(&mut self, other: &JudgmentCounters) {
+        self.ownership.absorb(other.ownership);
+        self.outlives.absorb(other.outlives);
+        self.subkind.absorb(other.subkind);
+        self.rkind.absorb(other.rkind);
+        self.handle.absorb(other.handle);
+    }
+}
+
 /// Memoized results of the transitive judgments, keyed on interned
 /// owner pairs. The cache belongs to one fact base: any mutation of the
 /// environment's facts clears it (facts only ever grow within a scope,
 /// and scope exits truncate, so "cleared on mutation" is exactly the
-/// invalidation the append-only representation needs).
+/// invalidation the append-only representation needs). The subkinding
+/// memo is the exception: it depends only on the program's region-kind
+/// hierarchy, which is immutable for the whole run, so it survives fact
+/// mutations.
 #[derive(Debug, Clone, Default)]
 struct QueryCache {
     owns: HashMap<(Owner, Owner), bool>,
     outlives: HashMap<(Owner, Owner), bool>,
     rkind: HashMap<Owner, Option<Kind>>,
+    subkind: HashMap<(Kind, Kind), bool>,
     /// The full handle-availability fixpoint, computed once per fact base.
     handle_avail: Option<HashSet<Owner>>,
-    hits: u64,
-    misses: u64,
+    counters: JudgmentCounters,
 }
 
 /// A saved scope position: lengths of the append-only fact vectors.
@@ -76,8 +152,7 @@ impl Clone for Env {
     /// into run-wide stats without double counting.
     fn clone(&self) -> Env {
         let mut cache = self.cache.borrow().clone();
-        cache.hits = 0;
-        cache.misses = 0;
+        cache.counters = JudgmentCounters::default();
         Env {
             vars: self.vars.clone(),
             owner_kinds: self.owner_kinds.clone(),
@@ -106,7 +181,8 @@ impl Env {
 
     /// Drops memoized judgment results; called whenever the fact base
     /// changes shape. Hit/miss counters survive so stats cover the whole
-    /// checking run.
+    /// checking run, and the subkinding memo survives because it depends
+    /// only on the (immutable) region-kind hierarchy, not on env facts.
     fn invalidate_cache(&self) {
         let mut c = self.cache.borrow_mut();
         c.owns.clear();
@@ -115,12 +191,18 @@ impl Env {
         c.handle_avail = None;
     }
 
-    /// Judgment-cache counters `(hits, misses)` accumulated by this
-    /// environment since it was created (cloning resets the clone's
-    /// counters, so per-environment totals can be summed).
+    /// Judgment-cache counters `(hits, misses)` summed over every family,
+    /// accumulated by this environment since it was created (cloning
+    /// resets the clone's counters, so per-environment totals can be
+    /// summed). See [`Env::judgment_counters`] for the per-family split.
     pub fn cache_counters(&self) -> (u64, u64) {
-        let c = self.cache.borrow();
-        (c.hits, c.misses)
+        let c = self.cache.borrow().counters;
+        (c.hits(), c.misses())
+    }
+
+    /// Judgment-cache counters broken out per judgment family.
+    pub fn judgment_counters(&self) -> JudgmentCounters {
+        self.cache.borrow().counters
     }
 
     // ---------------------------------------------------------------- scoping
@@ -291,10 +373,10 @@ impl Env {
         {
             let mut c = self.cache.borrow_mut();
             if let Some(&v) = c.owns.get(&key) {
-                c.hits += 1;
+                c.counters.ownership.hits += 1;
                 return v;
             }
-            c.misses += 1;
+            c.counters.ownership.misses += 1;
         }
         let v = self.owns_uncached(o1, o2);
         self.cache.borrow_mut().owns.insert(key, v);
@@ -332,10 +414,10 @@ impl Env {
         {
             let mut c = self.cache.borrow_mut();
             if let Some(&v) = c.outlives.get(&key) {
-                c.hits += 1;
+                c.counters.outlives.hits += 1;
                 return v;
             }
-            c.misses += 1;
+            c.counters.outlives.misses += 1;
         }
         let v = self.outlives_uncached(o1, o2);
         self.cache.borrow_mut().outlives.insert(key, v);
@@ -411,10 +493,10 @@ impl Env {
             let mut c = self.cache.borrow_mut();
             if let Some(set) = &c.handle_avail {
                 let v = set.contains(o);
-                c.hits += 1;
+                c.counters.handle.hits += 1;
                 return v;
             }
-            c.misses += 1;
+            c.counters.handle.misses += 1;
         }
         let mut avail: HashSet<Owner> = self.handle_regions.iter().copied().collect();
         avail.insert(Owner::Heap);
@@ -443,6 +525,194 @@ impl Env {
         v
     }
 
+    // ---------------------------------------------------------- explanation
+    //
+    // Deterministic replays of the deduction searches, producing the
+    // premise chain a judgment explored. These power `--explain`: every
+    // note is derived by scanning the append-only fact vectors in
+    // insertion order (never by iterating a hash container), so the text
+    // is identical run to run and across `--jobs` — a requirement of the
+    // byte-identical-diagnostics contract.
+
+    /// Derivation notes for `o1 ≽ o2` (outlives). If the judgment holds,
+    /// the notes list the fact chain that proves it; if it fails, they
+    /// report how far the search got, and — when the *reverse* direction
+    /// holds — its derivation, which is usually the actual explanation
+    /// (the region was created inside the other).
+    pub fn explain_outlives(&self, o1: &Owner, o2: &Owner) -> Vec<String> {
+        self.explain_order(o1, o2, true)
+    }
+
+    /// Derivation notes for `o1 ≽ₒ o2` (ownership), like
+    /// [`Env::explain_outlives`].
+    pub fn explain_owns(&self, o1: &Owner, o2: &Owner) -> Vec<String> {
+        self.explain_order(o1, o2, false)
+    }
+
+    fn explain_order(&self, o1: &Owner, o2: &Owner, outlives: bool) -> Vec<String> {
+        let rel = if outlives { "≽" } else { "≽ₒ" };
+        let mut notes = Vec::new();
+        if o1 == o2 {
+            notes.push(format!("`{o1} {rel} {o2}` holds by reflexivity"));
+            return notes;
+        }
+        match self.search_explain(o1, o2, outlives) {
+            Ok(edges) => {
+                notes.push(format!("deriving `{o1} {rel} {o2}`:"));
+                for (a, b, label) in &edges {
+                    notes.push(format!("`{a} {rel} {b}` — {label}"));
+                }
+                if edges.len() > 1 {
+                    notes.push(format!("`{o1} {rel} {o2}` follows by transitivity"));
+                }
+            }
+            Err(reached) => {
+                let reached: Vec<String> = reached.iter().map(|o| format!("`{o}`")).collect();
+                notes.push(format!(
+                    "`{o1} {rel} {o2}` does not hold: from `{o1}` the deduction reached \
+                     only {{{}}}, and no recorded fact extends the chain to `{o2}`",
+                    reached.join(", ")
+                ));
+                if outlives {
+                    if let Ok(edges) = self.search_explain(o2, o1, true) {
+                        notes.push(format!("the reverse direction `{o2} ≽ {o1}` does hold:"));
+                        for (a, b, label) in &edges {
+                            notes.push(format!("`{a} ≽ {b}` — {label}"));
+                        }
+                        notes.push(format!(
+                            "so `{o1}` has the strictly shorter lifetime: an object it owns \
+                             would dangle"
+                        ));
+                    }
+                }
+            }
+        }
+        notes
+    }
+
+    /// Derivation notes for effect coverage: why `o` is (not) covered by
+    /// the permitted effects `allowed`, one note per attempted premise.
+    pub fn explain_effect_covered(&self, allowed: &Effects, o: &Owner) -> Vec<String> {
+        let mut notes = Vec::new();
+        if *o == Owner::Rt {
+            notes.push(
+                "the `RT` pseudo-effect is only covered when `RT` appears verbatim \
+                 in the `accesses` clause"
+                    .to_string(),
+            );
+            return notes;
+        }
+        if *o == Owner::Heap {
+            notes.push(
+                "the `heap` effect is only covered by `heap` itself — `immortal ≽ heap`, \
+                 but letting it cover the heap would let real-time threads reach \
+                 heap-effect methods"
+                    .to_string(),
+            );
+            return notes;
+        }
+        if allowed.is_empty() {
+            notes.push("the permitted effect set is empty".to_string());
+            return notes;
+        }
+        for g in allowed.iter().filter(|g| **g != Owner::Rt) {
+            if self.outlives(g, o) {
+                notes.push(format!("covered: `{g} ≽ {o}` holds"));
+                notes.extend(self.explain_outlives(g, o));
+                return notes;
+            }
+            notes.push(format!(
+                "tried permitted owner `{g}`: `{g} ≽ {o}` does not hold"
+            ));
+        }
+        notes.push(format!("no owner in the permitted effects outlives `{o}`"));
+        notes
+    }
+
+    /// Replays the `≽`/`≽ₒ` search deterministically. Returns the edge
+    /// chain `o1 → … → o2` when the judgment holds (each edge labelled
+    /// with the rule that justified it), or the owners reached (in
+    /// discovery order) when it does not.
+    #[allow(clippy::type_complexity)]
+    fn search_explain(
+        &self,
+        o1: &Owner,
+        o2: &Owner,
+        outlives: bool,
+    ) -> Result<Vec<(Owner, Owner, &'static str)>, Vec<Owner>> {
+        // `visited` doubles as the FIFO queue and the parent tree:
+        // (owner, index of its discoverer, rule that added it).
+        let mut visited: Vec<(Owner, usize, &'static str)> = vec![(*o1, usize::MAX, "")];
+        let mut i = 0;
+        while i < visited.len() {
+            let cur = visited[i].0;
+            if cur == *o2 {
+                let mut edges = Vec::new();
+                let mut idx = i;
+                while visited[idx].1 != usize::MAX {
+                    let (o, p, label) = visited[idx];
+                    edges.push((visited[p].0, o, label));
+                    idx = p;
+                }
+                edges.reverse();
+                return Ok(edges);
+            }
+            if outlives {
+                if cur.is_everlasting() {
+                    const R1: &str = "property R1 (`heap` and `immortal` outlive every region)";
+                    if o2.is_everlasting() {
+                        push_reach(&mut visited, i, *o2, R1);
+                    }
+                    for (g, k) in &self.owner_kinds {
+                        if k.is_region_kind() {
+                            push_reach(&mut visited, i, *g, R1);
+                        }
+                    }
+                }
+                for (a, b) in &self.outlives_facts {
+                    if *a == cur {
+                        push_reach(&mut visited, i, *b, "outlives fact in scope");
+                    }
+                }
+                for (a, b) in &self.owns_facts {
+                    if *a == cur {
+                        push_reach(&mut visited, i, *b, "ownership fact (`≽ₒ` implies `≽`)");
+                    }
+                }
+            } else {
+                for (a, b) in &self.owns_facts {
+                    if *a == cur {
+                        push_reach(&mut visited, i, *b, "ownership fact in scope");
+                    }
+                }
+            }
+            i += 1;
+        }
+        Err(visited.into_iter().map(|(o, _, _)| o).collect())
+    }
+
+    /// `P ⊢ k1 ≤ₖ k2`: the subkinding judgment, memoized. A thin caching
+    /// wrapper over [`crate::kind::is_subkind`]; the memo is keyed on the
+    /// kind pair and never invalidated, because subkinding depends only
+    /// on the program's region-kind hierarchy (one `kinds` lookup per
+    /// run), never on this environment's facts.
+    pub fn subkind(&self, kinds: &dyn RegionKindLookup, k1: &Kind, k2: &Kind) -> bool {
+        {
+            let mut c = self.cache.borrow_mut();
+            if let Some(&v) = c.subkind.get(&(k1.clone(), k2.clone())) {
+                c.counters.subkind.hits += 1;
+                return v;
+            }
+            c.counters.subkind.misses += 1;
+        }
+        let v = is_subkind(kinds, k1, k2);
+        self.cache
+            .borrow_mut()
+            .subkind
+            .insert((k1.clone(), k2.clone()), v);
+        v
+    }
+
     /// `E ⊢ RKind(o) = k`: the kind of the region that `o` stands for (if a
     /// region) or is allocated in (if an object, by walking up `≽ₒ`).
     pub fn rkind_of(&self, kinds: &dyn RegionKindLookup, o: &Owner) -> Option<Kind> {
@@ -450,10 +720,10 @@ impl Env {
             let mut c = self.cache.borrow_mut();
             if let Some(v) = c.rkind.get(o) {
                 let v = v.clone();
-                c.hits += 1;
+                c.counters.rkind.hits += 1;
                 return v;
             }
-            c.misses += 1;
+            c.counters.rkind.misses += 1;
         }
         let v = self.rkind_inner(kinds, o, &mut HashSet::new());
         self.cache.borrow_mut().rkind.insert(*o, v.clone());
@@ -504,6 +774,19 @@ impl Env {
         }
         let _ = kinds;
         None
+    }
+}
+
+/// Queues `next` (discovered from `visited[from]` by `label`) unless it
+/// was already reached.
+fn push_reach(
+    visited: &mut Vec<(Owner, usize, &'static str)>,
+    from: usize,
+    next: Owner,
+    label: &'static str,
+) {
+    if !visited.iter().any(|(o, _, _)| *o == next) {
+        visited.push((next, from, label));
     }
 }
 

@@ -6,21 +6,38 @@ use std::fmt;
 /// An error produced by the type checker.
 ///
 /// The message is self-contained prose; `span` points at the offending
-/// source. Use [`rtj_lang::diag::render`] to render against the source.
+/// source. Use [`rtj_lang::diag::render`] to render against the source,
+/// or [`rtj_lang::diag::render_with_notes`] to include the derivation
+/// `notes` (surfaced by `rtjc check --explain`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TypeError {
     /// What went wrong.
     pub message: String,
     /// Where it went wrong.
     pub span: Span,
+    /// The premise chain the deduction engine explored before failing:
+    /// one human-readable step per line, deterministic for a given
+    /// program (so diagnostics stay byte-identical across `--jobs`).
+    /// Empty for errors with no interesting derivation.
+    pub notes: Vec<String>,
 }
 
 impl TypeError {
-    /// Creates a new error.
+    /// Creates a new error with no derivation notes.
     pub fn new(message: impl Into<String>, span: Span) -> Self {
         TypeError {
             message: message.into(),
             span,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Creates a new error carrying a derivation trace.
+    pub fn with_notes(message: impl Into<String>, span: Span, notes: Vec<String>) -> Self {
+        TypeError {
+            message: message.into(),
+            span,
+            notes,
         }
     }
 }
@@ -43,5 +60,17 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("3..9"));
         assert!(s.contains("bad owner"));
+    }
+
+    #[test]
+    fn notes_do_not_change_display() {
+        let plain = TypeError::new("bad owner", Span::new(3, 9));
+        let noted = TypeError::with_notes(
+            "bad owner",
+            Span::new(3, 9),
+            vec!["required `a ≽ b`".to_string()],
+        );
+        assert_eq!(plain.to_string(), noted.to_string());
+        assert_ne!(plain, noted);
     }
 }

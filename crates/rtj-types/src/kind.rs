@@ -192,6 +192,45 @@ fn subkind_with_guard(
     }
 }
 
+/// Derivation notes for the subkinding judgment: the premise chain
+/// [`is_subkind`] explored, as human-readable lines for `--explain`.
+///
+/// For a user-declared kind this is its `extends` climb; the final line
+/// states where the climb ended relative to Figure 4's lattice.
+pub fn explain_subkind(kinds: &dyn RegionKindLookup, k1: &Kind, k2: &Kind) -> Vec<String> {
+    let mut notes = Vec::new();
+    if is_subkind(kinds, k1, k2) {
+        notes.push(format!("`{k1} ≤ {k2}` holds"));
+        return notes;
+    }
+    notes.push(format!("`{k1}` is not a subkind of `{k2}`"));
+    // Replay the only chain-shaped rule: the user-kind `extends` climb.
+    let mut cur = k1.without_lt().clone();
+    let mut seen = 0;
+    while let Kind::Named { name, owners } = &cur {
+        match kinds.super_kind_of(*name, owners) {
+            Some(sup) => {
+                notes.push(format!("`{cur}` extends `{sup}`"));
+                cur = sup;
+            }
+            None => {
+                notes.push(format!("`{cur}` has no declared super kind"));
+                break;
+            }
+        }
+        seen += 1;
+        if seen > 64 {
+            notes.push("(cyclic `extends` chain — climb abandoned)".to_string());
+            break;
+        }
+    }
+    notes.push(format!(
+        "the climb ends at `{cur}`, which is not below `{k2}` in the kind lattice \
+         (Figure 4)"
+    ));
+    notes
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

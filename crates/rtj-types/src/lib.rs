@@ -62,13 +62,15 @@ pub mod infer;
 pub mod kind;
 pub mod lower;
 pub mod owner;
+pub mod profile;
 pub mod stype;
 pub mod table;
 
 pub use check::{check_program, check_program_in, CheckOptions, CheckStats, Checked};
-pub use env::{Effects, Env};
+pub use env::{Effects, Env, FamilyCounters, JudgmentCounters};
 pub use error::TypeError;
 pub use kind::Kind;
 pub use owner::Owner;
+pub use profile::{CheckProfile, CheckerSnapshot, PhaseSpan, CHECKER_METRICS_SCHEMA};
 pub use stype::SType;
 pub use table::ProgramTable;

@@ -20,9 +20,21 @@ fn render(errs: &[TypeError]) -> String {
 /// Checks `src` under both drivers and asserts identical outcomes.
 fn assert_drivers_agree(name: &str, src: &str) {
     let program = parse_program(src).unwrap_or_else(|e| panic!("{name}: parse error: {e}"));
-    let serial = check_program_in(program.clone(), &CheckOptions { jobs: 1 });
+    let serial = check_program_in(
+        program.clone(),
+        &CheckOptions {
+            jobs: 1,
+            ..Default::default()
+        },
+    );
     for jobs in [2, 4, 0] {
-        let parallel = check_program_in(program.clone(), &CheckOptions { jobs });
+        let parallel = check_program_in(
+            program.clone(),
+            &CheckOptions {
+                jobs,
+                ..Default::default()
+            },
+        );
         match (&serial, &parallel) {
             (Ok(s), Ok(p)) => {
                 assert_eq!(
@@ -75,8 +87,14 @@ fn scaled_corpus_agrees_across_drivers() {
 fn diagnostics_are_span_sorted() {
     for (name, src) in negatives() {
         let program = parse_program(&src).unwrap();
-        let errs = check_program_in(program, &CheckOptions { jobs: 0 })
-            .expect_err("negative program must be rejected");
+        let errs = check_program_in(
+            program,
+            &CheckOptions {
+                jobs: 0,
+                ..Default::default()
+            },
+        )
+        .expect_err("negative program must be rejected");
         let spans: Vec<_> = errs.iter().map(|e| e.span).collect();
         let mut sorted = spans.clone();
         sorted.sort();

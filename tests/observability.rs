@@ -46,10 +46,22 @@ fn metrics_and_traces_are_identical_across_checker_jobs() {
     for bench in all(Scale::Smoke).into_iter().take(4) {
         let program = rtjava::lang::parse_program(&bench.source)
             .unwrap_or_else(|e| panic!("{}: {}", bench.name, e.message));
-        let serial = check_program_in(program.clone(), &CheckOptions { jobs: 1 })
-            .unwrap_or_else(|_| panic!("{}: serial check failed", bench.name));
-        let parallel = check_program_in(program, &CheckOptions { jobs: 4 })
-            .unwrap_or_else(|_| panic!("{}: parallel check failed", bench.name));
+        let serial = check_program_in(
+            program.clone(),
+            &CheckOptions {
+                jobs: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap_or_else(|_| panic!("{}: serial check failed", bench.name));
+        let parallel = check_program_in(
+            program,
+            &CheckOptions {
+                jobs: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap_or_else(|_| panic!("{}: parallel check failed", bench.name));
         let a = run_checked(&serial, traced(CheckMode::Dynamic));
         let b = run_checked(&parallel, traced(CheckMode::Dynamic));
         assert_eq!(
