@@ -8,18 +8,21 @@
 //! rtjc check --explain <file>  …rendering each error's derivation trace
 //! rtjc check --profile[=FILE] [--trace-format chrome|jsonl] <file>
 //!                              …self-profiling the checker pipeline
-//! rtjc run <file.rtj>          check then run (static mode)
+//! rtjc run <file.rtj>          check then run (static mode, bytecode VM)
 //! rtjc run --dynamic <file>    run with the RTSJ dynamic checks
 //! rtjc run --audit <file>      run the checks at zero virtual cost
+//! rtjc run --engine tree <f>   run on the tree-walking engine instead
 //! rtjc run --trace FILE <f>    write the structured event trace (JSONL)
 //! rtjc run --metrics[=FILE] <f>  export the rtj-metrics/v1 snapshot
 //! rtjc fmt <file.rtj>          parse and pretty-print
 //! rtjc graph <file.rtj>        run and emit the ownership graph (DOT)
 //! rtjc lower <file.rtj>        translate to RTSJ Java (Section 2.6)
 //! rtjc fig11 [--format json]   regenerate paper Figure 11
-//! rtjc fig12 [--smoke] [--format json]  regenerate paper Figure 12
+//! rtjc fig12 [--smoke] [--format json] [--engine tree|vm]  regenerate Figure 12
 //! rtjc report <snapshot.json>...  render metrics/checker/fig12 snapshots
 //! rtjc bench <name>            print a corpus program's source
+//! rtjc bench scaled:N --format json  tree-vs-VM engine comparison
+//!                              (an rtj-bench/v1 document)
 //! ```
 //!
 //! `run --trace`/`run --metrics`, `check --profile`, and `report` are
@@ -31,7 +34,7 @@
 //! appends the combined static-cost vs. checks-elided view. `FILE` may
 //! be `-` for stdout.
 
-use rtj_interp::{build, run_checked, RunConfig, TraceCapture};
+use rtj_interp::{build, run_checked, Engine, RunConfig, TraceCapture};
 use rtj_runtime::{CheckMode, CheckerMetrics, Json, MetricsSnapshot};
 use std::process::ExitCode;
 
@@ -125,84 +128,49 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }),
-        Some("fig11") => match parse_format(&args[1..]) {
-            Ok(json) => {
-                let rows = rtj_corpus::fig11();
-                if json {
-                    println!("{}", rtj_corpus::fig11_json(&rows));
-                } else {
-                    print!("{}", rtj_corpus::render_fig11(&rows));
+        // fig11 counts source lines, so `--engine` is accepted (for a
+        // uniform interface with run/fig12) but has nothing to select.
+        Some("fig11") => {
+            match parse_format(&args[1..]).and_then(|j| parse_engine(&args[1..]).map(|_| j)) {
+                Ok(json) => {
+                    let rows = rtj_corpus::fig11();
+                    if json {
+                        println!("{}", rtj_corpus::fig11_json(&rows));
+                    } else {
+                        print!("{}", rtj_corpus::render_fig11(&rows));
+                    }
+                    ExitCode::SUCCESS
                 }
-                ExitCode::SUCCESS
-            }
-            Err(e) => {
-                eprintln!("{e}");
-                ExitCode::FAILURE
-            }
-        },
-        Some("fig12") => match parse_format(&args[1..]) {
-            Ok(json) => {
-                let scale = if args.iter().any(|a| a == "--smoke") {
-                    rtj_corpus::Scale::Smoke
-                } else {
-                    rtj_corpus::Scale::Paper
-                };
-                let rows = rtj_corpus::fig12(scale);
-                if json {
-                    println!("{}", rtj_corpus::fig12_json(&rows));
-                } else {
-                    print!("{}", rtj_corpus::render_fig12(&rows));
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
                 }
-                ExitCode::SUCCESS
             }
-            Err(e) => {
-                eprintln!("{e}");
-                ExitCode::FAILURE
+        }
+        Some("fig12") => {
+            match parse_format(&args[1..]).and_then(|j| parse_engine(&args[1..]).map(|e| (j, e))) {
+                Ok((json, engine)) => {
+                    let scale = if args.iter().any(|a| a == "--smoke") {
+                        rtj_corpus::Scale::Smoke
+                    } else {
+                        rtj_corpus::Scale::Paper
+                    };
+                    let rows = rtj_corpus::fig12_on(scale, engine);
+                    if json {
+                        println!("{}", rtj_corpus::fig12_json(&rows));
+                    } else {
+                        print!("{}", rtj_corpus::render_fig12(&rows));
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
             }
-        },
+        }
         Some("report") => report_cmd(&args[1..]),
-        Some("bench") => match args.get(1) {
-            // `scaled[:N]` prints the synthetic N-block scaled corpus
-            // (the checker-pipeline stress program).
-            Some(name) if name == "scaled" || name.starts_with("scaled:") => {
-                let n = match name.strip_prefix("scaled:") {
-                    None | Some("") => 8,
-                    Some(n) => match n.parse() {
-                        Ok(n) => n,
-                        Err(_) => {
-                            eprintln!("`scaled:` expects a block count, got `{n}`");
-                            return ExitCode::FAILURE;
-                        }
-                    },
-                };
-                print!("{}", rtj_corpus::scaled_classes(n));
-                ExitCode::SUCCESS
-            }
-            Some(name) => {
-                let benches = rtj_corpus::all(rtj_corpus::Scale::Paper);
-                match benches.iter().find(|b| b.name == name) {
-                    Some(b) => {
-                        print!("{}", b.source);
-                        ExitCode::SUCCESS
-                    }
-                    None => {
-                        eprintln!(
-                            "unknown benchmark `{name}`; available: {}, scaled[:N]",
-                            benches
-                                .iter()
-                                .map(|b| b.name)
-                                .collect::<Vec<_>>()
-                                .join(", ")
-                        );
-                        ExitCode::FAILURE
-                    }
-                }
-            }
-            None => {
-                eprintln!("usage: rtjc bench <name|scaled[:N]>");
-                ExitCode::FAILURE
-            }
-        },
+        Some("bench") => bench_cmd(&args[1..]),
         _ => {
             eprintln!(
                 "usage: rtjc <check|run|fmt|fig11|fig12|report|bench> [args]\n\
@@ -213,20 +181,27 @@ fn main() -> ExitCode {
                  \x20                   emits the rtj-checker-metrics/v1 document,\n\
                  \x20                   --explain renders derivation traces,\n\
                  \x20                   --profile exports the self-profiling snapshot\n\
-                 run [--static|--dynamic|--audit] [--trace FILE] [--metrics[=FILE]] <file>\n\
-                 \x20                   check then interpret; --trace writes the\n\
-                 \x20                   JSONL event trace, --metrics the\n\
-                 \x20                   rtj-metrics/v1 snapshot (FILE `-` = stdout)\n\
+                 run [--static|--dynamic|--audit] [--engine tree|vm]\n\
+                 \x20   [--trace FILE] [--metrics[=FILE]] <file>\n\
+                 \x20                   check then interpret (bytecode VM by\n\
+                 \x20                   default; --engine tree for the walker);\n\
+                 \x20                   --trace writes the JSONL event trace,\n\
+                 \x20                   --metrics the rtj-metrics/v1 snapshot\n\
+                 \x20                   (FILE `-` = stdout)\n\
                  fmt <file>          parse and pretty-print\n\
                  graph <file>        run and emit the ownership graph (DOT, Fig. 6)\n\
                  lower <file>        translate to RTSJ Java (paper Section 2.6)\n\
                  advise <file>       run once and suggest LT region sizes\n\
                  fig11 [--format json]           regenerate paper Figure 11\n\
-                 fig12 [--smoke] [--format json] regenerate paper Figure 12\n\
+                 fig12 [--smoke] [--format json] [--engine tree|vm]\n\
+                 \x20                   regenerate paper Figure 12\n\
                  report <snapshot.json>...  render the report(s) from any mix of\n\
                  \x20                   rtj-metrics/v1, rtj-checker-metrics/v1,\n\
                  \x20                   and rtj-fig12/v1 documents\n\
-                 bench <name>        print a corpus program"
+                 bench <name|scaled[:N]> [--format json] [--iters N]\n\
+                 \x20                   print a corpus program, or with --format\n\
+                 \x20                   json run it under both engines and emit\n\
+                 \x20                   an rtj-bench/v1 comparison document"
             );
             ExitCode::FAILURE
         }
@@ -394,12 +369,16 @@ fn check_cmd(args: &[String]) -> ExitCode {
     }
 }
 
-/// `rtjc run [--static|--dynamic|--audit] [--trace FILE] [--metrics[=FILE]] <file>`:
+/// `rtjc run [--static|--dynamic|--audit] [--engine tree|vm] [--trace FILE]
+/// [--metrics[=FILE]] <file>`:
 /// check then interpret, optionally exporting the structured event trace
 /// (JSONL, one event per line) and the `rtj-metrics/v1` snapshot (with
 /// the static checker's counters attached). `FILE` may be `-` for stdout.
+/// `--engine` selects the execution engine (bytecode VM by default; both
+/// produce identical cycles, metrics, and traces).
 fn run_cmd(args: &[String]) -> ExitCode {
     let mut mode = CheckMode::Static;
+    let mut engine = Engine::default();
     let mut trace_out: Option<String> = None;
     // `None` = no export; `Some("-")` = stdout (also from bare `--metrics`).
     let mut metrics_out: Option<String> = None;
@@ -412,6 +391,22 @@ fn run_cmd(args: &[String]) -> ExitCode {
             mode = CheckMode::Static;
         } else if a == "--audit" {
             mode = CheckMode::Audit;
+        } else if let Some(v) = a.strip_prefix("--engine=") {
+            match engine_from_str(v) {
+                Some(e) => engine = e,
+                None => {
+                    eprintln!("--engine expects `tree` or `vm`, got `{v}`");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if a == "--engine" {
+            match it.next().map(String::as_str).and_then(engine_from_str) {
+                Some(e) => engine = e,
+                None => {
+                    eprintln!("--engine expects `tree` or `vm`");
+                    return ExitCode::FAILURE;
+                }
+            }
         } else if let Some(p) = a.strip_prefix("--trace=") {
             trace_out = Some(p.to_string());
         } else if a == "--trace" {
@@ -429,7 +424,7 @@ fn run_cmd(args: &[String]) -> ExitCode {
         } else if a.starts_with("--") {
             eprintln!(
                 "unknown flag `{a}`; usage: rtjc run [--static|--dynamic|--audit] \
-                 [--trace FILE] [--metrics[=FILE]] <file>"
+                 [--engine tree|vm] [--trace FILE] [--metrics[=FILE]] <file>"
             );
             return ExitCode::FAILURE;
         } else {
@@ -455,6 +450,7 @@ fn run_cmd(args: &[String]) -> ExitCode {
         }
     };
     let mut cfg = RunConfig::new(mode);
+    cfg.engine = engine;
     if trace_out.is_some() {
         cfg.events = TraceCapture::Full;
     }
@@ -496,6 +492,132 @@ fn run_cmd(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// `rtjc bench <name|scaled[:N]> [--format json] [--iters N]`.
+///
+/// In text mode, prints the named corpus program's source (`scaled[:N]`
+/// prints the synthetic checker-throughput corpus). With `--format
+/// json`, instead *runs* the workload under both execution engines —
+/// the tree-walker and the bytecode VM — and writes an `rtj-bench/v1`
+/// document comparing their wall-clock times (for `scaled[:N]`, the
+/// measured workload is the N-replica interpreter-throughput corpus,
+/// `rtj_corpus::scaled_vm_workload`, whose runtime actually exercises
+/// the engines; plain corpus names measure that program at smoke scale).
+fn bench_cmd(args: &[String]) -> ExitCode {
+    const USAGE: &str = "usage: rtjc bench <name|scaled[:N]> [--format json] [--iters N]";
+    let json = match parse_format(args) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut iters = 3u32;
+    let mut name: Option<&String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(n) = a.strip_prefix("--iters=") {
+            match n.parse() {
+                Ok(n) => iters = n,
+                Err(_) => {
+                    eprintln!("--iters expects a number, got `{n}`");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if a == "--iters" {
+            match it.next().map(|n| n.parse()) {
+                Some(Ok(n)) => iters = n,
+                _ => {
+                    eprintln!("--iters expects a number");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if a == "--format" {
+            // value validated by parse_format; just skip it here
+            if it.next().is_none() {
+                eprintln!("--format expects `text` or `json`");
+                return ExitCode::FAILURE;
+            }
+        } else if a.starts_with("--") {
+            // --format=... handled by parse_format; reject the rest
+            if !a.starts_with("--format=") {
+                eprintln!("unknown flag `{a}`; {USAGE}");
+                return ExitCode::FAILURE;
+            }
+        } else {
+            name = Some(a);
+        }
+    }
+    let Some(name) = name else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let scaled_n = if name == "scaled" || name.starts_with("scaled:") {
+        match name.strip_prefix("scaled:") {
+            None | Some("") => Some(8),
+            Some(n) => match n.parse() {
+                Ok(n) => Some(n),
+                Err(_) => {
+                    eprintln!("`scaled:` expects a block count, got `{n}`");
+                    return ExitCode::FAILURE;
+                }
+            },
+        }
+    } else {
+        None
+    };
+    if !json {
+        match scaled_n {
+            Some(n) => {
+                print!("{}", rtj_corpus::scaled_classes(n));
+                return ExitCode::SUCCESS;
+            }
+            None => {
+                let benches = rtj_corpus::all(rtj_corpus::Scale::Paper);
+                return match benches.iter().find(|b| b.name == name.as_str()) {
+                    Some(b) => {
+                        print!("{}", b.source);
+                        ExitCode::SUCCESS
+                    }
+                    None => {
+                        eprintln!(
+                            "unknown benchmark `{name}`; available: {}, scaled[:N]",
+                            benches
+                                .iter()
+                                .map(|b| b.name)
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        );
+                        ExitCode::FAILURE
+                    }
+                };
+            }
+        }
+    }
+    let (workload, programs): (String, Vec<(String, String)>) = match scaled_n {
+        Some(n) => (
+            format!("scaled:{n}"),
+            vec![(format!("scaled:{n}"), rtj_corpus::scaled_vm_workload(n))],
+        ),
+        None => {
+            let benches = rtj_corpus::all(rtj_corpus::Scale::Smoke);
+            let Some(b) = benches.iter().find(|b| b.name == name.as_str()) else {
+                eprintln!("unknown benchmark `{name}`");
+                return ExitCode::FAILURE;
+            };
+            (name.clone(), vec![(b.name.to_owned(), b.source.clone())])
+        }
+    };
+    let rows: Vec<rtj_corpus::EngineBenchRow> = programs
+        .iter()
+        .map(|(n, src)| rtj_corpus::bench_engines(n, src, CheckMode::Static, iters))
+        .collect();
+    println!(
+        "{}",
+        rtj_corpus::bench_json(&rows, &workload, CheckMode::Static)
+    );
+    ExitCode::SUCCESS
 }
 
 /// `rtjc report <snapshot.json>...`: render the report(s) from any mix
@@ -678,6 +800,34 @@ fn render_fig12_document(doc: &Json) -> Result<String, String> {
         out += &agg.render_report();
     }
     Ok(out)
+}
+
+/// Maps an `--engine` value to an [`Engine`].
+fn engine_from_str(v: &str) -> Option<Engine> {
+    match v {
+        "tree" => Some(Engine::Tree),
+        "vm" => Some(Engine::Vm),
+        _ => None,
+    }
+}
+
+/// Parses `--engine tree|vm` (both forms); defaults to the VM.
+fn parse_engine(args: &[String]) -> Result<Engine, String> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let value = if let Some(v) = a.strip_prefix("--engine=") {
+            v.to_string()
+        } else if a == "--engine" {
+            it.next()
+                .cloned()
+                .ok_or("--engine expects `tree` or `vm`")?
+        } else {
+            continue;
+        };
+        return engine_from_str(&value)
+            .ok_or_else(|| format!("unknown engine `{value}`; expected `tree` or `vm`"));
+    }
+    Ok(Engine::default())
 }
 
 /// Parses `--format text|json` (both `--format json` and `--format=json`

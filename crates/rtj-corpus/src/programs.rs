@@ -1321,6 +1321,70 @@ class Leaf{i}<Owner o> extends Mid{i}<o> {{
     src
 }
 
+/// An interpreter-throughput workload: `copies` renamed replicas of a
+/// call- and field-heavy class family, each churned through a fixed-size
+/// arithmetic loop from the main block.
+///
+/// Where [`scaled_classes`] stresses the *checker* (its main block is
+/// trivial), this corpus stresses the *engines*: almost all of its
+/// virtual time is spent in method dispatch, local-variable traffic,
+/// field reads/writes, and integer arithmetic — the paths where the
+/// bytecode VM's flat dispatch and inline caches pay off against the
+/// tree-walker. Replica `i` gets globally distinct class names, so
+/// call/field sites see distinct layouts and the benchmark also covers
+/// cache-fill behaviour, not just steady-state hits.
+pub fn scaled_vm_workload(copies: usize) -> String {
+    let copies = copies.max(1);
+    let mut src = String::with_capacity(copies * 1100 + 512);
+    src.push_str("// Scaled interpreter-throughput corpus (replicated call/field churn).\n");
+    for i in 0..copies {
+        src.push_str(&format!(
+            r#"class Gauge{i}<Owner o> {{
+    int total;
+    int samples;
+    void add(int v) {{
+        this.total = this.total + v;
+        this.samples = this.samples + 1;
+    }}
+    int mean() {{
+        if (this.samples == 0) {{ return 0; }}
+        return this.total / this.samples;
+    }}
+}}
+class Mixer{i}<Owner o> {{
+    Gauge{i}<o> gauge;
+    int mix(int a, int b) {{
+        let x = a * 3 + b;
+        let y = x / 2 + a % 7;
+        return x + y * 2 - b;
+    }}
+    int churn(int n) {{
+        let i = 0;
+        let t = 1;
+        while (i < n) {{
+            t = this.mix(t, i) % 10007 + this.mix(i, t) % 97;
+            this.gauge.add(t % 31);
+            i = i + 1;
+        }}
+        return t;
+    }}
+}}
+"#
+        ));
+    }
+    src.push_str("{\n    (RHandle<r> h) {\n        let sum = 0;\n");
+    for i in 0..copies {
+        src.push_str(&format!(
+            "        let m{i} = new Mixer{i}<r>;\n\
+             \x20       let g{i} = new Gauge{i}<r>;\n\
+             \x20       m{i}.gauge = g{i};\n\
+             \x20       sum = sum + m{i}.churn(64) % 1009 + g{i}.mean();\n"
+        ));
+    }
+    src.push_str("        print(sum % 100003);\n    }\n}\n");
+    src
+}
+
 /// Deliberately ill-typed programs, one per typing-rule family, used to
 /// differential-test the serial and parallel checking drivers: both must
 /// produce the same diagnostics in the same (span-sorted) order.
@@ -1403,6 +1467,12 @@ mod tests {
     #[test]
     fn scaled_corpus_is_well_typed() {
         let program = rtj_lang::parse_program(&scaled_classes(3)).expect("parses");
+        rtj_types::check_program(&program).expect("well-typed");
+    }
+
+    #[test]
+    fn scaled_vm_workload_is_well_typed() {
+        let program = rtj_lang::parse_program(&scaled_vm_workload(3)).expect("parses");
         rtj_types::check_program(&program).expect("well-typed");
     }
 

@@ -11,6 +11,7 @@
 use crate::layout::{resolve_method_chain, Layouts};
 use crate::machine::{Machine, RunError};
 use rtj_lang::ast::*;
+use rtj_lang::Symbol;
 use rtj_runtime::{ObjId, RegionId, Runtime, RuntimeOwner, ThreadClass, ThreadId, Value};
 use rtj_types::ProgramTable;
 use std::sync::Arc;
@@ -27,7 +28,7 @@ pub struct ProgramData {
 
 impl ProgramData {
     /// Finds a method body by declaring class and name.
-    pub fn method_body(&self, class: &str, method: &str) -> Option<&MethodDecl> {
+    pub fn method_body(&self, class: Symbol, method: Symbol) -> Option<&MethodDecl> {
         self.table
             .class(class)?
             .decl
@@ -145,8 +146,8 @@ impl Evaluator {
     pub fn run_method(
         &mut self,
         mut frame: Frame,
-        decl_class: &str,
-        method: &str,
+        decl_class: Symbol,
+        method: Symbol,
     ) -> Result<(), RunError> {
         self.machine.safepoint(self.tid)?;
         let body = self
@@ -262,7 +263,7 @@ impl Evaluator {
                 let v = self.eval_expr(frame, value)?;
                 match recv_v {
                     Value::Ref(obj) => {
-                        let idx = self.field_index(obj, field.name.as_str())?;
+                        let idx = self.field_index(obj, field.name)?;
                         let t = self.tid;
                         self.rt_op(|rt| rt.store_field(t, obj, idx, v))?;
                     }
@@ -352,10 +353,7 @@ impl Evaluator {
                     KindAnn::Named { name, .. } => Some(name.name),
                     _ => None,
                 };
-                let spec = self
-                    .data
-                    .layouts
-                    .region_spec(kind_name.map(|k| k.as_str()), *policy);
+                let spec = self.data.layouts.region_spec(kind_name, *policy);
                 let t = self.tid;
                 let r = self.rt_op(|rt| rt.create_region(t, spec, true))?;
                 let flow = self.with_region(frame, region, handle, r, body);
@@ -505,7 +503,7 @@ impl Evaluator {
                 let recv_v = self.eval_expr(frame, recv)?;
                 match recv_v {
                     Value::Ref(obj) => {
-                        let idx = self.field_index(obj, field.name.as_str())?;
+                        let idx = self.field_index(obj, field.name)?;
                         let t = self.tid;
                         self.rt_op(|rt| rt.load_field(t, obj, idx))
                     }
@@ -535,13 +533,8 @@ impl Evaluator {
                 for a in args {
                     arg_vals.push(self.eval_expr(frame, a)?);
                 }
-                let (callee_frame, decl_class, mname) = self.build_callee_frame(
-                    frame,
-                    obj,
-                    method.name.as_str(),
-                    owner_args,
-                    arg_vals,
-                )?;
+                let (callee_frame, decl_class, mname) =
+                    self.build_callee_frame(frame, obj, method.name, owner_args, arg_vals)?;
                 self.charge(self.call_cost);
                 self.safepoint()?;
                 if self.call_depth >= MAX_CALL_DEPTH {
@@ -551,7 +544,7 @@ impl Evaluator {
                 }
                 let body = self
                     .data
-                    .method_body(&decl_class, &mname)
+                    .method_body(decl_class, mname)
                     .ok_or_else(|| RunError::Interp(format!("no method {decl_class}.{mname}")))?
                     .body
                     .clone();
@@ -572,11 +565,10 @@ impl Evaluator {
                 let first = owners.first().cloned().ok_or_else(|| {
                     RunError::Interp(format!("`new {}` with no owners", class.name))
                 })?;
-                let layout = self
-                    .data
-                    .layouts
-                    .class(class.name.name.as_str())
-                    .ok_or_else(|| RunError::Interp(format!("unknown class `{}`", class.name)))?;
+                let layout =
+                    self.data.layouts.class(class.name.name).ok_or_else(|| {
+                        RunError::Interp(format!("unknown class `{}`", class.name))
+                    })?;
                 let n_fields = layout.field_defaults.len();
                 let defaults: Vec<(usize, Value)> = layout
                     .field_defaults
@@ -588,7 +580,7 @@ impl Evaluator {
                 let t = self.tid;
                 let name = class.name.name;
                 let obj = self.rt_op(move |rt| {
-                    let obj = rt.alloc(t, first, name.as_str(), owners, n_fields)?;
+                    let obj = rt.alloc(t, first, name, owners, n_fields)?;
                     for (i, v) in defaults {
                         rt.init_field_raw(obj, i, v);
                     }
@@ -672,12 +664,12 @@ impl Evaluator {
         Ok(out)
     }
 
-    fn field_index(&self, obj: ObjId, field: &str) -> Result<usize, RunError> {
-        let class = self.machine.with(|rt| rt.object(obj).class_name.clone());
+    fn field_index(&self, obj: ObjId, field: Symbol) -> Result<usize, RunError> {
+        let class = self.machine.with(|rt| rt.object(obj).class_name);
         self.data
             .layouts
-            .class(&class)
-            .and_then(|l| l.field_index.get(field).copied())
+            .class(class)
+            .and_then(|l| l.field_index.get(&field).copied())
             .ok_or_else(|| RunError::Interp(format!("no field `{field}` on `{class}`")))
     }
 
@@ -689,24 +681,21 @@ impl Evaluator {
         &mut self,
         caller: &Frame,
         obj: ObjId,
-        method: &str,
+        method: Symbol,
         owner_arg_refs: &[OwnerRef],
         arg_vals: Vec<Value>,
-    ) -> Result<(Frame, String, String), RunError> {
-        let (class, mut cur_owners) = self.machine.with(|rt| {
-            (
-                rt.object(obj).class_name.clone(),
-                rt.object(obj).owners.clone(),
-            )
-        });
-        let (chain, mdecl) = resolve_method_chain(&self.data.table, &class, method)
+    ) -> Result<(Frame, Symbol, Symbol), RunError> {
+        let (class, mut cur_owners) = self
+            .machine
+            .with(|rt| (rt.object(obj).class_name, rt.object(obj).owners.clone()));
+        let (chain, mdecl) = resolve_method_chain(&self.data.table, class, method)
             .ok_or_else(|| RunError::Interp(format!("no method `{method}` on `{class}`")))?;
         let mut cur_class = class;
         for (super_name, super_refs) in &chain {
             let layout = self
                 .data
                 .layouts
-                .class(&cur_class)
+                .class(cur_class)
                 .ok_or_else(|| RunError::Interp(format!("unknown class `{cur_class}`")))?;
             let mut next = Vec::with_capacity(super_refs.len());
             for r in super_refs {
@@ -733,12 +722,12 @@ impl Evaluator {
                 next.push(o);
             }
             cur_owners = next;
-            cur_class = super_name.clone();
+            cur_class = *super_name;
         }
         let decl_layout = self
             .data
             .layouts
-            .class(&cur_class)
+            .class(cur_class)
             .ok_or_else(|| RunError::Interp(format!("unknown class `{cur_class}`")))?;
         let mut owners: Vec<(String, RuntimeOwner)> = decl_layout
             .formal_names
@@ -770,7 +759,7 @@ impl Evaluator {
             .map(|p| p.name.name.to_string())
             .zip(arg_vals)
             .collect();
-        let mname = mdecl.name.name.to_string();
+        let mname = mdecl.name.name;
         Ok((
             Frame {
                 vars,
@@ -808,7 +797,7 @@ impl Evaluator {
             arg_vals.push(self.eval_expr(frame, a)?);
         }
         let (child_frame, decl_class, mname) =
-            self.build_callee_frame(frame, obj, method.name.as_str(), owner_args, arg_vals)?;
+            self.build_callee_frame(frame, obj, method.name, owner_args, arg_vals)?;
         let class = if rt {
             ThreadClass::RealTime
         } else {
@@ -826,7 +815,7 @@ impl Evaluator {
             .stack_size(16 << 20)
             .spawn(move || {
                 let mut ev = Evaluator::new(Arc::clone(&machine), data, child_tid, is_rt);
-                let result = ev.run_method(child_frame, &decl_class, &mname);
+                let result = ev.run_method(child_frame, decl_class, mname);
                 if let Err(e) = &result {
                     // Step-limit and halts already propagate; only record
                     // real errors once.

@@ -4,6 +4,12 @@
 //! the interpreter constant-ish-time access to field indices, primitive
 //! field defaults, runtime method resolution along the superclass chain,
 //! and ready-made [`RegionSpec`]s for each region kind.
+//!
+//! Every lookup is keyed by interned [`Symbol`]s, so the hot paths of
+//! both engines (tree-walker and bytecode VM) hash and compare pointers,
+//! never string contents. The interned class symbol doubles as the VM's
+//! *layout id*: two objects share a layout iff their class symbols are
+//! pointer-equal, which is what the inline caches key on.
 
 use rtj_lang::ast::{MethodDecl, OwnerRef, Policy, ThreadTag};
 use rtj_lang::intern::Symbol;
@@ -15,9 +21,9 @@ use std::collections::HashMap;
 #[derive(Debug, Clone)]
 pub struct ClassLayout {
     /// Field names in slot order (inherited fields first).
-    pub field_names: Vec<String>,
+    pub field_names: Vec<Symbol>,
     /// Name → slot index.
-    pub field_index: HashMap<String, usize>,
+    pub field_index: HashMap<Symbol, usize>,
     /// Default value per slot (`Int(0)`, `Bool(false)`, or `Null`).
     pub field_defaults: Vec<Value>,
     /// The class's formal owner parameter names (interned).
@@ -27,8 +33,8 @@ pub struct ClassLayout {
 /// All layouts for a program.
 #[derive(Debug, Clone)]
 pub struct Layouts {
-    classes: HashMap<String, ClassLayout>,
-    region_specs: HashMap<String, RegionSpec>,
+    classes: HashMap<Symbol, ClassLayout>,
+    region_specs: HashMap<Symbol, RegionSpec>,
 }
 
 fn default_for(t: &SType) -> Value {
@@ -44,7 +50,7 @@ impl Layouts {
     pub fn new(table: &ProgramTable) -> Layouts {
         let mut classes = HashMap::new();
         classes.insert(
-            "Object".to_string(),
+            Symbol::intern("Object"),
             ClassLayout {
                 field_names: Vec::new(),
                 field_index: HashMap::new(),
@@ -53,19 +59,18 @@ impl Layouts {
             },
         );
         for info in table.classes() {
-            let name = info.decl.name.name.to_string();
+            let name = info.decl.name.name;
             let formals: Vec<Owner> = info
                 .formal_names
                 .iter()
                 .map(|n| Owner::Formal(*n))
                 .collect();
-            let fields = table.all_fields(name.as_str(), &formals);
-            let field_names: Vec<String> =
-                fields.iter().map(|(n, _)| n.as_str().to_owned()).collect();
+            let fields = table.all_fields(name, &formals);
+            let field_names: Vec<Symbol> = fields.iter().map(|(n, _)| *n).collect();
             let field_index = field_names
                 .iter()
                 .enumerate()
-                .map(|(i, n)| (n.clone(), i))
+                .map(|(i, n)| (*n, i))
                 .collect();
             let field_defaults = fields.iter().map(|(_, t)| default_for(t)).collect();
             classes.insert(
@@ -82,7 +87,7 @@ impl Layouts {
         for info in table.region_kinds() {
             let name = info.decl.name.name;
             let spec = build_region_spec(table, name, AllocPolicy::Vt, Reservation::Any, 0);
-            region_specs.insert(name.to_string(), spec);
+            region_specs.insert(name, spec);
         }
         Layouts {
             classes,
@@ -91,18 +96,18 @@ impl Layouts {
     }
 
     /// Layout for a class.
-    pub fn class(&self, name: &str) -> Option<&ClassLayout> {
-        self.classes.get(name)
+    pub fn class(&self, name: Symbol) -> Option<&ClassLayout> {
+        self.classes.get(&name)
     }
 
     /// A [`RegionSpec`] for creating a *top-level* region of kind
     /// `kind_name` (or a plain shared region when `None`) with the given
     /// policy.
-    pub fn region_spec(&self, kind_name: Option<&str>, policy: Policy) -> RegionSpec {
+    pub fn region_spec(&self, kind_name: Option<Symbol>, policy: Policy) -> RegionSpec {
         let mut spec = match kind_name {
             Some(k) => self
                 .region_specs
-                .get(k)
+                .get(&k)
                 .cloned()
                 .unwrap_or_else(RegionSpec::plain_vt),
             None => RegionSpec::plain_vt(),
@@ -175,32 +180,32 @@ fn build_region_spec(
 
 /// The superclass hops from the allocated class to the declaring class:
 /// `(superclass name, owner refs over the previous class's formals)`.
-pub type SuperChain = Vec<(String, Vec<OwnerRef>)>;
+pub type SuperChain = Vec<(Symbol, Vec<OwnerRef>)>;
 
 /// Resolves the method `method` for an object allocated as `class`,
 /// walking the superclass chain. Returns the [`SuperChain`] of hops the
 /// caller must evaluate against the object's stored owners, and the
 /// method declaration.
-pub fn resolve_method_chain<'t>(
-    table: &'t ProgramTable,
-    class: &str,
-    method: &str,
-) -> Option<(SuperChain, &'t MethodDecl)> {
+pub fn resolve_method_chain(
+    table: &ProgramTable,
+    class: Symbol,
+    method: Symbol,
+) -> Option<(SuperChain, &MethodDecl)> {
     let mut chain = Vec::new();
-    let mut cur = class.to_string();
+    let mut cur = class;
     let mut seen = std::collections::HashSet::new();
     loop {
-        if !seen.insert(cur.clone()) {
+        if !seen.insert(cur) {
             return None;
         }
-        let info = table.class(&cur)?;
+        let info = table.class(cur)?;
         if let Some(m) = info.decl.methods.iter().find(|m| m.name.name == method) {
             return Some((chain, m));
         }
         match &info.decl.extends {
             Some(ct) if ct.name.name != "Object" => {
-                chain.push((ct.name.name.to_string(), ct.owners.clone()));
-                cur = ct.name.name.to_string();
+                chain.push((ct.name.name, ct.owners.clone()));
+                cur = ct.name.name;
             }
             _ => return None,
         }
@@ -228,9 +233,9 @@ mod tests {
             { }
             "#,
         );
-        let a = l.class("A").unwrap();
+        let a = l.class("A".into()).unwrap();
         assert_eq!(a.field_names, vec!["x", "c", "y"]);
-        assert_eq!(a.field_index["y"], 2);
+        assert_eq!(a.field_index[&Symbol::intern("y")], 2);
         assert_eq!(
             a.field_defaults,
             vec![Value::Int(0), Value::Null, Value::Bool(false)]
@@ -251,7 +256,7 @@ mod tests {
             { }
             "#,
         );
-        let spec = l.region_spec(Some("Buf"), Policy::Vt);
+        let spec = l.region_spec(Some("Buf".into()), Policy::Vt);
         assert_eq!(spec.kind_name.as_deref(), Some("Buf"));
         assert_eq!(spec.subregions.len(), 1);
         let (member, sub) = &spec.subregions[0];
@@ -270,12 +275,12 @@ mod tests {
             { }
             "#,
         );
-        let (chain, m) = resolve_method_chain(&t, "A", "get").unwrap();
+        let (chain, m) = resolve_method_chain(&t, "A".into(), "get".into()).unwrap();
         assert_eq!(m.name.name, "get");
         assert_eq!(chain.len(), 1);
         assert_eq!(chain[0].0, "B");
-        let (chain, _) = resolve_method_chain(&t, "B", "get").unwrap();
+        let (chain, _) = resolve_method_chain(&t, "B".into(), "get".into()).unwrap();
         assert!(chain.is_empty());
-        assert!(resolve_method_chain(&t, "A", "nope").is_none());
+        assert!(resolve_method_chain(&t, "A".into(), "nope".into()).is_none());
     }
 }

@@ -38,9 +38,11 @@
 
 #![warn(missing_docs)]
 
+pub mod bytecode;
 pub mod eval;
 pub mod layout;
 pub mod machine;
+pub mod vm;
 
 use eval::{Evaluator, ProgramData};
 use layout::Layouts;
@@ -67,6 +69,29 @@ pub enum TraceCapture {
     Full,
 }
 
+/// Which execution engine interprets the program.
+///
+/// Both engines run on the same [`Machine`] and produce byte-identical
+/// virtual-cycle accounting, `rtj-metrics/v1` snapshots, and trace event
+/// sequences; they differ only in host-level speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The reference tree-walking interpreter ([`eval::Evaluator`]).
+    Tree,
+    /// The bytecode VM with inline caches ([`vm::Vm`]) — the default.
+    #[default]
+    Vm,
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Engine::Tree => write!(f, "tree"),
+            Engine::Vm => write!(f, "vm"),
+        }
+    }
+}
+
 /// Configuration for one run.
 #[derive(Debug, Clone)]
 pub struct RunConfig {
@@ -84,6 +109,8 @@ pub struct RunConfig {
     pub capture_graph: bool,
     /// Structured-event capture (off by default).
     pub events: TraceCapture,
+    /// The execution engine ([`Engine::Vm`] by default).
+    pub engine: Engine,
 }
 
 impl RunConfig {
@@ -97,6 +124,7 @@ impl RunConfig {
             max_steps: 500_000_000,
             capture_graph: false,
             events: TraceCapture::Off,
+            engine: Engine::default(),
         }
     }
 }
@@ -181,8 +209,17 @@ pub fn run_checked(checked: &Checked, cfg: RunConfig) -> RunOutcome {
     let machine = Arc::new(Machine::new(rt, cfg.max_steps));
     let start = Instant::now();
     let main_tid = ThreadId(0);
-    let mut ev = Evaluator::new(Arc::clone(&machine), data, main_tid, false);
-    let result = ev.run_main();
+    let result = match cfg.engine {
+        Engine::Tree => {
+            let mut ev = Evaluator::new(Arc::clone(&machine), data, main_tid, false);
+            ev.run_main()
+        }
+        Engine::Vm => {
+            let prog = Arc::new(bytecode::compile(&data));
+            let mut vm = vm::Vm::new(Arc::clone(&machine), data, prog, main_tid, false);
+            vm.run_main()
+        }
+    };
     if let Err(e) = &result {
         machine.halt(e.clone());
     }

@@ -54,7 +54,7 @@ pub use metrics::{
     CheckCounters, CheckKind, CheckOutcome, CheckerMetrics, Histogram, MetricsRegistry,
     MetricsSnapshot, METRICS_SCHEMA,
 };
-pub use objects::{object_size, ObjectRecord, ObjectStore};
+pub use objects::{object_size, FieldStorage, ObjectRecord, ObjectStore};
 pub use region::{RegionClass, RegionRecord, RegionSpec, RegionState, RegionTable};
 /// Shared dependency-free JSON plumbing (re-exported from `rtj-lang`, where
 /// it also serves the static checker's snapshots).

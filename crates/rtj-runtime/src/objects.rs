@@ -4,8 +4,14 @@
 //! objects. A dead object's fields are dropped, and any later access to it
 //! is a [dangling-reference error](crate::error::RtError::DanglingReference)
 //! — which well-typed programs never trigger (paper, Theorem 3).
+//!
+//! Field slots come in two flavours: `VT` objects own a boxed `Vec<Value>`
+//! each, while objects in `LT` regions borrow a contiguous span of the
+//! region's bump arena ([`FieldStorage::Arena`]) so allocation is a
+//! pointer slide and region exit resets the whole arena in O(1).
 
 use crate::value::{ObjId, RegionId, RuntimeOwner, Value};
+use rtj_lang::Symbol;
 
 /// Object header bytes (class pointer + owner table, as on the authors'
 /// platform).
@@ -19,19 +25,49 @@ pub fn object_size(n_fields: usize) -> u64 {
     OBJECT_HEADER_BYTES + FIELD_BYTES * n_fields as u64
 }
 
+/// Where an object's field slots live.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldStorage {
+    /// A per-object vector (VT regions, heap).
+    Boxed(Vec<Value>),
+    /// A span of the owning LT region's bump arena:
+    /// `region.arena[base..base + len]`.
+    Arena {
+        /// First slot index in the region arena.
+        base: u32,
+        /// Number of field slots.
+        len: u32,
+    },
+}
+
+impl FieldStorage {
+    /// Number of field slots.
+    pub fn len(&self) -> usize {
+        match self {
+            FieldStorage::Boxed(v) => v.len(),
+            FieldStorage::Arena { len, .. } => *len as usize,
+        }
+    }
+
+    /// Whether the object has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// One allocated object.
 #[derive(Debug, Clone)]
 pub struct ObjectRecord {
     /// The object's id.
     pub id: ObjId,
-    /// Name of the class it was allocated as.
-    pub class_name: String,
+    /// Name of the class it was allocated as (interned).
+    pub class_name: Symbol,
     /// The region it is allocated in.
     pub region: RegionId,
     /// Runtime owner bindings (one per owner parameter of the class).
     pub owners: Vec<RuntimeOwner>,
-    /// Field slots, in class layout order.
-    pub fields: Vec<Value>,
+    /// Field slots, in class layout order (boxed or arena-backed).
+    pub storage: FieldStorage,
     /// Dead once the containing region is flushed or deleted.
     pub alive: bool,
 }
@@ -46,22 +82,57 @@ pub struct ObjectStore {
 }
 
 impl ObjectStore {
-    /// Allocates a new object record (memory accounting is the region
-    /// table's job; this tracks object-level liveness).
+    /// Allocates a new object record with boxed field slots (memory
+    /// accounting is the region table's job; this tracks object-level
+    /// liveness).
     pub fn alloc(
         &mut self,
-        class_name: String,
+        class_name: impl Into<Symbol>,
         region: RegionId,
         owners: Vec<RuntimeOwner>,
         n_fields: usize,
     ) -> ObjId {
+        self.alloc_with(
+            class_name.into(),
+            region,
+            owners,
+            FieldStorage::Boxed(vec![Value::Null; n_fields]),
+        )
+    }
+
+    /// Allocates a new object record whose field slots live in the owning
+    /// LT region's arena at `[base, base + len)`.
+    pub fn alloc_in_arena(
+        &mut self,
+        class_name: impl Into<Symbol>,
+        region: RegionId,
+        owners: Vec<RuntimeOwner>,
+        base: u32,
+        len: u32,
+    ) -> ObjId {
+        self.alloc_with(
+            class_name.into(),
+            region,
+            owners,
+            FieldStorage::Arena { base, len },
+        )
+    }
+
+    fn alloc_with(
+        &mut self,
+        class_name: Symbol,
+        region: RegionId,
+        owners: Vec<RuntimeOwner>,
+        storage: FieldStorage,
+    ) -> ObjId {
         let id = ObjId(self.records.len() as u32);
+        let n_fields = storage.len();
         self.records.push(ObjectRecord {
             id,
             class_name,
             region,
             owners,
-            fields: vec![Value::Null; n_fields],
+            storage,
             alive: true,
         });
         self.live_count += 1;
@@ -80,7 +151,9 @@ impl ObjectStore {
         &mut self.records[id.0 as usize]
     }
 
-    /// Kills an object (its region was flushed or deleted).
+    /// Kills an object (its region was flushed or deleted). Arena-backed
+    /// slots are abandoned in place — the region resets its arena
+    /// separately, in O(1).
     pub fn kill(&mut self, id: ObjId) {
         let n_fields = {
             let r = &mut self.records[id.0 as usize];
@@ -88,8 +161,8 @@ impl ObjectStore {
                 return;
             }
             r.alive = false;
-            let n = r.fields.len();
-            r.fields = Vec::new();
+            let n = r.storage.len();
+            r.storage = FieldStorage::Boxed(Vec::new());
             n
         };
         self.live_count -= 1;
@@ -124,8 +197,8 @@ mod tests {
     #[test]
     fn alloc_and_kill_track_liveness() {
         let mut s = ObjectStore::default();
-        let a = s.alloc("A".into(), RegionId(0), vec![], 2);
-        let b = s.alloc("B".into(), RegionId(0), vec![], 0);
+        let a = s.alloc("A", RegionId(0), vec![], 2);
+        let b = s.alloc("B", RegionId(0), vec![], 0);
         assert_eq!(s.live_count(), 2);
         assert_eq!(s.live_bytes(), object_size(2) + object_size(0));
         assert_eq!(s.peak_live_bytes(), s.live_bytes());
@@ -143,9 +216,25 @@ mod tests {
     #[test]
     fn fields_start_null() {
         let mut s = ObjectStore::default();
-        let a = s.alloc("A".into(), RegionId(1), vec![], 3);
-        assert!(s.get(a).fields.iter().all(|v| *v == Value::Null));
+        let a = s.alloc("A", RegionId(1), vec![], 3);
+        match &s.get(a).storage {
+            FieldStorage::Boxed(fields) => {
+                assert!(fields.iter().all(|v| *v == Value::Null));
+            }
+            other => panic!("expected boxed storage, got {other:?}"),
+        }
         assert_eq!(s.get(a).region, RegionId(1));
+    }
+
+    #[test]
+    fn arena_objects_account_like_boxed_ones() {
+        let mut s = ObjectStore::default();
+        let a = s.alloc_in_arena("A", RegionId(2), vec![], 0, 3);
+        assert_eq!(s.get(a).storage, FieldStorage::Arena { base: 0, len: 3 });
+        assert_eq!(s.live_bytes(), object_size(3));
+        s.kill(a);
+        assert_eq!(s.live_bytes(), 0);
+        assert_eq!(s.get(a).storage, FieldStorage::Boxed(Vec::new()));
     }
 
     #[test]

@@ -114,6 +114,12 @@ pub struct RegionRecord {
     pub generation: u32,
     /// Entry/exit bookkeeping lock (priority-inversion modelling).
     pub lock: Option<ThreadId>,
+    /// Bump arena of field slots for LT-policy regions: objects allocated
+    /// here carry `FieldStorage::Arena` spans into this vector, so
+    /// allocation is a pointer slide and flushing resets the whole arena
+    /// in O(1) while keeping its capacity (the LT "memory retained"
+    /// semantics). Empty for VT regions.
+    pub arena: Vec<Value>,
 }
 
 impl RegionRecord {
@@ -127,6 +133,9 @@ impl RegionRecord {
 #[derive(Debug, Clone, Default)]
 pub struct RegionTable {
     records: Vec<RegionRecord>,
+    /// Reusable work stack for the flush/delete cascades, so region exit
+    /// does not allocate a fresh `Vec` of subregion ids per call.
+    scratch: Vec<RegionId>,
 }
 
 impl RegionTable {
@@ -164,6 +173,7 @@ impl RegionTable {
             objects: Vec::new(),
             generation: 0,
             lock: None,
+            arena: Vec::new(),
         });
         let mut created = 1;
         for (member, sub_spec) in &spec.subregions {
@@ -245,43 +255,66 @@ impl RegionTable {
 
     /// Flushes a region: recursively flushes subregion instances, then
     /// deletes this region's objects. LT memory is retained (`committed`
-    /// unchanged); VT memory is released. Returns the ids of all objects
-    /// that died.
+    /// unchanged, arena capacity kept); VT memory is released. Returns the
+    /// ids of all objects that died.
     pub fn flush(&mut self, id: RegionId) -> Vec<ObjId> {
         let mut dead = Vec::new();
-        let subs: Vec<RegionId> = self.get(id).subs.values().copied().collect();
-        for s in subs {
-            if self.get(s).state == RegionState::Alive {
-                dead.extend(self.flush(s));
-            }
-        }
-        let r = self.get_mut(id);
-        dead.append(&mut r.objects);
-        r.used = 0;
-        if matches!(r.spec.policy, AllocPolicy::Vt) {
-            r.committed = 0;
-        }
-        r.state = RegionState::Flushed;
+        self.flush_into(id, &mut dead);
         dead
+    }
+
+    /// Allocation-free [`RegionTable::flush`]: appends the dead object ids
+    /// to `dead` and reuses an internal work stack for the subregion
+    /// cascade instead of collecting fresh `Vec`s.
+    pub fn flush_into(&mut self, id: RegionId, dead: &mut Vec<ObjId>) {
+        let mut stack = std::mem::take(&mut self.scratch);
+        debug_assert!(stack.is_empty());
+        stack.push(id);
+        while let Some(rid) = stack.pop() {
+            if rid != id && self.get(rid).state != RegionState::Alive {
+                continue;
+            }
+            let r = self.get_mut(rid);
+            dead.append(&mut r.objects);
+            r.used = 0;
+            if matches!(r.spec.policy, AllocPolicy::Vt) {
+                r.committed = 0;
+            }
+            r.state = RegionState::Flushed;
+            r.arena.clear(); // O(1) reset; LT capacity retained
+            stack.extend(self.get(rid).subs.values().copied());
+        }
+        self.scratch = stack;
     }
 
     /// Deletes a region and all its subregion instances. Returns dead
     /// objects.
     pub fn delete(&mut self, id: RegionId) -> Vec<ObjId> {
         let mut dead = Vec::new();
-        let subs: Vec<RegionId> = self.get(id).subs.values().copied().collect();
-        for s in subs {
-            if self.get(s).state != RegionState::Deleted {
-                dead.extend(self.delete(s));
-            }
-        }
-        let r = self.get_mut(id);
-        dead.append(&mut r.objects);
-        r.used = 0;
-        r.committed = 0;
-        r.portals.values_mut().for_each(|v| *v = Value::Null);
-        r.state = RegionState::Deleted;
+        self.delete_into(id, &mut dead);
         dead
+    }
+
+    /// Allocation-free [`RegionTable::delete`]: appends the dead object ids
+    /// to `dead`, reusing the internal work stack for the cascade.
+    pub fn delete_into(&mut self, id: RegionId, dead: &mut Vec<ObjId>) {
+        let mut stack = std::mem::take(&mut self.scratch);
+        debug_assert!(stack.is_empty());
+        stack.push(id);
+        while let Some(rid) = stack.pop() {
+            if rid != id && self.get(rid).state == RegionState::Deleted {
+                continue;
+            }
+            let r = self.get_mut(rid);
+            dead.append(&mut r.objects);
+            r.used = 0;
+            r.committed = 0;
+            r.portals.values_mut().for_each(|v| *v = Value::Null);
+            r.state = RegionState::Deleted;
+            r.arena = Vec::new(); // memory released for good
+            stack.extend(self.get(rid).subs.values().copied());
+        }
+        self.scratch = stack;
     }
 
     /// Revives a flushed subregion instance for re-entry (its LT memory was
@@ -374,6 +407,22 @@ mod tests {
         assert_eq!(r.committed, 4096, "LT memory retained across flush");
         t.revive(sub);
         assert!(t.get(sub).is_alive());
+    }
+
+    #[test]
+    fn flush_resets_arena_in_place_and_delete_releases_it() {
+        let mut t = RegionTable::default();
+        let (id, _) = t.create(spec_with_sub(), RegionClass::Shared, BTreeSet::new());
+        let sub = *t.get(id).subs.get("b").unwrap();
+        t.get_mut(sub).arena.extend([Value::Int(1), Value::Int(2)]);
+        let cap = t.get(sub).arena.capacity();
+        t.flush(sub);
+        assert!(t.get(sub).arena.is_empty(), "arena reset on flush");
+        assert_eq!(t.get(sub).arena.capacity(), cap, "LT memory retained");
+        t.revive(sub);
+        t.get_mut(sub).arena.push(Value::Int(3));
+        t.delete(id);
+        assert_eq!(t.get(sub).arena.capacity(), 0, "memory released on delete");
     }
 
     #[test]

@@ -20,11 +20,12 @@ use crate::clock::{Clock, CostModel};
 use crate::error::RtError;
 use crate::events::{TraceEvent, TraceSink};
 use crate::metrics::{CheckKind, CheckOutcome, MetricsRegistry, MetricsSnapshot};
-use crate::objects::{object_size, ObjectStore};
+use crate::objects::{object_size, FieldStorage, ObjectStore};
 use crate::region::{RegionClass, RegionRecord, RegionSpec, RegionState, RegionTable};
 use crate::value::{
     AllocPolicy, ObjId, RegionId, Reservation, RuntimeOwner, ThreadClass, ThreadId, Value,
 };
+use rtj_lang::Symbol;
 use std::collections::BTreeSet;
 
 /// Per-thread bookkeeping.
@@ -67,6 +68,9 @@ pub struct Runtime {
     trace: Vec<String>,
     heap: RegionId,
     immortal: RegionId,
+    /// Reusable buffer of dead object ids for region exits, so releasing a
+    /// region does not allocate.
+    dead_buf: Vec<ObjId>,
 }
 
 impl Runtime {
@@ -105,6 +109,7 @@ impl Runtime {
             trace: Vec::new(),
             heap,
             immortal,
+            dead_buf: Vec::new(),
         }
     }
 
@@ -437,44 +442,33 @@ impl Runtime {
         }
         rec.thread_count -= 1;
         let empty = rec.thread_count == 0;
-        match rec.class.clone() {
-            RegionClass::Local { .. } => {
-                if empty {
-                    let dead = self.regions.delete(r);
-                    self.metrics.record_region_deleted();
-                    for o in dead {
-                        self.objects.kill(o);
-                    }
-                    self.emit(|at| TraceEvent::RegionDelete { at, region: r });
-                }
+        let deletes = matches!(rec.class, RegionClass::Local { .. } | RegionClass::Shared);
+        let flushes = matches!(rec.class, RegionClass::SubInstance { .. });
+        // The dead buffer is reused across releases: region exit is on the
+        // interpreter's hot path and must not allocate per call.
+        let mut dead = std::mem::take(&mut self.dead_buf);
+        dead.clear();
+        if deletes && empty {
+            // A local region — or a top-level shared region — is deleted
+            // when the last thread exits it.
+            self.regions.delete_into(r, &mut dead);
+            self.metrics.record_region_deleted();
+            for &o in &dead {
+                self.objects.kill(o);
             }
-            RegionClass::Shared => {
-                if empty {
-                    // A top-level shared region is deleted when the last
-                    // thread exits it.
-                    let dead = self.regions.delete(r);
-                    self.metrics.record_region_deleted();
-                    for o in dead {
-                        self.objects.kill(o);
-                    }
-                    self.emit(|at| TraceEvent::RegionDelete { at, region: r });
-                }
+            self.emit(|at| TraceEvent::RegionDelete { at, region: r });
+        } else if flushes && empty && self.regions.can_flush(r) {
+            // Subregions are *flushed* (not deleted) when empty, and only
+            // if their portals are null and their own subregions are
+            // flushed.
+            self.regions.flush_into(r, &mut dead);
+            self.metrics.record_region_flushed();
+            for &o in &dead {
+                self.objects.kill(o);
             }
-            RegionClass::SubInstance { .. } => {
-                // Subregions are *flushed* (not deleted) when empty, and
-                // only if their portals are null and their own subregions
-                // are flushed.
-                if empty && self.regions.can_flush(r) {
-                    let dead = self.regions.flush(r);
-                    self.metrics.record_region_flushed();
-                    for o in dead {
-                        self.objects.kill(o);
-                    }
-                    self.emit(|at| TraceEvent::RegionFlush { at, region: r });
-                }
-            }
-            RegionClass::Heap | RegionClass::Immortal => {}
+            self.emit(|at| TraceEvent::RegionFlush { at, region: r });
         }
+        self.dead_buf = dead;
         Ok(())
     }
 
@@ -703,10 +697,11 @@ impl Runtime {
         &mut self,
         t: ThreadId,
         first_owner: RuntimeOwner,
-        class_name: &str,
+        class_name: impl Into<Symbol>,
         owners: Vec<RuntimeOwner>,
         n_fields: usize,
     ) -> Result<ObjId, RtError> {
+        let class_name = class_name.into();
         let region = self.owner_region(first_owner);
         let rec = self.regions.get(region);
         if !rec.is_alive() {
@@ -766,9 +761,18 @@ impl Runtime {
         let rec = self.regions.get_mut(region);
         rec.used += size;
         rec.peak_used = rec.peak_used.max(rec.used);
-        let id = self
-            .objects
-            .alloc(class_name.to_string(), region, owners, n_fields);
+        let id = match policy {
+            // LT fast path: field slots are bump-allocated from the
+            // region's contiguous arena (a pointer slide — the memory was
+            // committed and zeroed at region creation).
+            AllocPolicy::Lt { .. } => {
+                let base = rec.arena.len() as u32;
+                rec.arena.resize(base as usize + n_fields, Value::Null);
+                self.objects
+                    .alloc_in_arena(class_name, region, owners, base, n_fields as u32)
+            }
+            AllocPolicy::Vt => self.objects.alloc(class_name, region, owners, n_fields),
+        };
         self.regions.get_mut(region).objects.push(id);
         self.clock.advance(cycles);
         self.metrics.record_alloc(size, cycles);
@@ -788,7 +792,36 @@ impl Runtime {
     /// no cost (the zeroing cost was charged by [`Runtime::alloc`]). Used
     /// by the interpreter to set primitive fields to `0`/`false`.
     pub fn init_field_raw(&mut self, obj: ObjId, idx: usize, v: Value) {
-        self.objects.get_mut(obj).fields[idx] = v;
+        *self.field_mut(obj, idx) = v;
+    }
+
+    /// Resolves a field slot for writing, whether the object's slots are
+    /// boxed or live in its region's arena.
+    fn field_mut(&mut self, obj: ObjId, idx: usize) -> &mut Value {
+        let rec = self.objects.get(obj);
+        match rec.storage {
+            FieldStorage::Boxed(_) => match &mut self.objects.get_mut(obj).storage {
+                FieldStorage::Boxed(fields) => &mut fields[idx],
+                FieldStorage::Arena { .. } => unreachable!(),
+            },
+            FieldStorage::Arena { base, .. } => {
+                let region = rec.region;
+                &mut self.regions.get_mut(region).arena[base as usize + idx]
+            }
+        }
+    }
+
+    /// The field slots of an object, in class layout order, wherever they
+    /// are stored (boxed or arena-backed). Empty for dead objects.
+    pub fn object_fields(&self, obj: ObjId) -> &[Value] {
+        let rec = self.objects.get(obj);
+        match &rec.storage {
+            FieldStorage::Boxed(fields) => fields,
+            FieldStorage::Arena { base, len } => {
+                let base = *base as usize;
+                &self.regions.get(rec.region).arena[base..base + *len as usize]
+            }
+        }
     }
 
     /// The region an object lives in.
@@ -976,7 +1009,12 @@ impl Runtime {
             return Err(RtError::DanglingReference { object: obj });
         }
         let region = rec.region;
-        let v = rec.fields[idx].clone();
+        let v = match &rec.storage {
+            FieldStorage::Boxed(fields) => fields[idx].clone(),
+            FieldStorage::Arena { base, .. } => {
+                self.regions.get(region).arena[*base as usize + idx].clone()
+            }
+        };
         self.check_load(t, region, &v)?;
         Ok(v)
     }
@@ -1001,9 +1039,14 @@ impl Runtime {
             return Err(RtError::DanglingReference { object: obj });
         }
         let region = rec.region;
-        let old = rec.fields[idx].clone();
+        let old = match &rec.storage {
+            FieldStorage::Boxed(fields) => fields[idx].clone(),
+            FieldStorage::Arena { base, .. } => {
+                self.regions.get(region).arena[*base as usize + idx].clone()
+            }
+        };
         self.check_store(t, region, &old, &v)?;
-        self.objects.get_mut(obj).fields[idx] = v;
+        *self.field_mut(obj, idx) = v;
         Ok(())
     }
 

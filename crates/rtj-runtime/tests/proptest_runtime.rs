@@ -148,7 +148,7 @@ impl Driver {
             if !rec.alive {
                 continue;
             }
-            for v in &rec.fields {
+            for v in self.rt.object_fields(o) {
                 if let Value::Ref(target) = v {
                     assert!(
                         self.rt.object(*target).alive,
