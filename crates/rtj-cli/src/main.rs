@@ -19,10 +19,13 @@
 //! rtjc lower <file.rtj>        translate to RTSJ Java (Section 2.6)
 //! rtjc fig11 [--format json]   regenerate paper Figure 11
 //! rtjc fig12 [--smoke] [--format json] [--engine tree|vm]  regenerate Figure 12
-//! rtjc report <snapshot.json>...  render metrics/checker/fig12 snapshots
+//! rtjc report <snapshot.json>...  render metrics/checker/fig12/load snapshots
 //! rtjc bench <name>            print a corpus program's source
 //! rtjc bench scaled:N --format json  tree-vs-VM engine comparison
 //!                              (an rtj-bench/v1 document)
+//! rtjc serve --rounds R        multi-tenant batch serving (saturation)
+//! rtjc load --rate HZ --duration-ms MS  open-loop Poisson load
+//!                              (both emit rtj-load/v1; see SERVER.md)
 //! ```
 //!
 //! `run --trace`/`run --metrics`, `check --profile`, and `report` are
@@ -30,9 +33,10 @@
 //! runtime metrics snapshots are `rtj-metrics/v1` documents, checker
 //! snapshots are `rtj-checker-metrics/v1` documents, and `report`
 //! renders any mix of those plus `rtj-fig12/v1` documents (from `fig12
-//! --format json`) — given both a checker and a runtime snapshot it
-//! appends the combined static-cost vs. checks-elided view. `FILE` may
-//! be `-` for stdout.
+//! --format json`) and `rtj-load/v1` serving reports (from `serve`/
+//! `load`) — given both a checker and a runtime snapshot it appends the
+//! combined static-cost vs. checks-elided view. `FILE` may be `-` for
+//! stdout.
 
 use rtj_interp::{build, run_checked, Engine, RunConfig, TraceCapture};
 use rtj_runtime::{CheckMode, CheckerMetrics, Json, MetricsSnapshot};
@@ -171,9 +175,11 @@ fn main() -> ExitCode {
         }
         Some("report") => report_cmd(&args[1..]),
         Some("bench") => bench_cmd(&args[1..]),
+        Some("serve") => serve_cmd(&args[1..]),
+        Some("load") => load_cmd(&args[1..]),
         _ => {
             eprintln!(
-                "usage: rtjc <check|run|fmt|fig11|fig12|report|bench> [args]\n\
+                "usage: rtjc <check|run|fmt|fig11|fig12|report|bench|serve|load> [args]\n\
                  \n\
                  check [--stats] [--format json] [--jobs N] [--explain]\n\
                  \x20     [--profile[=FILE]] [--trace-format chrome|jsonl] <file>\n\
@@ -197,11 +203,19 @@ fn main() -> ExitCode {
                  \x20                   regenerate paper Figure 12\n\
                  report <snapshot.json>...  render the report(s) from any mix of\n\
                  \x20                   rtj-metrics/v1, rtj-checker-metrics/v1,\n\
-                 \x20                   and rtj-fig12/v1 documents\n\
+                 \x20                   rtj-fig12/v1, and rtj-load/v1 documents\n\
                  bench <name|scaled[:N]> [--format json] [--iters N]\n\
                  \x20                   print a corpus program, or with --format\n\
                  \x20                   json run it under both engines and emit\n\
-                 \x20                   an rtj-bench/v1 comparison document"
+                 \x20                   an rtj-bench/v1 comparison document\n\
+                 serve [--rounds R] [--workers N] [--programs a,b] [--variants K]\n\
+                 \x20     [--modes static,dynamic,audit] [--engine vm|tree|both]\n\
+                 \x20     [--queue-capacity Q] [--format json] [--out FILE]\n\
+                 \x20                   run R complete request-mix rounds on the\n\
+                 \x20                   multi-tenant server, unpaced (saturation)\n\
+                 load [--rate HZ] [--duration-ms MS] [--seed S] + serve's flags\n\
+                 \x20                   open-loop Poisson load at a target arrival\n\
+                 \x20                   rate; both emit rtj-load/v1 (see SERVER.md)"
             );
             ExitCode::FAILURE
         }
@@ -687,12 +701,31 @@ fn report_cmd(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            Some(rtj_server::LOAD_SCHEMA) => match rtj_server::LoadReport::from_json(&doc) {
+                Ok(report) => {
+                    out += &report.render_report();
+                    // Feed the per-mode merged snapshots into the runtime
+                    // aggregate so a load doc composes with a checker doc
+                    // in the combined static/dynamic view.
+                    for (_, snap) in &report.mode_metrics {
+                        match &mut runtime {
+                            Some(agg) => agg.merge(snap),
+                            None => runtime = Some(snap.clone()),
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
                 eprintln!(
-                    "{path}: unsupported schema {other:?}; expected `{}`, `{}`, or `{}`",
+                    "{path}: unsupported schema {other:?}; expected `{}`, `{}`, `{}`, or `{}`",
                     rtj_runtime::METRICS_SCHEMA,
                     rtj_types::CHECKER_METRICS_SCHEMA,
-                    rtj_corpus::FIG12_SCHEMA
+                    rtj_corpus::FIG12_SCHEMA,
+                    rtj_server::LOAD_SCHEMA
                 );
                 return ExitCode::FAILURE;
             }
@@ -800,6 +833,191 @@ fn render_fig12_document(doc: &Json) -> Result<String, String> {
         out += &agg.render_report();
     }
     Ok(out)
+}
+
+/// Flags shared by `rtjc serve` and `rtjc load`: everything that shapes
+/// the request mix and the executor. Returns the parsed [`rtj_server::ServeConfig`]
+/// plus the leftover command-specific flags.
+fn parse_serve_flags(args: &[String]) -> Result<(rtj_server::ServeConfig, Vec<String>), String> {
+    use rtj_server::ServeConfig;
+    let mut cfg = ServeConfig::default();
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    let next_value = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<String, String> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} expects a value"))
+    };
+    while let Some(a) = it.next() {
+        let (flag, value) = match a.split_once('=') {
+            Some((f, v)) if f.starts_with("--") => (f.to_string(), Some(v.to_string())),
+            _ => (a.clone(), None),
+        };
+        let value_of = |it: &mut std::slice::Iter<String>| match &value {
+            Some(v) => Ok(v.clone()),
+            None => next_value(it, &flag),
+        };
+        match flag.as_str() {
+            "--workers" => {
+                cfg.workers = value_of(&mut it)?
+                    .parse()
+                    .map_err(|_| "--workers expects a number".to_string())?;
+            }
+            "--queue-capacity" => {
+                cfg.queue_capacity = value_of(&mut it)?
+                    .parse()
+                    .map_err(|_| "--queue-capacity expects a number".to_string())?;
+            }
+            "--variants" => {
+                cfg.variants = value_of(&mut it)?
+                    .parse()
+                    .map_err(|_| "--variants expects a number".to_string())?;
+            }
+            "--programs" => {
+                cfg.programs = value_of(&mut it)?.split(',').map(str::to_string).collect();
+            }
+            "--modes" => {
+                cfg.modes = value_of(&mut it)?
+                    .split(',')
+                    .map(|m| CheckMode::parse(m).ok_or_else(|| format!("unknown mode `{m}`")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--engine" => {
+                let v = value_of(&mut it)?;
+                cfg.engines = if v == "both" {
+                    vec![Engine::Vm, Engine::Tree]
+                } else {
+                    vec![engine_from_str(&v).ok_or_else(|| {
+                        format!("unknown engine `{v}`; expected `tree`, `vm`, or `both`")
+                    })?]
+                };
+            }
+            _ => {
+                rest.push(a.clone());
+                if let (None, Some(v)) = (&value, it.clone().next()) {
+                    // Preserve space-separated values for the caller.
+                    if flag.starts_with("--") && !v.starts_with("--") {
+                        rest.push(it.next().unwrap().clone());
+                    }
+                }
+            }
+        }
+    }
+    Ok((cfg, rest))
+}
+
+/// Emits an [`rtj_server::LoadReport`]: human report to stdout (text) or
+/// the `rtj-load/v1` JSON document (`--format json`), with `--out FILE`
+/// additionally writing the JSON document to a file.
+fn emit_load_report(
+    report: &rtj_server::LoadReport,
+    json: bool,
+    out_path: Option<&str>,
+) -> ExitCode {
+    if let Some(path) = out_path {
+        if let Err(e) = write_output(path, &(report.render() + "\n")) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if json {
+        if out_path != Some("-") {
+            println!("{}", report.render());
+        }
+    } else {
+        print!("{}", report.render_report());
+    }
+    ExitCode::SUCCESS
+}
+
+/// Parsed serve/load tail flags: `--format json`?, `--out FILE`, and the
+/// values of the caller-named numeric flags, in the order they were named.
+type TailFlags = (bool, Option<String>, Vec<Option<f64>>);
+
+/// Command-specific tail flags of serve/load: `--format`, `--out`, and
+/// any numeric flags the caller names (e.g. `--rounds`, `--rate`).
+/// Returns (json, out, named values) or an error on leftovers.
+fn parse_tail_flags(rest: &[String], named: &[&str]) -> Result<TailFlags, String> {
+    let json = parse_format(rest)?;
+    let mut out = None;
+    let mut values: Vec<Option<f64>> = vec![None; named.len()];
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        let (flag, inline) = match a.split_once('=') {
+            Some((f, v)) => (f.to_string(), Some(v.to_string())),
+            None => (a.clone(), None),
+        };
+        let value_of = |it: &mut std::slice::Iter<String>| -> Result<String, String> {
+            match &inline {
+                Some(v) => Ok(v.clone()),
+                None => it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| format!("{flag} expects a value")),
+            }
+        };
+        match flag.as_str() {
+            "--format" => {
+                value_of(&mut it)?;
+            }
+            "--out" => out = Some(value_of(&mut it)?),
+            f => {
+                if let Some(idx) = named.iter().position(|n| *n == f) {
+                    let v = value_of(&mut it)?;
+                    values[idx] = Some(v.parse().map_err(|_| format!("{f} expects a number"))?);
+                } else {
+                    return Err(format!("unknown flag `{f}`"));
+                }
+            }
+        }
+    }
+    Ok((json, out, values))
+}
+
+/// `rtjc serve`: run complete request-mix rounds on the multi-tenant
+/// server, unpaced — the saturation benchmark. Emits `rtj-load/v1`.
+fn serve_cmd(args: &[String]) -> ExitCode {
+    let run = || -> Result<ExitCode, String> {
+        let (cfg, rest) = parse_serve_flags(args)?;
+        let (json, out, values) = parse_tail_flags(&rest, &["--rounds"])?;
+        let rounds = values[0].unwrap_or(8.0) as u64;
+        let start = std::time::Instant::now();
+        let outcome = rtj_server::run_batch(&cfg, rounds).map_err(|e| e.to_string())?;
+        let elapsed_ms = start.elapsed().as_millis().max(1) as u64;
+        let workload = format!("{} x{}", cfg.programs.join(","), cfg.variants);
+        let report = rtj_server::LoadReport::from_serve(&outcome, workload, 0.0, elapsed_ms);
+        Ok(emit_load_report(&report, json, out.as_deref()))
+    };
+    run().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        ExitCode::FAILURE
+    })
+}
+
+/// `rtjc load`: open-loop Poisson arrivals at `--rate` sessions/s for
+/// `--duration-ms`, latency anchored to scheduled arrivals. Emits
+/// `rtj-load/v1`.
+fn load_cmd(args: &[String]) -> ExitCode {
+    let run = || -> Result<ExitCode, String> {
+        let (cfg, rest) = parse_serve_flags(args)?;
+        let (json, out, values) = parse_tail_flags(&rest, &["--rate", "--duration-ms", "--seed"])?;
+        let plan = rtj_server::LoadPlan {
+            rate_hz: values[0].unwrap_or(2000.0),
+            duration: std::time::Duration::from_millis(values[1].unwrap_or(1000.0) as u64),
+            seed: values[2].unwrap_or(1.0) as u64,
+        };
+        if plan.rate_hz <= 0.0 {
+            return Err("--rate must be positive".into());
+        }
+        let outcome = rtj_server::run_load(&cfg, &plan).map_err(|e| e.to_string())?;
+        let workload = format!("{} x{}", cfg.programs.join(","), cfg.variants);
+        let report = rtj_server::LoadReport::from_load(&outcome, workload);
+        Ok(emit_load_report(&report, json, out.as_deref()))
+    };
+    run().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        ExitCode::FAILURE
+    })
 }
 
 /// Maps an `--engine` value to an [`Engine`].

@@ -30,5 +30,6 @@ pub use experiments::{
 };
 pub use metrics::{annotation_report, AnnotationReport};
 pub use programs::{
-    all, negatives, scaled_classes, scaled_vm_workload, BenchProgram, Category, ImageStage, Scale,
+    all, negatives, request_program, request_variants, scaled_classes, scaled_vm_workload,
+    BenchProgram, Category, ImageStage, Scale, SERVER_PROGRAMS,
 };

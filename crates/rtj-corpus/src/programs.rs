@@ -1236,6 +1236,378 @@ class Session<Owner o> {{
     )
 }
 
+/// The server programs that have single-request variants for the
+/// multi-tenant serving path (`rtjc serve` / `rtjc load`).
+pub const SERVER_PROGRAMS: [&str; 3] = ["http", "game", "phone"];
+
+/// A single-request variant of one of the [`SERVER_PROGRAMS`]: the same
+/// classes and region discipline as the batch benchmark, but the main
+/// block handles exactly **one** request (one connection / one tick / one
+/// query), with `seq` baked in as the request payload.
+///
+/// These are the tenants of the multi-tenant server: each serving session
+/// compiles a variant once (per distinct `seq`) and executes it on its
+/// own session-local runtime, so a session is precisely "one request
+/// through the paper's server workload". Returns `None` for names outside
+/// [`SERVER_PROGRAMS`].
+pub fn request_program(name: &str, seq: u32) -> Option<String> {
+    match name {
+        "http" => Some(http_request(seq)),
+        "game" => Some(game_request(seq)),
+        "phone" => Some(phone_request(seq)),
+        _ => None,
+    }
+}
+
+/// The first `variants` single-request programs (`seq = 0..variants`) of
+/// a server benchmark, for round-robin request mixes. `None` for unknown
+/// names.
+pub fn request_variants(name: &str, variants: u32) -> Option<Vec<String>> {
+    (0..variants.max(1))
+        .map(|seq| request_program(name, seq))
+        .collect()
+}
+
+/// `http`, request-shaped: route table in immortal memory, one request
+/// parsed/dispatched/answered in an LT request subregion, then flushed.
+fn http_request(seq: u32) -> String {
+    let seq = seq % 64;
+    format!(
+        r#"// http (single request {seq}): one connection, one request-region cycle.
+regionKind ConnectionRegion extends SharedRegion {{
+    subregion RequestRegion : LT(16384) NoRT req;
+}}
+regionKind RequestRegion extends SharedRegion {{
+    Response<this> resp;
+}}
+
+class Header<Owner o> {{ int key; int value; Header<o> next; }}
+class Request<Owner o> {{
+    int method;
+    int path;
+    int version;
+    Header<o> headers;
+    int bodyLength;
+}}
+class Response<Owner o> {{
+    int status;
+    int length;
+    Header<o> headers;
+}}
+class Route<Owner o> {{
+    int path;
+    int handler;
+    Route<o> next;
+}}
+class Router<Owner o> {{
+    Route<o> routes;
+    void install(int path, int handler) {{
+        let r = new Route<o>;
+        r.path = path;
+        r.handler = handler;
+        r.next = this.routes;
+        this.routes = r;
+    }}
+    int dispatch(int path) {{
+        let r = this.routes;
+        while (r != null) {{
+            if (r.path == path) {{ return r.handler; }}
+            r = r.next;
+        }}
+        return -1;
+    }}
+}}
+class Handler<ConnectionRegion conn> {{
+    Request<rq> parse<Region rq>(RHandle<rq> h, int seq) accesses rq {{
+        let req = new Request<rq>;
+        req.method = seq % 3;
+        req.path = seq % 7;
+        req.version = 11;
+        let i = 0;
+        let Header<rq> hs = null;
+        while (i < 8) {{
+            let hd = new Header<rq>;
+            hd.key = i;
+            hd.value = seq * 7 + i;
+            hd.next = hs;
+            hs = hd;
+            i = i + 1;
+        }}
+        req.headers = hs;
+        let len = 0;
+        let w = hs;
+        while (w != null) {{
+            len = len + w.value;
+            w = w.next;
+        }}
+        req.bodyLength = len % 512;
+        return req;
+    }}
+    Response<rq> respond<Region rq>(RHandle<rq> h, Request<rq> req, int handler)
+        accesses rq {{
+        let r = new Response<rq>;
+        if (handler < 0) {{
+            r.status = 404;
+            r.length = 64;
+            return r;
+        }}
+        if (req.method == 1) {{
+            r.status = 201;
+        }} else {{
+            r.status = 200;
+        }}
+        let i = 0;
+        let Header<rq> hs = null;
+        while (i < 4) {{
+            let hd = new Header<rq>;
+            hd.key = 100 + i;
+            hd.value = req.bodyLength + i;
+            hd.next = hs;
+            hs = hd;
+            i = i + 1;
+        }}
+        r.headers = hs;
+        r.length = 512 + req.bodyLength;
+        return r;
+    }}
+}}
+{{
+    let router = new Router<immortal>;
+    router.install(0, 10);
+    router.install(1, 11);
+    router.install(2, 12);
+    router.install(3, 13);
+    router.install(4, 14);
+    (RHandle<ConnectionRegion : VT conn> h) {{
+        let handler = new Handler<conn>;
+        io(9000); // accept + read the request from the network
+        (RHandle<RequestRegion rq> hq = h.req) {{
+            let req = handler.parse<rq>(hq, {seq});
+            let which = router.dispatch(req.path);
+            let resp = handler.respond<rq>(hq, req, which);
+            hq.resp = resp;
+            io(6000); // write the response to the network
+            print(resp.status);
+            hq.resp = null;
+        }} // request region flushed: per-request state is gone
+    }}
+}}
+"#
+    )
+}
+
+/// `game`, request-shaped: one tick of the world simulation — receive
+/// inputs, update players/projectiles/collisions, broadcast.
+fn game_request(seq: u32) -> String {
+    let seq = seq % 64;
+    format!(
+        r#"// game (single tick {seq}): one simulation step of the world.
+class Player<Owner o> {{
+    int x; int y;
+    int vx; int vy;
+    int score; int hp;
+    Player<o> next;
+}}
+class Projectile<Owner o> {{
+    int x; int y;
+    int dx; int dy;
+    int ttl;
+    Projectile<o> next;
+}}
+class World<Owner o> {{
+    Player<o> players;
+    Projectile<o> projectiles;
+    int tickCount;
+
+    void spawnPlayer(int seed) {{
+        let p = new Player<o>;
+        p.x = seed * 5 % 64;
+        p.y = seed * 9 % 64;
+        p.score = seed % 7;
+        p.hp = 100;
+        p.next = this.players;
+        this.players = p;
+    }}
+
+    void fire(Player<o> from) {{
+        let pr = new Projectile<o>;
+        pr.x = from.x;
+        pr.y = from.y;
+        pr.dx = (from.score % 3) - 1;
+        pr.dy = (from.x % 3) - 1;
+        pr.ttl = 16;
+        pr.next = this.projectiles;
+        this.projectiles = pr;
+    }}
+
+    void movePlayers() {{
+        let p = this.players;
+        while (p != null) {{
+            p.vx = p.vx + (p.score % 3) - 1;
+            p.vy = p.vy + (p.x % 3) - 1;
+            p.x = (p.x + p.vx) % 64;
+            p.y = (p.y + p.vy) % 64;
+            if (p.x < 0) {{ p.x = p.x + 64; }}
+            if (p.y < 0) {{ p.y = p.y + 64; }}
+            p.score = p.score + 1;
+            p = p.next;
+        }}
+    }}
+
+    void moveProjectiles() {{
+        let pr = this.projectiles;
+        while (pr != null) {{
+            pr.x = pr.x + pr.dx;
+            pr.y = pr.y + pr.dy;
+            pr.ttl = pr.ttl - 1;
+            pr = pr.next;
+        }}
+    }}
+
+    void collide() {{
+        let pr = this.projectiles;
+        while (pr != null) {{
+            if (pr.ttl > 0) {{
+                let p = this.players;
+                while (p != null) {{
+                    let dx = p.x - pr.x;
+                    let dy = p.y - pr.y;
+                    if (dx * dx + dy * dy < 4) {{
+                        p.hp = p.hp - 10;
+                        pr.ttl = 0;
+                    }}
+                    p = p.next;
+                }}
+            }}
+            pr = pr.next;
+        }}
+    }}
+
+    void tick() {{
+        this.movePlayers();
+        this.moveProjectiles();
+        this.collide();
+        let p = this.players;
+        while (p != null) {{
+            if (p.score % 8 == 0) {{ this.fire(p); }}
+            p = p.next;
+        }}
+        this.tickCount = this.tickCount + 1;
+    }}
+
+    int totalScore() {{
+        let total = 0;
+        let p = this.players;
+        while (p != null) {{
+            total = total + p.score;
+            p = p.next;
+        }}
+        return total;
+    }}
+}}
+{{
+    (RHandle<r> h) {{
+        let w = new World<r>;
+        let i = 0;
+        while (i < 8) {{
+            w.spawnPlayer(i + {seq});
+            i = i + 1;
+        }}
+        io(5000); // receive player inputs
+        w.tick();
+        io(3000); // broadcast the new state
+        print(w.totalScore());
+    }}
+}}
+"#
+    )
+}
+
+/// `phone`, request-shaped: directory in immortal memory, one query
+/// answered in a per-call region that dies with the call.
+fn phone_request(seq: u32) -> String {
+    let db_size = 16;
+    let seq = seq % db_size;
+    format!(
+        r#"// phone (single query {seq}): one lookup against the immortal directory.
+class Entry<Owner o> {{
+    int name;
+    int number;
+    int district;
+    Entry<o> next;
+}}
+class Bucket<Owner o> {{
+    Entry<o> entries;
+    int count;
+    void insert(Entry<o> e) {{
+        e.next = this.entries;
+        this.entries = e;
+        this.count = this.count + 1;
+    }}
+    int lookup(int name) {{
+        let e = this.entries;
+        while (e != null) {{
+            if (e.name == name) {{ return e.number; }}
+            e = e.next;
+        }}
+        return -1;
+    }}
+}}
+class Directory<Owner o> {{
+    Bucket<o> b0; Bucket<o> b1; Bucket<o> b2; Bucket<o> b3;
+    void init() {{
+        this.b0 = new Bucket<o>;
+        this.b1 = new Bucket<o>;
+        this.b2 = new Bucket<o>;
+        this.b3 = new Bucket<o>;
+    }}
+    Bucket<o> bucketFor(int name) {{
+        let k = name % 4;
+        if (k == 0) {{ return this.b0; }}
+        if (k == 1) {{ return this.b1; }}
+        if (k == 2) {{ return this.b2; }}
+        return this.b3;
+    }}
+    void add(int name, int number, int district) {{
+        let e = new Entry<o>;
+        e.name = name;
+        e.number = number;
+        e.district = district;
+        this.bucketFor(name).insert(e);
+    }}
+    int lookup(int name) {{
+        return this.bucketFor(name).lookup(name);
+    }}
+}}
+class Session<Owner o> {{
+    int query;
+    int answer;
+    int billingUnits;
+}}
+{{
+    let db = new Directory<immortal>;
+    db.init();
+    let i = 0;
+    while (i < {db_size}) {{
+        db.add(i * 17 % {db_size}, 555000 + i, i % 9);
+        i = i + 1;
+    }}
+    io(7000); // receive a query from the network
+    (RHandle<call> hc) {{
+        let s = new Session<call>;
+        s.query = {seq};
+        s.answer = db.lookup(s.query);
+        if (s.answer > 0) {{
+            s.billingUnits = 1 + s.query % 3;
+        }}
+        io(3000); // send the answer
+        print(s.answer);
+    }} // per-call region deleted
+}}
+"#
+    )
+}
+
 /// A deterministic checker-throughput corpus: `copies` renamed replicas of
 /// an ownership-heavy class family, plus one small main block.
 ///
@@ -1463,6 +1835,30 @@ class A5<Owner o> { Missing5<o> f; }
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn request_variants_parse_and_check() {
+        for name in SERVER_PROGRAMS {
+            for (seq, src) in request_variants(name, 3)
+                .expect("server program")
+                .iter()
+                .enumerate()
+            {
+                let program = rtj_lang::parse_program(src)
+                    .unwrap_or_else(|e| panic!("{name} request {seq}: parse error: {e}"));
+                rtj_types::check_program(&program).unwrap_or_else(|errs| {
+                    panic!(
+                        "{name} request {seq}: type errors: {}",
+                        errs.iter()
+                            .map(|e| e.message.clone())
+                            .collect::<Vec<_>>()
+                            .join("; ")
+                    )
+                });
+            }
+        }
+        assert!(request_program("unknown", 0).is_none());
+    }
 
     #[test]
     fn scaled_corpus_is_well_typed() {

@@ -111,6 +111,10 @@ pub struct RunConfig {
     pub events: TraceCapture,
     /// The execution engine ([`Engine::Vm`] by default).
     pub engine: Engine,
+    /// Session (tenant) identifier stamped on the run's [`Runtime`] — `0`
+    /// for standalone runs; the multi-tenant server (`rtj-server`) assigns
+    /// each session a distinct id.
+    pub session: u64,
 }
 
 impl RunConfig {
@@ -125,6 +129,7 @@ impl RunConfig {
             capture_graph: false,
             events: TraceCapture::Off,
             engine: Engine::default(),
+            session: 0,
         }
     }
 }
@@ -192,15 +197,49 @@ pub fn build(src: &str) -> Result<Checked, BuildError> {
     rtj_types::check_program(&program).map_err(BuildError::Type)
 }
 
-/// Runs a checked program.
-pub fn run_checked(checked: &Checked, cfg: RunConfig) -> RunOutcome {
+/// A checked program prepared for repeated execution: the elaborated
+/// program data (AST, class table, field layouts) and the compiled
+/// bytecode, both behind `Arc`s.
+///
+/// Preparing once and calling [`run_prepared`] many times — possibly from
+/// many threads at once — is the multi-tenant serving path (`rtj-server`):
+/// every run gets a fresh, fully isolated [`Runtime`], while the immutable
+/// program artifacts are shared by reference. [`run_checked`] is the
+/// one-shot convenience over the same pair.
+#[derive(Clone)]
+pub struct Prepared {
+    data: Arc<ProgramData>,
+    bytecode: Arc<bytecode::CompiledProgram>,
+}
+
+/// Elaborates and compiles a checked program for (repeated) execution.
+pub fn prepare(checked: &Checked) -> Prepared {
     let data = Arc::new(ProgramData {
         program: checked.program.clone(),
         table: checked.table.clone(),
         layouts: Layouts::new(&checked.table),
     });
+    let bytecode = Arc::new(bytecode::compile(&data));
+    Prepared { data, bytecode }
+}
+
+/// Runs a checked program.
+pub fn run_checked(checked: &Checked, cfg: RunConfig) -> RunOutcome {
+    run_prepared(&prepare(checked), cfg)
+}
+
+/// Runs a prepared program on a fresh, session-local [`Runtime`].
+///
+/// Reentrant: `&Prepared` is immutable shared state, every mutable piece
+/// of run state (runtime, machine, engine frames, inline caches) is local
+/// to this call, so any number of sessions may execute the same
+/// [`Prepared`] concurrently and each observes the deterministic
+/// single-tenant outcome.
+pub fn run_prepared(prepared: &Prepared, cfg: RunConfig) -> RunOutcome {
+    let data = Arc::clone(&prepared.data);
     let mut rt = Runtime::new(cfg.mode, cfg.cost);
     rt.enable_gc(cfg.gc_enabled);
+    rt.set_session(cfg.session);
     match cfg.events {
         TraceCapture::Off => {}
         TraceCapture::Ring(n) => rt.set_trace_sink(Box::new(RingSink::new(n))),
@@ -215,7 +254,7 @@ pub fn run_checked(checked: &Checked, cfg: RunConfig) -> RunOutcome {
             ev.run_main()
         }
         Engine::Vm => {
-            let prog = Arc::new(bytecode::compile(&data));
+            let prog = Arc::clone(&prepared.bytecode);
             let mut vm = vm::Vm::new(Arc::clone(&machine), data, prog, main_tid, false);
             vm.run_main()
         }

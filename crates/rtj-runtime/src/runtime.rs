@@ -71,7 +71,22 @@ pub struct Runtime {
     /// Reusable buffer of dead object ids for region exits, so releasing a
     /// region does not allocate.
     dead_buf: Vec<ObjId>,
+    /// Tenant tag for multi-session serving (0 = standalone run).
+    session: u64,
 }
+
+// Shared-state audit: every session in the multi-tenant server owns one
+// `Runtime` and may migrate between executor threads, so the runtime must
+// own all of its state outright — no `Rc`, `RefCell`, thread-locals, or
+// references into shared mutable structures. (The only cross-session
+// state in the whole system is the read-only string interner in
+// `rtj-lang`, which is internally synchronized.) This compile-time
+// assertion is the enforcement point: adding a non-`Send` field breaks
+// the build here rather than in a downstream crate.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Runtime>();
+};
 
 impl Runtime {
     /// Creates a runtime with the built-in `heap` and `immortal` regions
@@ -110,7 +125,20 @@ impl Runtime {
             heap,
             immortal,
             dead_buf: Vec::new(),
+            session: 0,
         }
+    }
+
+    /// Tags this runtime with a session (tenant) identifier. Purely a
+    /// label: it never enters the virtual clock, the metrics, or the
+    /// trace, so snapshots stay byte-identical across serving topologies.
+    pub fn set_session(&mut self, session: u64) {
+        self.session = session;
+    }
+
+    /// The session (tenant) identifier (0 = standalone run).
+    pub fn session(&self) -> u64 {
+        self.session
     }
 
     /// Convenience constructor with the default cost model.

@@ -1,0 +1,333 @@
+//! A sharded work-stealing executor over OS threads.
+//!
+//! Jobs are distributed round-robin across per-worker shards (a
+//! `Mutex<VecDeque>` each). A worker pops from the **front** of its own
+//! shard and, when that is empty, steals from the **back** of a sibling's
+//! shard — the classic deque discipline that keeps owners on cache-warm
+//! recent work and sends thieves to the cold end. All coordination uses
+//! the standard library only (mutexes and condvars; no atomics-based
+//! lock-free deque), which keeps the executor small, auditable, and
+//! obviously free of data races: determinism of *session results* is
+//! never at stake because every session runs on its own [`rtj_runtime::Runtime`],
+//! so the executor only has to be correct, not deterministic, about
+//! *placement*.
+//!
+//! Backpressure: a bounded executor (`queue_capacity > 0`) blocks
+//! [`Executor::submit`] while `queued >= capacity`, so an open-loop
+//! driver that outruns the service rate is throttled at the submission
+//! edge rather than growing the queue without bound. `0` means
+//! unbounded, the right setting for measuring backlog under overload.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// A unit of work: one session execution.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Counters shared under the control lock.
+#[derive(Debug, Default)]
+struct Control {
+    /// Jobs pushed to a shard but not yet claimed by a worker.
+    queued: usize,
+    /// Jobs currently executing.
+    active: usize,
+    /// Set once; workers exit when the queue is empty.
+    shutdown: bool,
+    /// Total jobs ever submitted.
+    submitted: u64,
+    /// Total jobs fully executed.
+    completed: u64,
+    /// Jobs a worker took from a sibling's shard.
+    stolen: u64,
+    /// High-water mark of `submitted - completed` (queued + active).
+    peak_in_flight: u64,
+}
+
+struct Inner {
+    shards: Vec<Mutex<VecDeque<Job>>>,
+    control: Mutex<Control>,
+    /// Signalled when work arrives or shutdown is requested.
+    work: Condvar,
+    /// Signalled when a job is claimed (space frees up) or the executor
+    /// fully drains.
+    drained: Condvar,
+    capacity: usize,
+}
+
+/// Point-in-time executor counters, reported in the `rtj-load/v1`
+/// document.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecutorStats {
+    /// Worker-thread (and shard) count.
+    pub workers: usize,
+    /// Total jobs submitted.
+    pub submitted: u64,
+    /// Total jobs completed.
+    pub completed: u64,
+    /// Jobs executed by a worker other than the one whose shard received
+    /// them.
+    pub stolen: u64,
+    /// High-water mark of in-flight jobs (queued + executing).
+    pub peak_in_flight: u64,
+}
+
+/// The sharded work-stealing thread pool. See the module docs.
+pub struct Executor {
+    inner: Arc<Inner>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl Executor {
+    /// Starts `workers` threads (0 selects the machine's available
+    /// parallelism) with one shard each and the given queue capacity
+    /// (0 = unbounded).
+    pub fn new(workers: usize, queue_capacity: usize) -> Executor {
+        let workers = if workers == 0 {
+            thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        } else {
+            workers
+        };
+        let inner = Arc::new(Inner {
+            shards: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            control: Mutex::new(Control::default()),
+            work: Condvar::new(),
+            drained: Condvar::new(),
+            capacity: queue_capacity,
+        });
+        let handles = (0..workers)
+            .map(|id| {
+                let inner = Arc::clone(&inner);
+                thread::Builder::new()
+                    .name(format!("rtj-worker-{id}"))
+                    .spawn(move || worker_loop(id, &inner))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Executor {
+            inner,
+            workers: handles,
+        }
+    }
+
+    /// Number of worker threads (== number of shards).
+    pub fn workers(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// Submits a job, blocking while the queue is at capacity. The shard
+    /// is chosen round-robin by submission index, so load is spread even
+    /// when workers are busy.
+    pub fn submit(&self, job: Job) {
+        let inner = &*self.inner;
+        let shard_index;
+        {
+            let mut ctl = inner.control.lock().unwrap();
+            if inner.capacity > 0 {
+                while ctl.queued >= inner.capacity && !ctl.shutdown {
+                    ctl = inner.drained.wait(ctl).unwrap();
+                }
+            }
+            assert!(!ctl.shutdown, "submit after shutdown");
+            shard_index = (ctl.submitted as usize) % inner.shards.len();
+            ctl.submitted += 1;
+        }
+        inner.shards[shard_index].lock().unwrap().push_back(job);
+        {
+            let mut ctl = inner.control.lock().unwrap();
+            ctl.queued += 1;
+            let in_flight = ctl.submitted - ctl.completed;
+            ctl.peak_in_flight = ctl.peak_in_flight.max(in_flight);
+        }
+        inner.work.notify_one();
+    }
+
+    /// Blocks until every submitted job has finished executing.
+    pub fn drain(&self) {
+        let inner = &*self.inner;
+        let mut ctl = inner.control.lock().unwrap();
+        while ctl.queued > 0 || ctl.active > 0 {
+            ctl = inner.drained.wait(ctl).unwrap();
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ExecutorStats {
+        let ctl = self.inner.control.lock().unwrap();
+        ExecutorStats {
+            workers: self.inner.shards.len(),
+            submitted: ctl.submitted,
+            completed: ctl.completed,
+            stolen: ctl.stolen,
+            peak_in_flight: ctl.peak_in_flight,
+        }
+    }
+
+    /// Drains outstanding work, stops the workers, and returns the final
+    /// counters.
+    pub fn shutdown(mut self) -> ExecutorStats {
+        self.drain();
+        {
+            let mut ctl = self.inner.control.lock().unwrap();
+            ctl.shutdown = true;
+        }
+        self.inner.work.notify_all();
+        self.inner.drained.notify_all();
+        for handle in self.workers.drain(..) {
+            handle.join().expect("worker panicked");
+        }
+        self.stats()
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        if self.workers.is_empty() {
+            return;
+        }
+        {
+            let mut ctl = self.inner.control.lock().unwrap();
+            ctl.shutdown = true;
+        }
+        self.inner.work.notify_all();
+        self.inner.drained.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(id: usize, inner: &Inner) {
+    loop {
+        // Reserve one queued job (or exit) under the control lock.
+        let mut stole = false;
+        {
+            let mut ctl = inner.control.lock().unwrap();
+            loop {
+                if ctl.queued > 0 {
+                    ctl.queued -= 1;
+                    ctl.active += 1;
+                    break;
+                }
+                if ctl.shutdown {
+                    return;
+                }
+                // Timed wait guards against a lost wakeup ever wedging
+                // the pool; 10ms is far above any real signalling delay.
+                let (next, _) = inner
+                    .work
+                    .wait_timeout(ctl, Duration::from_millis(10))
+                    .unwrap();
+                ctl = next;
+            }
+        }
+        if inner.capacity > 0 {
+            // A claim frees queue space for a blocked submitter.
+            inner.drained.notify_all();
+        }
+
+        // The reservation guarantees a job exists in some shard; scan
+        // own-front first, then steal from siblings' backs. The scan can
+        // transiently miss (jobs land in shards before the queued count
+        // rises), so loop until the reserved job is found.
+        let job = loop {
+            let shards = inner.shards.len();
+            let mut found = None;
+            for off in 0..shards {
+                let idx = (id + off) % shards;
+                let mut shard = inner.shards[idx].lock().unwrap();
+                let popped = if off == 0 {
+                    shard.pop_front()
+                } else {
+                    shard.pop_back()
+                };
+                if let Some(job) = popped {
+                    stole = off != 0;
+                    found = Some(job);
+                    break;
+                }
+            }
+            match found {
+                Some(job) => break job,
+                None => thread::yield_now(),
+            }
+        };
+
+        job();
+
+        let mut ctl = inner.control.lock().unwrap();
+        ctl.active -= 1;
+        ctl.completed += 1;
+        if stole {
+            ctl.stolen += 1;
+        }
+        if ctl.queued == 0 && ctl.active == 0 {
+            inner.drained.notify_all();
+        }
+        drop(ctl);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn executes_every_job_once() {
+        let pool = Executor::new(4, 0);
+        let hits = Arc::new(AtomicU64::new(0));
+        for _ in 0..1000 {
+            let hits = Arc::clone(&hits);
+            pool.submit(Box::new(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        let stats = pool.shutdown();
+        assert_eq!(hits.load(Ordering::Relaxed), 1000);
+        assert_eq!(stats.submitted, 1000);
+        assert_eq!(stats.completed, 1000);
+    }
+
+    #[test]
+    fn bounded_queue_applies_backpressure() {
+        let pool = Executor::new(2, 8);
+        let hits = Arc::new(AtomicU64::new(0));
+        for _ in 0..200 {
+            let hits = Arc::clone(&hits);
+            pool.submit(Box::new(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        let stats = pool.shutdown();
+        assert_eq!(hits.load(Ordering::Relaxed), 200);
+        // In-flight never exceeds capacity + workers-in-execution.
+        assert!(stats.peak_in_flight <= 8 + 2);
+    }
+
+    #[test]
+    fn drain_then_reuse() {
+        let pool = Executor::new(3, 0);
+        let hits = Arc::new(AtomicU64::new(0));
+        for _ in 0..50 {
+            let hits = Arc::clone(&hits);
+            pool.submit(Box::new(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        pool.drain();
+        assert_eq!(hits.load(Ordering::Relaxed), 50);
+        for _ in 0..50 {
+            let hits = Arc::clone(&hits);
+            pool.submit(Box::new(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        let stats = pool.shutdown();
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+        assert_eq!(stats.submitted, 100);
+    }
+}

@@ -1,0 +1,578 @@
+//! The versioned `rtj-load/v1` serving report.
+//!
+//! One load (or batch-serve) run renders to a single JSON document:
+//! run-level totals, per-(program, mode, engine) latency groups with
+//! exact p50/p95/p99 and a mergeable log₂-µs histogram, the per-mode
+//! **merged** `rtj-metrics/v1` snapshots, and the Figure-12 ledger
+//! derived from them. `rtjc report` accepts these documents alongside
+//! metrics/checker/fig12 documents. Schema documented in `SERVER.md`.
+
+use rtj_interp::Engine;
+use rtj_runtime::{CheckMode, Histogram, Json, JsonError, MetricsSnapshot};
+
+use crate::load::LoadOutcome;
+use crate::server::ServeOutcome;
+use crate::session::SessionResult;
+
+/// Version tag of the serving-report schema.
+pub const LOAD_SCHEMA: &str = "rtj-load/v1";
+
+/// Exact order statistics over one group's wall-clock samples, plus a
+/// log₂ histogram (same bucketing as `rtj-metrics/v1` cost histograms)
+/// for lossy-but-mergeable downstream aggregation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LatencySummary {
+    /// Sample count.
+    pub count: u64,
+    /// Mean, microseconds (rounded).
+    pub mean_us: u64,
+    /// Median, microseconds.
+    pub p50_us: u64,
+    /// 95th percentile, microseconds.
+    pub p95_us: u64,
+    /// 99th percentile, microseconds.
+    pub p99_us: u64,
+    /// Worst sample, microseconds.
+    pub max_us: u64,
+    /// Log₂-bucketed histogram of the samples (µs).
+    pub hist: Histogram,
+}
+
+impl LatencySummary {
+    /// Summarises a set of samples (microseconds). Percentiles use the
+    /// nearest-rank method on the full sorted sample set — exact, not
+    /// interpolated from buckets.
+    pub fn from_samples(mut samples: Vec<u64>) -> LatencySummary {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        samples.sort_unstable();
+        let count = samples.len() as u64;
+        let sum: u64 = samples.iter().sum();
+        let rank = |p: f64| -> u64 {
+            let idx = ((p / 100.0) * count as f64).ceil() as usize;
+            samples[idx.clamp(1, samples.len()) - 1]
+        };
+        let mut hist = Histogram::default();
+        for &s in &samples {
+            hist.record(s);
+        }
+        LatencySummary {
+            count,
+            mean_us: (sum as f64 / count as f64).round() as u64,
+            p50_us: rank(50.0),
+            p95_us: rank(95.0),
+            p99_us: rank(99.0),
+            max_us: *samples.last().unwrap(),
+            hist,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("count", Json::Int(self.count as i64)),
+            ("mean_us", Json::Int(self.mean_us as i64)),
+            ("p50_us", Json::Int(self.p50_us as i64)),
+            ("p95_us", Json::Int(self.p95_us as i64)),
+            ("p99_us", Json::Int(self.p99_us as i64)),
+            ("max_us", Json::Int(self.max_us as i64)),
+            // Sparse histogram: [bucket index, count] pairs.
+            (
+                "hist_log2_us",
+                Json::Arr(
+                    self.hist
+                        .buckets
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, c)| **c > 0)
+                        .map(|(i, c)| Json::Arr(vec![Json::Int(i as i64), Json::Int(*c as i64)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<LatencySummary, JsonError> {
+        let field = |k: &str| -> Result<u64, JsonError> {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad(format!("missing `{k}`")))
+        };
+        let mut hist = Histogram::default();
+        for pair in v
+            .get("hist_log2_us")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("missing `hist_log2_us`"))?
+        {
+            let pair = pair.as_arr().ok_or_else(|| bad("bad hist pair"))?;
+            let (idx, n) = match (
+                pair.first().and_then(Json::as_u64),
+                pair.get(1).and_then(Json::as_u64),
+            ) {
+                (Some(i), Some(n)) if (i as usize) < 65 => (i as usize, n),
+                _ => return Err(bad("bad hist pair")),
+            };
+            hist.buckets[idx] = n;
+        }
+        Ok(LatencySummary {
+            count: field("count")?,
+            mean_us: field("mean_us")?,
+            p50_us: field("p50_us")?,
+            p95_us: field("p95_us")?,
+            p99_us: field("p99_us")?,
+            max_us: field("max_us")?,
+            hist,
+        })
+    }
+}
+
+/// One request class: all sessions of one program under one (mode,
+/// engine), with request-side latency (scheduled arrival → completion)
+/// and server-side service time (engine entry → exit).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadGroup {
+    /// Server program name.
+    pub program: String,
+    /// Check mode of the group.
+    pub mode: CheckMode,
+    /// Engine of the group.
+    pub engine: Engine,
+    /// Requests in the group.
+    pub requests: u64,
+    /// Requests that halted with a runtime error.
+    pub failed: u64,
+    /// Total virtual cycles across the group (deterministic).
+    pub cycles: u64,
+    /// Arrival-anchored latency (includes queueing).
+    pub latency: LatencySummary,
+    /// Service time only.
+    pub service: LatencySummary,
+}
+
+/// The Figure-12 ledger on the merged snapshots: the checks static mode
+/// elided are exactly the checks dynamic mode performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadLedger {
+    /// Checks elided under [`CheckMode::Static`], merged over sessions.
+    pub static_elided: u64,
+    /// Checks performed under [`CheckMode::Dynamic`], merged over
+    /// sessions.
+    pub dynamic_performed: u64,
+}
+
+impl LoadLedger {
+    /// Whether the ledger balances.
+    pub fn holds(&self) -> bool {
+        self.static_elided == self.dynamic_performed
+    }
+}
+
+/// The full `rtj-load/v1` document.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Human description of the request mix, e.g. `http,game,phone x4`.
+    pub workload: String,
+    /// Worker-thread count.
+    pub workers: usize,
+    /// Target arrival rate (sessions/s); `0` for an unpaced batch run.
+    pub rate_hz: f64,
+    /// Wall-clock time from first arrival to full drain, milliseconds.
+    pub duration_ms: u64,
+    /// Sessions submitted (including the round-completion top-up).
+    pub submitted: u64,
+    /// Sessions completed.
+    pub completed: u64,
+    /// Sessions that halted with a runtime error.
+    pub failed: u64,
+    /// High-water mark of concurrently in-flight sessions (queued +
+    /// executing).
+    pub peak_concurrent: u64,
+    /// Sessions executed by a worker other than the shard owner.
+    pub stolen: u64,
+    /// Completed sessions per second of wall-clock time.
+    pub throughput_hz: f64,
+    /// Per-(program, mode, engine) groups, in deterministic order.
+    pub groups: Vec<LoadGroup>,
+    /// Per-mode merged `rtj-metrics/v1` snapshots across all sessions of
+    /// that mode.
+    pub mode_metrics: Vec<(CheckMode, MetricsSnapshot)>,
+    /// The Figure-12 ledger, when both static and dynamic ran.
+    pub ledger: Option<LoadLedger>,
+}
+
+fn bad(message: impl Into<String>) -> JsonError {
+    JsonError {
+        at: 0,
+        message: message.into(),
+    }
+}
+
+fn mode_order(results: &[SessionResult]) -> Vec<CheckMode> {
+    let mut modes = Vec::new();
+    for r in results {
+        if !modes.contains(&r.spec.mode) {
+            modes.push(r.spec.mode);
+        }
+    }
+    modes
+}
+
+impl LoadReport {
+    /// Builds the report from a finished serving run. `rate_hz = 0`
+    /// marks an unpaced batch.
+    pub fn from_serve(
+        outcome: &ServeOutcome,
+        workload: String,
+        rate_hz: f64,
+        duration_ms: u64,
+    ) -> LoadReport {
+        let results = &outcome.results;
+
+        // Group results by (program, mode, engine), preserving the
+        // deterministic result order (sorted by session id).
+        let mut keys: Vec<(String, CheckMode, Engine)> = Vec::new();
+        for r in results {
+            let key = (r.spec.program.clone(), r.spec.mode, r.spec.engine);
+            if !keys.contains(&key) {
+                keys.push(key);
+            }
+        }
+        keys.sort_by(|a, b| {
+            (a.0.as_str(), a.1.name(), a.2.to_string()).cmp(&(
+                b.0.as_str(),
+                b.1.name(),
+                b.2.to_string(),
+            ))
+        });
+
+        let groups = keys
+            .into_iter()
+            .map(|(program, mode, engine)| {
+                let members: Vec<&SessionResult> = results
+                    .iter()
+                    .filter(|r| {
+                        r.spec.program == program && r.spec.mode == mode && r.spec.engine == engine
+                    })
+                    .collect();
+                LoadGroup {
+                    requests: members.len() as u64,
+                    failed: members.iter().filter(|r| r.error.is_some()).count() as u64,
+                    cycles: members.iter().map(|r| r.cycles).sum(),
+                    latency: LatencySummary::from_samples(
+                        members.iter().map(|r| r.latency_us).collect(),
+                    ),
+                    service: LatencySummary::from_samples(
+                        members.iter().map(|r| r.service_us).collect(),
+                    ),
+                    program,
+                    mode,
+                    engine,
+                }
+            })
+            .collect();
+
+        // Merge per-session snapshots per mode. `MetricsSnapshot::merge`
+        // is associative and commutative (proptested in rtj-runtime), so
+        // the merged totals are the exact sums of the per-session ones.
+        let mode_metrics: Vec<(CheckMode, MetricsSnapshot)> = mode_order(results)
+            .into_iter()
+            .map(|mode| {
+                let mut merged = MetricsSnapshot {
+                    mode,
+                    ..Default::default()
+                };
+                for r in results.iter().filter(|r| r.spec.mode == mode) {
+                    merged.merge(&r.metrics);
+                }
+                (mode, merged)
+            })
+            .collect();
+
+        let find = |m: CheckMode| mode_metrics.iter().find(|(mode, _)| *mode == m);
+        let ledger = match (find(CheckMode::Static), find(CheckMode::Dynamic)) {
+            (Some((_, s)), Some((_, d))) => Some(LoadLedger {
+                static_elided: s.checks_elided(),
+                dynamic_performed: d.checks_performed(),
+            }),
+            _ => None,
+        };
+
+        let failed = results.iter().filter(|r| r.error.is_some()).count() as u64;
+        let throughput_hz = if duration_ms > 0 {
+            outcome.stats.completed as f64 * 1000.0 / duration_ms as f64
+        } else {
+            0.0
+        };
+        LoadReport {
+            workload,
+            workers: outcome.stats.workers,
+            rate_hz,
+            duration_ms,
+            submitted: outcome.stats.submitted,
+            completed: outcome.stats.completed,
+            failed,
+            peak_concurrent: outcome.stats.peak_in_flight,
+            stolen: outcome.stats.stolen,
+            throughput_hz,
+            groups,
+            mode_metrics,
+            ledger,
+        }
+    }
+
+    /// Builds the report from an open-loop load run.
+    pub fn from_load(outcome: &LoadOutcome, workload: String) -> LoadReport {
+        LoadReport::from_serve(
+            &outcome.serve,
+            workload,
+            outcome.plan.rate_hz,
+            outcome.elapsed.as_millis() as u64,
+        )
+    }
+
+    /// Serialises to the versioned document.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema", Json::Str(LOAD_SCHEMA.into())),
+            ("workload", Json::Str(self.workload.clone())),
+            ("workers", Json::Int(self.workers as i64)),
+            ("rate_hz", Json::Float(self.rate_hz)),
+            ("duration_ms", Json::Int(self.duration_ms as i64)),
+            (
+                "sessions",
+                Json::obj(vec![
+                    ("submitted", Json::Int(self.submitted as i64)),
+                    ("completed", Json::Int(self.completed as i64)),
+                    ("failed", Json::Int(self.failed as i64)),
+                    ("peak_concurrent", Json::Int(self.peak_concurrent as i64)),
+                    ("stolen", Json::Int(self.stolen as i64)),
+                ]),
+            ),
+            ("throughput_hz", Json::Float(self.throughput_hz)),
+            (
+                "groups",
+                Json::Arr(
+                    self.groups
+                        .iter()
+                        .map(|g| {
+                            Json::obj(vec![
+                                ("program", Json::Str(g.program.clone())),
+                                ("mode", Json::Str(g.mode.name().into())),
+                                ("engine", Json::Str(g.engine.to_string())),
+                                ("requests", Json::Int(g.requests as i64)),
+                                ("failed", Json::Int(g.failed as i64)),
+                                ("cycles", Json::Int(g.cycles as i64)),
+                                ("latency", g.latency.to_json()),
+                                ("service", g.service.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "mode_metrics",
+                Json::Arr(
+                    self.mode_metrics
+                        .iter()
+                        .map(|(mode, snap)| {
+                            Json::obj(vec![
+                                ("mode", Json::Str(mode.name().into())),
+                                ("metrics", snap.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "ledger",
+                match &self.ledger {
+                    Some(l) => Json::obj(vec![
+                        ("static_elided", Json::Int(l.static_elided as i64)),
+                        ("dynamic_performed", Json::Int(l.dynamic_performed as i64)),
+                        ("holds", Json::Bool(l.holds())),
+                    ]),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+
+    /// Parses a document produced by [`LoadReport::to_json`], rejecting
+    /// wrong or missing schema tags.
+    pub fn from_json(v: &Json) -> Result<LoadReport, JsonError> {
+        match v.get("schema").and_then(Json::as_str) {
+            Some(LOAD_SCHEMA) => {}
+            Some(other) => return Err(bad(format!("expected {LOAD_SCHEMA}, got {other}"))),
+            None => return Err(bad("missing `schema`")),
+        }
+        let str_field = |k: &str| -> Result<String, JsonError> {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| bad(format!("missing `{k}`")))
+        };
+        let sessions = v.get("sessions").ok_or_else(|| bad("missing `sessions`"))?;
+        let sess_field = |k: &str| -> Result<u64, JsonError> {
+            sessions
+                .get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad(format!("missing `sessions.{k}`")))
+        };
+        let parse_engine = |s: &str| -> Result<Engine, JsonError> {
+            match s {
+                "vm" => Ok(Engine::Vm),
+                "tree" => Ok(Engine::Tree),
+                other => Err(bad(format!("bad engine `{other}`"))),
+            }
+        };
+        let mut groups = Vec::new();
+        for g in v
+            .get("groups")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("missing `groups`"))?
+        {
+            let mode_name = g
+                .get("mode")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad("missing group `mode`"))?;
+            groups.push(LoadGroup {
+                program: g
+                    .get("program")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("missing group `program`"))?
+                    .to_string(),
+                mode: CheckMode::parse(mode_name)
+                    .ok_or_else(|| bad(format!("bad mode `{mode_name}`")))?,
+                engine: parse_engine(
+                    g.get("engine")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| bad("missing group `engine`"))?,
+                )?,
+                requests: g
+                    .get("requests")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| bad("missing group `requests`"))?,
+                failed: g.get("failed").and_then(Json::as_u64).unwrap_or(0),
+                cycles: g.get("cycles").and_then(Json::as_u64).unwrap_or(0),
+                latency: LatencySummary::from_json(
+                    g.get("latency").ok_or_else(|| bad("missing `latency`"))?,
+                )?,
+                service: LatencySummary::from_json(
+                    g.get("service").ok_or_else(|| bad("missing `service`"))?,
+                )?,
+            });
+        }
+        let mut mode_metrics = Vec::new();
+        for m in v
+            .get("mode_metrics")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("missing `mode_metrics`"))?
+        {
+            let snap = MetricsSnapshot::from_json(
+                m.get("metrics").ok_or_else(|| bad("missing `metrics`"))?,
+            )?;
+            mode_metrics.push((snap.mode, snap));
+        }
+        let ledger = match v.get("ledger") {
+            Some(Json::Null) | None => None,
+            Some(l) => Some(LoadLedger {
+                static_elided: l
+                    .get("static_elided")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| bad("missing `static_elided`"))?,
+                dynamic_performed: l
+                    .get("dynamic_performed")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| bad("missing `dynamic_performed`"))?,
+            }),
+        };
+        Ok(LoadReport {
+            workload: str_field("workload")?,
+            workers: v
+                .get("workers")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad("missing `workers`"))? as usize,
+            rate_hz: v
+                .get("rate_hz")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| bad("missing `rate_hz`"))?,
+            duration_ms: v
+                .get("duration_ms")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad("missing `duration_ms`"))?,
+            submitted: sess_field("submitted")?,
+            completed: sess_field("completed")?,
+            failed: sess_field("failed")?,
+            peak_concurrent: sess_field("peak_concurrent")?,
+            stolen: sess_field("stolen")?,
+            throughput_hz: v
+                .get("throughput_hz")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| bad("missing `throughput_hz`"))?,
+            groups,
+            mode_metrics,
+            ledger,
+        })
+    }
+
+    /// Parses the rendered text form.
+    pub fn parse(text: &str) -> Result<LoadReport, JsonError> {
+        LoadReport::from_json(&Json::parse(text)?)
+    }
+
+    /// Renders the JSON document.
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Renders the human-readable serving report: run totals, then the
+    /// per-group tail-latency table, then the ledger.
+    pub fn render_report(&self) -> String {
+        let mut out = String::new();
+        out += &format!("serving report ({LOAD_SCHEMA})\n");
+        out += &format!("workload      : {}\n", self.workload);
+        out += &format!("workers       : {}\n", self.workers);
+        if self.rate_hz > 0.0 {
+            out += &format!("arrival rate  : {:.0} /s (open loop)\n", self.rate_hz);
+        } else {
+            out += "arrival rate  : unpaced batch\n";
+        }
+        out += &format!("duration      : {} ms\n", self.duration_ms);
+        out += &format!(
+            "sessions      : {} submitted, {} completed, {} failed\n",
+            self.submitted, self.completed, self.failed
+        );
+        out += &format!(
+            "concurrency   : peak {} in flight, {} stolen\n",
+            self.peak_concurrent, self.stolen
+        );
+        out += &format!("throughput    : {:.0} sessions/s\n\n", self.throughput_hz);
+        out += &format!(
+            "{:<8} {:<8} {:<6} {:>8} {:>9} {:>9} {:>9} {:>9}\n",
+            "program", "mode", "engine", "requests", "p50 µs", "p95 µs", "p99 µs", "max µs"
+        );
+        for g in &self.groups {
+            out += &format!(
+                "{:<8} {:<8} {:<6} {:>8} {:>9} {:>9} {:>9} {:>9}\n",
+                g.program,
+                g.mode.name(),
+                g.engine.to_string(),
+                g.requests,
+                g.latency.p50_us,
+                g.latency.p95_us,
+                g.latency.p99_us,
+                g.latency.max_us,
+            );
+        }
+        if let Some(l) = &self.ledger {
+            out += &format!(
+                "\nfigure-12 ledger: static.elided {} {} dynamic.performed {} ({})\n",
+                l.static_elided,
+                if l.holds() { "==" } else { "!=" },
+                l.dynamic_performed,
+                if l.holds() { "holds" } else { "VIOLATED" },
+            );
+        }
+        out
+    }
+}

@@ -1,0 +1,241 @@
+//! The multi-tenant server: prepared program artifacts shared across
+//! sessions, per-session runtimes, and the executor gluing them.
+//!
+//! [`Server::start`] compiles every (program, variant) in the request
+//! mix **once** ([`rtj_interp::prepare`]) and shares the immutable
+//! artifacts by `Arc` across all sessions; each submitted session then
+//! builds a fresh [`rtj_runtime::Runtime`] inside the worker thread
+//! ([`rtj_interp::run_prepared`]), so tenants share *code* but never
+//! *state*. The `Runtime: Send` audit in rtj-runtime plus the global
+//! string interner (PR 1) are the only cross-session surfaces.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use rtj_interp::{prepare, run_prepared, Engine, Prepared, RunConfig};
+use rtj_runtime::CheckMode;
+
+use crate::executor::{Executor, ExecutorStats};
+use crate::session::{SessionResult, SessionSpec};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads (0 = the machine's available parallelism).
+    pub workers: usize,
+    /// Executor queue capacity; 0 = unbounded (measure backlog instead
+    /// of throttling the submitter).
+    pub queue_capacity: usize,
+    /// Which server programs to serve (subset of
+    /// [`rtj_corpus::SERVER_PROGRAMS`]).
+    pub programs: Vec<String>,
+    /// Request variants per program (distinct baked-in `seq` values,
+    /// each compiled once).
+    pub variants: u32,
+    /// Check modes in the request mix.
+    pub modes: Vec<CheckMode>,
+    /// Engines in the request mix.
+    pub engines: Vec<Engine>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 0,
+            queue_capacity: 0,
+            programs: rtj_corpus::SERVER_PROGRAMS
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            variants: 4,
+            modes: vec![CheckMode::Static, CheckMode::Dynamic, CheckMode::Audit],
+            engines: vec![Engine::Vm],
+        }
+    }
+}
+
+/// A server start-up failure: unknown program name or a variant that
+/// failed to build (parse/type-check).
+#[derive(Debug)]
+pub struct ServeError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One entry of the request mix: a compiled (program, variant) under a
+/// (mode, engine). Session id `s` maps to `mix[s % mix.len()]`.
+struct MixEntry {
+    program: String,
+    variant: u32,
+    mode: CheckMode,
+    engine: Engine,
+    prepared: Arc<Prepared>,
+}
+
+/// Everything a finished serving run produced.
+#[derive(Debug)]
+pub struct ServeOutcome {
+    /// Per-session results, sorted by session id.
+    pub results: Vec<SessionResult>,
+    /// Final executor counters.
+    pub stats: ExecutorStats,
+}
+
+/// The running server. `submit` is cheap (boxes a closure); all engine
+/// work happens on the executor's workers.
+pub struct Server {
+    executor: Executor,
+    mix: Vec<Arc<MixEntry>>,
+    results: Arc<Mutex<Vec<SessionResult>>>,
+}
+
+impl Server {
+    /// Compiles the request mix and starts the workers.
+    ///
+    /// The mix is the cross product *mode-major*:
+    /// `modes × engines × programs × variants`. A whole number of mix
+    /// rounds therefore runs every (program, variant) pair under every
+    /// mode equally often, which is what makes the Figure-12 ledger
+    /// (`static.elided == dynamic.performed`) hold **exactly** on the
+    /// merged per-session snapshots.
+    pub fn start(cfg: &ServeConfig) -> Result<Server, ServeError> {
+        if cfg.programs.is_empty() || cfg.modes.is_empty() || cfg.engines.is_empty() {
+            return Err(ServeError {
+                message: "empty request mix (need >= 1 program, mode, and engine)".into(),
+            });
+        }
+        // Compile each (program, variant) once; share across modes and
+        // engines.
+        let mut compiled = Vec::new();
+        for name in &cfg.programs {
+            let sources =
+                rtj_corpus::request_variants(name, cfg.variants).ok_or_else(|| ServeError {
+                    message: format!(
+                        "unknown server program `{name}` (expected one of {})",
+                        rtj_corpus::SERVER_PROGRAMS.join(", ")
+                    ),
+                })?;
+            for (variant, src) in sources.iter().enumerate() {
+                let checked = rtj_interp::build(src).map_err(|e| ServeError {
+                    message: format!("{name} variant {variant} failed to build: {e:?}"),
+                })?;
+                compiled.push((name.clone(), variant as u32, Arc::new(prepare(&checked))));
+            }
+        }
+        let mut mix = Vec::new();
+        for mode in &cfg.modes {
+            for engine in &cfg.engines {
+                for (program, variant, prepared) in &compiled {
+                    mix.push(Arc::new(MixEntry {
+                        program: program.clone(),
+                        variant: *variant,
+                        mode: *mode,
+                        engine: *engine,
+                        prepared: Arc::clone(prepared),
+                    }));
+                }
+            }
+        }
+        Ok(Server {
+            executor: Executor::new(cfg.workers, cfg.queue_capacity),
+            mix,
+            results: Arc::new(Mutex::new(Vec::new())),
+        })
+    }
+
+    /// Requests per mix round (`modes × engines × programs × variants`).
+    pub fn mix_len(&self) -> usize {
+        self.mix.len()
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.executor.workers()
+    }
+
+    /// The spec session `session` will run — a pure function of the id.
+    pub fn spec(&self, session: u64) -> SessionSpec {
+        let entry = &self.mix[(session as usize) % self.mix.len()];
+        SessionSpec {
+            session,
+            program: entry.program.clone(),
+            variant: entry.variant,
+            mode: entry.mode,
+            engine: entry.engine,
+        }
+    }
+
+    /// Submits session `session`, anchored to `scheduled` for latency
+    /// accounting (pass the open-loop arrival time, or `Instant::now()`
+    /// for an unpaced batch). Blocks only when the executor queue is at
+    /// capacity.
+    pub fn submit(&self, session: u64, scheduled: Instant) {
+        let entry = Arc::clone(&self.mix[(session as usize) % self.mix.len()]);
+        let results = Arc::clone(&self.results);
+        self.executor.submit(Box::new(move || {
+            let mut cfg = RunConfig::new(entry.mode);
+            cfg.engine = entry.engine;
+            cfg.session = session;
+            let outcome = run_prepared(&entry.prepared, cfg);
+            let latency_us = scheduled.elapsed().as_micros() as u64;
+            let result = SessionResult {
+                spec: SessionSpec {
+                    session,
+                    program: entry.program.clone(),
+                    variant: entry.variant,
+                    mode: entry.mode,
+                    engine: entry.engine,
+                },
+                cycles: outcome.cycles,
+                metrics: outcome.metrics,
+                output: outcome.trace,
+                error: outcome.error,
+                service_us: outcome.wall.as_micros() as u64,
+                latency_us,
+            };
+            results.lock().unwrap().push(result);
+        }));
+    }
+
+    /// Blocks until all submitted sessions finish.
+    pub fn drain(&self) {
+        self.executor.drain();
+    }
+
+    /// Current executor counters.
+    pub fn stats(&self) -> ExecutorStats {
+        self.executor.stats()
+    }
+
+    /// Drains, stops the workers, and returns the per-session results
+    /// sorted by session id.
+    pub fn finish(self) -> ServeOutcome {
+        let stats = self.executor.shutdown();
+        let mut results = Arc::try_unwrap(self.results)
+            .expect("workers stopped")
+            .into_inner()
+            .unwrap();
+        results.sort_by_key(|r| r.spec.session);
+        ServeOutcome { results, stats }
+    }
+}
+
+/// Runs `rounds` complete mix rounds as fast as the workers allow (no
+/// pacing) and returns the results — the `rtjc serve` entry point and
+/// the saturation benchmark.
+pub fn run_batch(cfg: &ServeConfig, rounds: u64) -> Result<ServeOutcome, ServeError> {
+    let server = Server::start(cfg)?;
+    let sessions = rounds * server.mix_len() as u64;
+    for session in 0..sessions {
+        server.submit(session, Instant::now());
+    }
+    Ok(server.finish())
+}

@@ -1,0 +1,70 @@
+//! Session identity: what one tenant runs and what it produced.
+//!
+//! A **session** is one request-shaped program execution on its own
+//! [`rtj_runtime::Runtime`]. The mix of (program, variant, check mode,
+//! engine) a session runs is a pure function of its session id — see
+//! [`crate::Server::spec`] — so results are reproducible no matter how
+//! the executor interleaves sessions across workers.
+
+use rtj_interp::{Engine, RunError};
+use rtj_runtime::{CheckMode, MetricsSnapshot};
+
+/// What a session will execute: one request variant of a server program
+/// in one check mode on one engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionSpec {
+    /// The session (tenant) id, stamped on the session's `Runtime`.
+    pub session: u64,
+    /// Server program name (`http`, `game`, or `phone`).
+    pub program: String,
+    /// Request-variant index (`seq` baked into the program source).
+    pub variant: u32,
+    /// The check mode the session runs under.
+    pub mode: CheckMode,
+    /// The execution engine.
+    pub engine: Engine,
+}
+
+/// What a completed session produced. The deterministic fields
+/// (`cycles`, `metrics`, `output`, `error`) depend only on the
+/// [`SessionSpec`]; the wall-clock fields (`service_us`, `latency_us`)
+/// are measurements of this particular run.
+#[derive(Debug, Clone)]
+pub struct SessionResult {
+    /// The spec this session executed.
+    pub spec: SessionSpec,
+    /// Virtual cycles consumed (deterministic).
+    pub cycles: u64,
+    /// The session's private `rtj-metrics/v1` snapshot (deterministic).
+    pub metrics: MetricsSnapshot,
+    /// `print` output (deterministic).
+    pub output: Vec<String>,
+    /// The error that halted the session, if any (deterministic).
+    pub error: Option<RunError>,
+    /// Wall-clock service time: entering the engine to leaving it.
+    pub service_us: u64,
+    /// Wall-clock latency from the request's **scheduled arrival** to
+    /// completion — includes queueing delay, so an overloaded server
+    /// shows the backlog honestly (no coordinated omission).
+    pub latency_us: u64,
+}
+
+impl SessionResult {
+    /// The deterministic portion of the result, rendered as stable bytes.
+    /// Two runs of the same spec — on any worker count — must produce
+    /// identical values here; the determinism suite compares these.
+    pub fn deterministic_key(&self) -> String {
+        format!(
+            "session={} program={} variant={} mode={:?} engine={} cycles={} error={:?} output={:?} metrics={}",
+            self.spec.session,
+            self.spec.program,
+            self.spec.variant,
+            self.spec.mode,
+            self.spec.engine,
+            self.cycles,
+            self.error,
+            self.output,
+            self.metrics.render(),
+        )
+    }
+}

@@ -20,7 +20,12 @@
 //!   (`Audit`, used to validate the soundness theorems);
 //! * [`corpus`] — the paper's evaluation programs and the harnesses that
 //!   regenerate Figure 11 (annotation overhead) and Figure 12 (dynamic
-//!   checking overhead).
+//!   checking overhead);
+//! * [`server`] — the multi-tenant region server: thousands of
+//!   concurrent sessions (one [`runtime`] instance each) on a sharded
+//!   work-stealing executor, with an open-loop load generator and
+//!   per-check-mode tail-latency reports (`rtj-load/v1`; see
+//!   `SERVER.md`).
 //!
 //! # Quickstart
 //!
@@ -52,6 +57,7 @@ pub use rtj_corpus as corpus;
 pub use rtj_interp as interp;
 pub use rtj_lang as lang;
 pub use rtj_runtime as runtime;
+pub use rtj_server as server;
 pub use rtj_types as types;
 
 pub use rtj_interp::{build, run_checked, run_source, RunConfig, RunOutcome};
