@@ -1,0 +1,115 @@
+//! Result-sink contention on the serving hot path: the global
+//! `Mutex<Vec<_>>` every completed session used to funnel through,
+//! against the per-worker shards that replaced it (sharing serialized by
+//! construction — each worker appends to a sink only it touches, merged
+//! once after drain).
+//!
+//! The jobs are synthetic (a short FNV loop standing in for engine work,
+//! then one result append), so the measured difference is the
+//! aggregation discipline itself, not interpreter throughput.
+//!
+//! Set `RTJ_BENCH_SMOKE=1` for a minimal-sample CI smoke run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtj_server::Executor;
+use std::hint::black_box;
+use std::sync::{Arc, Mutex};
+
+const WORKERS: usize = 4;
+
+/// A stand-in for one session's deterministic outcome.
+struct Row {
+    session: u64,
+    digest: u64,
+}
+
+/// A few FNV-1a rounds: enough work that workers overlap, little enough
+/// that the sink append is a visible fraction of the job.
+fn synthetic_work(session: u64) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for i in 0..64u64 {
+        hash ^= session.wrapping_add(i);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn jobs_per_iter() -> u64 {
+    if std::env::var_os("RTJ_BENCH_SMOKE").is_some() {
+        256
+    } else {
+        4096
+    }
+}
+
+fn result_sinks(c: &mut Criterion) {
+    let jobs = jobs_per_iter();
+    let mut group = c.benchmark_group("serve_result_sink");
+
+    // The old design: one lock, every worker contends on every append.
+    group.bench_function("mutex_global", |b| {
+        let pool = Executor::new(WORKERS, 0);
+        b.iter(|| {
+            let sink: Arc<Mutex<Vec<Row>>> = Arc::new(Mutex::new(Vec::new()));
+            for session in 0..jobs {
+                let sink = Arc::clone(&sink);
+                pool.submit(Box::new(move |_worker| {
+                    let digest = synthetic_work(session);
+                    sink.lock().unwrap().push(Row { session, digest });
+                }));
+            }
+            pool.drain();
+            let sink = sink.lock().unwrap();
+            assert_eq!(sink.len() as u64, jobs);
+            black_box(
+                sink.iter()
+                    .map(|r| r.digest ^ r.session)
+                    .fold(0, u64::wrapping_add),
+            )
+        })
+    });
+
+    // The sharded design: worker `w` appends to shard `w`; the only
+    // cross-thread touch is the merge after drain.
+    group.bench_function("sharded_per_worker", |b| {
+        let pool = Executor::new(WORKERS, 0);
+        b.iter(|| {
+            let shards: Arc<Vec<Mutex<Vec<Row>>>> =
+                Arc::new((0..WORKERS).map(|_| Mutex::new(Vec::new())).collect());
+            for session in 0..jobs {
+                let shards = Arc::clone(&shards);
+                pool.submit(Box::new(move |worker| {
+                    let digest = synthetic_work(session);
+                    shards[worker].lock().unwrap().push(Row { session, digest });
+                }));
+            }
+            pool.drain();
+            let mut merged: Vec<Row> = Vec::with_capacity(jobs as usize);
+            for shard in shards.iter() {
+                merged.append(&mut shard.lock().unwrap());
+            }
+            merged.sort_unstable_by_key(|r| r.session);
+            assert_eq!(merged.len() as u64, jobs);
+            black_box(
+                merged
+                    .iter()
+                    .map(|r| r.digest ^ r.session)
+                    .fold(0, u64::wrapping_add),
+            )
+        })
+    });
+
+    group.finish();
+}
+
+fn config() -> Criterion {
+    let smoke = std::env::var_os("RTJ_BENCH_SMOKE").is_some();
+    Criterion::default().sample_size(if smoke { 10 } else { 40 })
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = result_sinks
+}
+criterion_main!(benches);

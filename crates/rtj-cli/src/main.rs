@@ -26,6 +26,8 @@
 //! rtjc serve --rounds R        multi-tenant batch serving (saturation)
 //! rtjc load --rate HZ --duration-ms MS  open-loop Poisson load
 //!                              (both emit rtj-load/v1; see SERVER.md)
+//! rtjc servebench              regenerate the rtj-serve-bench/v1 serving
+//!                              baseline: worker sweep + overload row
 //! ```
 //!
 //! `run --trace`/`run --metrics`, `check --profile`, and `report` are
@@ -33,10 +35,10 @@
 //! runtime metrics snapshots are `rtj-metrics/v1` documents, checker
 //! snapshots are `rtj-checker-metrics/v1` documents, and `report`
 //! renders any mix of those plus `rtj-fig12/v1` documents (from `fig12
-//! --format json`) and `rtj-load/v1` serving reports (from `serve`/
-//! `load`) — given both a checker and a runtime snapshot it appends the
-//! combined static-cost vs. checks-elided view. `FILE` may be `-` for
-//! stdout.
+//! --format json`), `rtj-load/v1` serving reports (from `serve`/`load`),
+//! and `rtj-serve-bench/v1` baselines (from `servebench`) — given both a
+//! checker and a runtime snapshot it appends the combined static-cost
+//! vs. checks-elided view. `FILE` may be `-` for stdout.
 
 use rtj_interp::{build, run_checked, Engine, RunConfig, TraceCapture};
 use rtj_runtime::{CheckMode, CheckerMetrics, Json, MetricsSnapshot};
@@ -177,9 +179,10 @@ fn main() -> ExitCode {
         Some("bench") => bench_cmd(&args[1..]),
         Some("serve") => serve_cmd(&args[1..]),
         Some("load") => load_cmd(&args[1..]),
+        Some("servebench") => servebench_cmd(&args[1..]),
         _ => {
             eprintln!(
-                "usage: rtjc <check|run|fmt|fig11|fig12|report|bench|serve|load> [args]\n\
+                "usage: rtjc <check|run|fmt|fig11|fig12|report|bench|serve|load|servebench> [args]\n\
                  \n\
                  check [--stats] [--format json] [--jobs N] [--explain]\n\
                  \x20     [--profile[=FILE]] [--trace-format chrome|jsonl] <file>\n\
@@ -203,19 +206,29 @@ fn main() -> ExitCode {
                  \x20                   regenerate paper Figure 12\n\
                  report <snapshot.json>...  render the report(s) from any mix of\n\
                  \x20                   rtj-metrics/v1, rtj-checker-metrics/v1,\n\
-                 \x20                   rtj-fig12/v1, and rtj-load/v1 documents\n\
+                 \x20                   rtj-fig12/v1, rtj-load/v1, and\n\
+                 \x20                   rtj-serve-bench/v1 documents\n\
                  bench <name|scaled[:N]> [--format json] [--iters N]\n\
                  \x20                   print a corpus program, or with --format\n\
                  \x20                   json run it under both engines and emit\n\
                  \x20                   an rtj-bench/v1 comparison document\n\
                  serve [--rounds R] [--workers N] [--programs a,b] [--variants K]\n\
                  \x20     [--modes static,dynamic,audit] [--engine vm|tree|both]\n\
-                 \x20     [--queue-capacity Q] [--format json] [--out FILE]\n\
+                 \x20     [--queue-capacity Q] [--deadline-us D] [--stall-us S]\n\
+                 \x20     [--format json] [--out FILE] [--sessions FILE]\n\
                  \x20                   run R complete request-mix rounds on the\n\
-                 \x20                   multi-tenant server, unpaced (saturation)\n\
+                 \x20                   multi-tenant server, unpaced (saturation);\n\
+                 \x20                   --sessions dumps per-session deterministic\n\
+                 \x20                   keys for byte-identity diffs\n\
                  load [--rate HZ] [--duration-ms MS] [--seed S] + serve's flags\n\
                  \x20                   open-loop Poisson load at a target arrival\n\
-                 \x20                   rate; both emit rtj-load/v1 (see SERVER.md)"
+                 \x20                   rate; both emit rtj-load/v1 (see SERVER.md)\n\
+                 servebench [--rounds R] [--stall-us S] [--rate HZ]\n\
+                 \x20     [--duration-ms MS] [--seed S] [--deadline-us D]\n\
+                 \x20     [--format json] [--out FILE]\n\
+                 \x20                   regenerate the rtj-serve-bench/v1 baseline:\n\
+                 \x20                   a 1/2/4/8-worker sweep plus a deadline-shed\n\
+                 \x20                   overload row (BENCH_serve.json)"
             );
             ExitCode::FAILURE
         }
@@ -719,13 +732,31 @@ fn report_cmd(args: &[String]) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            Some(rtj_server::SERVE_BENCH_SCHEMA) => {
+                match rtj_server::ServeBenchReport::from_json(&doc) {
+                    Ok(report) => {
+                        out += &report.render_report();
+                        for (_, snap) in &report.overload.mode_metrics {
+                            match &mut runtime {
+                                Some(agg) => agg.merge(snap),
+                                None => runtime = Some(snap.clone()),
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("{path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             other => {
                 eprintln!(
-                    "{path}: unsupported schema {other:?}; expected `{}`, `{}`, `{}`, or `{}`",
+                    "{path}: unsupported schema {other:?}; expected `{}`, `{}`, `{}`, `{}`, or `{}`",
                     rtj_runtime::METRICS_SCHEMA,
                     rtj_types::CHECKER_METRICS_SCHEMA,
                     rtj_corpus::FIG12_SCHEMA,
-                    rtj_server::LOAD_SCHEMA
+                    rtj_server::LOAD_SCHEMA,
+                    rtj_server::SERVE_BENCH_SCHEMA
                 );
                 return ExitCode::FAILURE;
             }
@@ -892,6 +923,17 @@ fn parse_serve_flags(args: &[String]) -> Result<(rtj_server::ServeConfig, Vec<St
                     })?]
                 };
             }
+            "--deadline-us" => {
+                let us: u64 = value_of(&mut it)?
+                    .parse()
+                    .map_err(|_| "--deadline-us expects a number".to_string())?;
+                cfg.deadline = Some(std::time::Duration::from_micros(us));
+            }
+            "--stall-us" => {
+                cfg.stall_us = value_of(&mut it)?
+                    .parse()
+                    .map_err(|_| "--stall-us expects a number".to_string())?;
+            }
             _ => {
                 rest.push(a.clone());
                 if let (None, Some(v)) = (&value, it.clone().next()) {
@@ -930,16 +972,19 @@ fn emit_load_report(
     ExitCode::SUCCESS
 }
 
-/// Parsed serve/load tail flags: `--format json`?, `--out FILE`, and the
-/// values of the caller-named numeric flags, in the order they were named.
-type TailFlags = (bool, Option<String>, Vec<Option<f64>>);
+/// Parsed serve/load tail flags: `--format json`?, `--out FILE`,
+/// `--sessions FILE`, and the values of the caller-named numeric flags,
+/// in the order they were named.
+type TailFlags = (bool, Option<String>, Option<String>, Vec<Option<f64>>);
 
-/// Command-specific tail flags of serve/load: `--format`, `--out`, and
-/// any numeric flags the caller names (e.g. `--rounds`, `--rate`).
-/// Returns (json, out, named values) or an error on leftovers.
+/// Command-specific tail flags of serve/load: `--format`, `--out`,
+/// `--sessions`, and any numeric flags the caller names (e.g.
+/// `--rounds`, `--rate`). Returns (json, out, sessions, named values) or
+/// an error on leftovers.
 fn parse_tail_flags(rest: &[String], named: &[&str]) -> Result<TailFlags, String> {
     let json = parse_format(rest)?;
     let mut out = None;
+    let mut sessions = None;
     let mut values: Vec<Option<f64>> = vec![None; named.len()];
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -961,6 +1006,7 @@ fn parse_tail_flags(rest: &[String], named: &[&str]) -> Result<TailFlags, String
                 value_of(&mut it)?;
             }
             "--out" => out = Some(value_of(&mut it)?),
+            "--sessions" => sessions = Some(value_of(&mut it)?),
             f => {
                 if let Some(idx) = named.iter().position(|n| *n == f) {
                     let v = value_of(&mut it)?;
@@ -971,7 +1017,19 @@ fn parse_tail_flags(rest: &[String], named: &[&str]) -> Result<TailFlags, String
             }
         }
     }
-    Ok((json, out, values))
+    Ok((json, out, sessions, values))
+}
+
+/// Writes one line per **executed** session — its deterministic key — so
+/// two runs at different worker counts can be compared byte-for-byte
+/// (`diff`), the determinism witness the CI worker-sweep smoke uses.
+fn write_sessions_file(path: &str, results: &[rtj_server::SessionResult]) -> Result<(), String> {
+    let mut text = String::new();
+    for r in results.iter().filter(|r| r.shed.is_none()) {
+        text.push_str(&r.deterministic_key());
+        text.push('\n');
+    }
+    std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))
 }
 
 /// `rtjc serve`: run complete request-mix rounds on the multi-tenant
@@ -979,11 +1037,14 @@ fn parse_tail_flags(rest: &[String], named: &[&str]) -> Result<TailFlags, String
 fn serve_cmd(args: &[String]) -> ExitCode {
     let run = || -> Result<ExitCode, String> {
         let (cfg, rest) = parse_serve_flags(args)?;
-        let (json, out, values) = parse_tail_flags(&rest, &["--rounds"])?;
+        let (json, out, sessions, values) = parse_tail_flags(&rest, &["--rounds"])?;
         let rounds = values[0].unwrap_or(8.0) as u64;
         let start = std::time::Instant::now();
         let outcome = rtj_server::run_batch(&cfg, rounds).map_err(|e| e.to_string())?;
         let elapsed_ms = start.elapsed().as_millis().max(1) as u64;
+        if let Some(path) = &sessions {
+            write_sessions_file(path, &outcome.results)?;
+        }
         let workload = format!("{} x{}", cfg.programs.join(","), cfg.variants);
         let report = rtj_server::LoadReport::from_serve(&outcome, workload, 0.0, elapsed_ms);
         Ok(emit_load_report(&report, json, out.as_deref()))
@@ -1000,7 +1061,8 @@ fn serve_cmd(args: &[String]) -> ExitCode {
 fn load_cmd(args: &[String]) -> ExitCode {
     let run = || -> Result<ExitCode, String> {
         let (cfg, rest) = parse_serve_flags(args)?;
-        let (json, out, values) = parse_tail_flags(&rest, &["--rate", "--duration-ms", "--seed"])?;
+        let (json, out, sessions, values) =
+            parse_tail_flags(&rest, &["--rate", "--duration-ms", "--seed"])?;
         let plan = rtj_server::LoadPlan {
             rate_hz: values[0].unwrap_or(2000.0),
             duration: std::time::Duration::from_millis(values[1].unwrap_or(1000.0) as u64),
@@ -1010,9 +1072,106 @@ fn load_cmd(args: &[String]) -> ExitCode {
             return Err("--rate must be positive".into());
         }
         let outcome = rtj_server::run_load(&cfg, &plan).map_err(|e| e.to_string())?;
+        if let Some(path) = &sessions {
+            write_sessions_file(path, &outcome.serve.results)?;
+        }
         let workload = format!("{} x{}", cfg.programs.join(","), cfg.variants);
         let report = rtj_server::LoadReport::from_load(&outcome, workload);
         Ok(emit_load_report(&report, json, out.as_deref()))
+    };
+    run().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        ExitCode::FAILURE
+    })
+}
+
+/// `rtjc servebench`: regenerate the checked-in `rtj-serve-bench/v1`
+/// serving baseline (`BENCH_serve.json`). Two parts:
+///
+/// 1. **Worker sweep** — the same fixed saturation batch (`--rounds`
+///    complete mix rounds, no pacing, no shedding) at 1/2/4/8 workers,
+///    with a simulated downstream stall per session (`--stall-us`,
+///    default 250) so the sweep measures executor concurrency rather
+///    than host core count. Each row records throughput and an FNV-1a
+///    fingerprint over the deterministic per-session results; equal
+///    fingerprints prove byte-identity across worker counts.
+/// 2. **Overload row** — an open-loop run far past the knee (`--rate`,
+///    default 60000/s for `--duration-ms`, default 250) with a
+///    per-session deadline (`--deadline-us`, default 20000) so overload
+///    surfaces as a measured `sessions.shed` count instead of unbounded
+///    queue growth.
+fn servebench_cmd(args: &[String]) -> ExitCode {
+    let run = || -> Result<ExitCode, String> {
+        let (mut cfg, rest) = parse_serve_flags(args)?;
+        let (json, out, sessions, values) =
+            parse_tail_flags(&rest, &["--rounds", "--rate", "--duration-ms", "--seed"])?;
+        if sessions.is_some() {
+            return Err("--sessions applies to `serve`/`load`, not `servebench`".into());
+        }
+        let rounds = values[0].unwrap_or(40.0) as u64;
+        let rate_hz = values[1].unwrap_or(60000.0);
+        let duration = std::time::Duration::from_millis(values[2].unwrap_or(250.0) as u64);
+        let seed = values[3].unwrap_or(1.0) as u64;
+
+        // The sweep: deterministic fixed workload, no shedding, stalls on.
+        let mut sweep_cfg = cfg.clone();
+        sweep_cfg.deadline = None;
+        if sweep_cfg.stall_us == 0 {
+            sweep_cfg.stall_us = 250;
+        }
+        let mut rows = Vec::new();
+        for workers in [1usize, 2, 4, 8] {
+            sweep_cfg.workers = workers;
+            let start = std::time::Instant::now();
+            let outcome = rtj_server::run_batch(&sweep_cfg, rounds).map_err(|e| e.to_string())?;
+            let duration_ms = start.elapsed().as_millis().max(1) as u64;
+            let executed = outcome.results.iter().filter(|r| r.shed.is_none()).count() as u64;
+            rows.push(rtj_server::SweepRow {
+                workers,
+                sessions: executed,
+                duration_ms,
+                throughput_hz: executed as f64 * 1000.0 / duration_ms as f64,
+                stolen: outcome.stats.stolen,
+                fingerprint: rtj_server::results_fingerprint(&outcome.results),
+            });
+        }
+
+        // The overload row: same shape as the historical BENCH_serve
+        // baseline (2 workers unless overridden), now with shedding.
+        if cfg.workers == 0 {
+            cfg.workers = 2;
+        }
+        if cfg.deadline.is_none() {
+            cfg.deadline = Some(std::time::Duration::from_micros(20_000));
+        }
+        let plan = rtj_server::LoadPlan {
+            rate_hz,
+            duration,
+            seed,
+        };
+        let outcome = rtj_server::run_load(&cfg, &plan).map_err(|e| e.to_string())?;
+        let workload = format!("{} x{}", cfg.programs.join(","), cfg.variants);
+        let overload = rtj_server::LoadReport::from_load(&outcome, workload);
+
+        let report = rtj_server::ServeBenchReport {
+            overload,
+            sweep_rounds: rounds,
+            sweep_stall_us: sweep_cfg.stall_us,
+            rows,
+        };
+        if let Some(path) = &out {
+            if let Err(e) = write_output(path, &(report.render() + "\n")) {
+                return Err(e.to_string());
+            }
+        }
+        if json {
+            if out.as_deref() != Some("-") {
+                println!("{}", report.render());
+            }
+        } else {
+            print!("{}", report.render_report());
+        }
+        Ok(ExitCode::SUCCESS)
     };
     run().unwrap_or_else(|e| {
         eprintln!("{e}");

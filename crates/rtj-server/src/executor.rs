@@ -1,16 +1,37 @@
-//! A sharded work-stealing executor over OS threads.
+//! A sharded work-stealing executor over OS threads, with a lock-light
+//! hot path.
 //!
 //! Jobs are distributed round-robin across per-worker shards (a
-//! `Mutex<VecDeque>` each). A worker pops from the **front** of its own
-//! shard and, when that is empty, steals from the **back** of a sibling's
-//! shard — the classic deque discipline that keeps owners on cache-warm
-//! recent work and sends thieves to the cold end. All coordination uses
-//! the standard library only (mutexes and condvars; no atomics-based
-//! lock-free deque), which keeps the executor small, auditable, and
-//! obviously free of data races: determinism of *session results* is
-//! never at stake because every session runs on its own [`rtj_runtime::Runtime`],
-//! so the executor only has to be correct, not deterministic, about
-//! *placement*.
+//! `Mutex<VecDeque>` plus a `Condvar` each). A worker pops from the
+//! **front** of its own shard and, when that is empty, steals from the
+//! **back** of a sibling's shard — the classic deque discipline that
+//! keeps owners on cache-warm recent work and sends thieves to the cold
+//! end.
+//!
+//! Coordination is deliberately split by temperature:
+//!
+//! * **Hot path** — all run-level accounting (`submitted`, `completed`,
+//!   `queued`, `in_flight`, `peak_in_flight`, `stolen`) lives in atomics,
+//!   and wakeups are **per shard**: `submit` touches only the target
+//!   shard's mutex and condvar, so two submitters (or a submitter and
+//!   seven workers) never serialize on a global lock. `peak_in_flight`
+//!   is exact: the in-flight counter is incremented *before* the job is
+//!   published and the peak is maintained with an atomic max at that
+//!   instant.
+//! * **Cold path** — `drain` and bounded-queue `submit` back-off park on
+//!   one `idle` mutex/condvar pair that is only ever touched when the
+//!   pool empties out (or a bounded submitter must wait), never per job.
+//!
+//! Every sleep is a *timed* wait, so a lost wakeup can delay a worker by
+//! at most one tick — it can never wedge the pool; correctness never
+//! depends on memory-ordering subtleties around the parking decision.
+//!
+//! Jobs receive the **executing worker's index** — that is what lets the
+//! server keep per-worker result shards (sharing serialized by
+//! construction, not by a global results lock). A job that panics is
+//! contained: the unwind is caught, the `panicked` counter increments,
+//! and completion accounting proceeds, so one poisoned session can never
+//! wedge a batch.
 //!
 //! Backpressure: a bounded executor (`queue_capacity > 0`) blocks
 //! [`Executor::submit`] while `queued >= capacity`, so an open-loop
@@ -19,42 +40,56 @@
 //! unbounded, the right setting for measuring backlog under overload.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::Duration;
 
-/// A unit of work: one session execution.
-type Job = Box<dyn FnOnce() + Send + 'static>;
+/// A unit of work: one session execution. The argument is the index of
+/// the worker that runs the job (the shard-ownership token for
+/// per-worker result aggregation) — not necessarily the shard the job
+/// was submitted to, when it was stolen.
+pub type Job = Box<dyn FnOnce(usize) + Send + 'static>;
 
-/// Counters shared under the control lock.
-#[derive(Debug, Default)]
-struct Control {
-    /// Jobs pushed to a shard but not yet claimed by a worker.
-    queued: usize,
-    /// Jobs currently executing.
-    active: usize,
-    /// Set once; workers exit when the queue is empty.
-    shutdown: bool,
-    /// Total jobs ever submitted.
-    submitted: u64,
-    /// Total jobs fully executed.
-    completed: u64,
-    /// Jobs a worker took from a sibling's shard.
-    stolen: u64,
-    /// High-water mark of `submitted - completed` (queued + active).
-    peak_in_flight: u64,
+/// One worker's queue: its own mutex and its own wakeup signal, so
+/// submissions to different shards never contend.
+struct Shard {
+    queue: Mutex<VecDeque<Job>>,
+    /// Signalled when work lands in *this* shard (or at shutdown).
+    available: Condvar,
 }
 
 struct Inner {
-    shards: Vec<Mutex<VecDeque<Job>>>,
-    control: Mutex<Control>,
-    /// Signalled when work arrives or shutdown is requested.
-    work: Condvar,
-    /// Signalled when a job is claimed (space frees up) or the executor
-    /// fully drains.
+    shards: Vec<Shard>,
+    /// Total jobs ever submitted (also the round-robin ticket counter).
+    submitted: AtomicU64,
+    /// Total jobs fully executed (including contained panics).
+    completed: AtomicU64,
+    /// Jobs a worker took from a sibling's shard.
+    stolen: AtomicU64,
+    /// Jobs whose unwind was caught and contained.
+    panicked: AtomicU64,
+    /// Jobs pushed to a shard but not yet claimed by a worker.
+    queued: AtomicUsize,
+    /// `submitted - completed`, maintained directly so the peak is exact.
+    in_flight: AtomicU64,
+    /// High-water mark of `in_flight`.
+    peak_in_flight: AtomicU64,
+    /// Set once; workers exit when the queue is empty.
+    shutdown: AtomicBool,
+    /// Cold-path parking for `drain` and bounded-queue submitters.
+    idle: Mutex<()>,
+    /// Signalled when the pool fully drains or queue space frees up.
     drained: Condvar,
     capacity: usize,
 }
+
+/// How long a worker with nothing to run (own shard empty, nothing to
+/// steal) sleeps before rescanning. Bounds steal latency for pinned or
+/// very bursty load; own-shard wakeups are signalled and never wait this
+/// long.
+const IDLE_TICK: Duration = Duration::from_millis(1);
 
 /// Point-in-time executor counters, reported in the `rtj-load/v1`
 /// document.
@@ -71,6 +106,9 @@ pub struct ExecutorStats {
     pub stolen: u64,
     /// High-water mark of in-flight jobs (queued + executing).
     pub peak_in_flight: u64,
+    /// Jobs that panicked; the unwind was caught and the job counted as
+    /// completed.
+    pub panicked: u64,
 }
 
 /// The sharded work-stealing thread pool. See the module docs.
@@ -92,9 +130,21 @@ impl Executor {
             workers
         };
         let inner = Arc::new(Inner {
-            shards: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
-            control: Mutex::new(Control::default()),
-            work: Condvar::new(),
+            shards: (0..workers)
+                .map(|_| Shard {
+                    queue: Mutex::new(VecDeque::new()),
+                    available: Condvar::new(),
+                })
+                .collect(),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            stolen: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
+            queued: AtomicUsize::new(0),
+            in_flight: AtomicU64::new(0),
+            peak_in_flight: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            idle: Mutex::new(()),
             drained: Condvar::new(),
             capacity: queue_capacity,
         });
@@ -122,47 +172,67 @@ impl Executor {
     /// is chosen round-robin by submission index, so load is spread even
     /// when workers are busy.
     pub fn submit(&self, job: Job) {
+        let ticket = self.inner.submitted.load(Ordering::Relaxed) as usize;
+        self.submit_to(ticket % self.inner.shards.len(), job);
+    }
+
+    /// Submits a job **pinned** to one shard, bypassing round-robin
+    /// spreading. The executing worker may still differ (stealing);
+    /// pinning only chooses where the job waits. Used to construct
+    /// deliberately unbalanced load (tests, affinity experiments).
+    pub fn submit_to(&self, shard: usize, job: Job) {
         let inner = &*self.inner;
-        let shard_index;
-        {
-            let mut ctl = inner.control.lock().unwrap();
-            if inner.capacity > 0 {
-                while ctl.queued >= inner.capacity && !ctl.shutdown {
-                    ctl = inner.drained.wait(ctl).unwrap();
-                }
+        assert!(shard < inner.shards.len(), "shard {shard} out of range");
+        if inner.capacity > 0 {
+            // Bounded queue: park on the cold-path condvar until a claim
+            // frees space. Timed wait so a lost wakeup only delays.
+            let mut guard = inner.idle.lock().unwrap();
+            while inner.queued.load(Ordering::SeqCst) >= inner.capacity
+                && !inner.shutdown.load(Ordering::SeqCst)
+            {
+                let (g, _) = inner.drained.wait_timeout(guard, IDLE_TICK).unwrap();
+                guard = g;
             }
-            assert!(!ctl.shutdown, "submit after shutdown");
-            shard_index = (ctl.submitted as usize) % inner.shards.len();
-            ctl.submitted += 1;
         }
-        inner.shards[shard_index].lock().unwrap().push_back(job);
+        assert!(
+            !inner.shutdown.load(Ordering::SeqCst),
+            "submit after shutdown"
+        );
+        // Count the job in-flight *before* publishing it so the peak can
+        // never under-read: the atomic max happens at the increment.
+        let now_in_flight = inner.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+        inner
+            .peak_in_flight
+            .fetch_max(now_in_flight, Ordering::SeqCst);
+        inner.submitted.fetch_add(1, Ordering::SeqCst);
+        inner.queued.fetch_add(1, Ordering::SeqCst);
         {
-            let mut ctl = inner.control.lock().unwrap();
-            ctl.queued += 1;
-            let in_flight = ctl.submitted - ctl.completed;
-            ctl.peak_in_flight = ctl.peak_in_flight.max(in_flight);
+            let mut queue = inner.shards[shard].queue.lock().unwrap();
+            queue.push_back(job);
         }
-        inner.work.notify_one();
+        inner.shards[shard].available.notify_one();
     }
 
     /// Blocks until every submitted job has finished executing.
     pub fn drain(&self) {
         let inner = &*self.inner;
-        let mut ctl = inner.control.lock().unwrap();
-        while ctl.queued > 0 || ctl.active > 0 {
-            ctl = inner.drained.wait(ctl).unwrap();
+        let mut guard = inner.idle.lock().unwrap();
+        while inner.in_flight.load(Ordering::SeqCst) > 0 {
+            let (g, _) = inner.drained.wait_timeout(guard, IDLE_TICK).unwrap();
+            guard = g;
         }
     }
 
     /// Current counters.
     pub fn stats(&self) -> ExecutorStats {
-        let ctl = self.inner.control.lock().unwrap();
+        let inner = &*self.inner;
         ExecutorStats {
-            workers: self.inner.shards.len(),
-            submitted: ctl.submitted,
-            completed: ctl.completed,
-            stolen: ctl.stolen,
-            peak_in_flight: ctl.peak_in_flight,
+            workers: inner.shards.len(),
+            submitted: inner.submitted.load(Ordering::SeqCst),
+            completed: inner.completed.load(Ordering::SeqCst),
+            stolen: inner.stolen.load(Ordering::SeqCst),
+            peak_in_flight: inner.peak_in_flight.load(Ordering::SeqCst),
+            panicked: inner.panicked.load(Ordering::SeqCst),
         }
     }
 
@@ -170,29 +240,15 @@ impl Executor {
     /// counters.
     pub fn shutdown(mut self) -> ExecutorStats {
         self.drain();
-        {
-            let mut ctl = self.inner.control.lock().unwrap();
-            ctl.shutdown = true;
-        }
-        self.inner.work.notify_all();
-        self.inner.drained.notify_all();
-        for handle in self.workers.drain(..) {
-            handle.join().expect("worker panicked");
-        }
+        self.stop_workers();
         self.stats()
     }
-}
 
-impl Drop for Executor {
-    fn drop(&mut self) {
-        if self.workers.is_empty() {
-            return;
+    fn stop_workers(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        for shard in &self.inner.shards {
+            shard.available.notify_all();
         }
-        {
-            let mut ctl = self.inner.control.lock().unwrap();
-            ctl.shutdown = true;
-        }
-        self.inner.work.notify_all();
         self.inner.drained.notify_all();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
@@ -200,74 +256,75 @@ impl Drop for Executor {
     }
 }
 
+impl Drop for Executor {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.stop_workers();
+        }
+    }
+}
+
 fn worker_loop(id: usize, inner: &Inner) {
+    let shards = inner.shards.len();
     loop {
-        // Reserve one queued job (or exit) under the control lock.
+        // Own shard first (front: cache-warm recent work), then steal
+        // from siblings' backs. The own-shard guard is a `let`-statement
+        // temporary, dropped before the steal scan — holding it while
+        // locking a victim's queue would let empty-handed workers form a
+        // hold-and-wait cycle.
+        let mut claimed = inner.shards[id].queue.lock().unwrap().pop_front();
         let mut stole = false;
-        {
-            let mut ctl = inner.control.lock().unwrap();
-            loop {
-                if ctl.queued > 0 {
-                    ctl.queued -= 1;
-                    ctl.active += 1;
+        if claimed.is_none() {
+            for off in 1..shards {
+                let victim = &inner.shards[(id + off) % shards];
+                if let Some(job) = victim.queue.lock().unwrap().pop_back() {
+                    claimed = Some(job);
+                    stole = true;
                     break;
                 }
-                if ctl.shutdown {
+            }
+        }
+
+        let job = match claimed {
+            Some(job) => job,
+            None => {
+                if inner.shutdown.load(Ordering::SeqCst) && inner.queued.load(Ordering::SeqCst) == 0
+                {
                     return;
                 }
-                // Timed wait guards against a lost wakeup ever wedging
-                // the pool; 10ms is far above any real signalling delay.
-                let (next, _) = inner
-                    .work
-                    .wait_timeout(ctl, Duration::from_millis(10))
-                    .unwrap();
-                ctl = next;
+                // Park on the own shard's condvar: submissions to this
+                // shard signal it directly; steals and shutdown are
+                // covered by the timed-wait tick.
+                let queue = inner.shards[id].queue.lock().unwrap();
+                if queue.is_empty() {
+                    let _ = inner.shards[id].available.wait_timeout(queue, IDLE_TICK);
+                }
+                continue;
             }
+        };
+
+        inner.queued.fetch_sub(1, Ordering::SeqCst);
+        if stole {
+            inner.stolen.fetch_add(1, Ordering::SeqCst);
         }
         if inner.capacity > 0 {
             // A claim frees queue space for a blocked submitter.
             inner.drained.notify_all();
         }
 
-        // The reservation guarantees a job exists in some shard; scan
-        // own-front first, then steal from siblings' backs. The scan can
-        // transiently miss (jobs land in shards before the queued count
-        // rises), so loop until the reserved job is found.
-        let job = loop {
-            let shards = inner.shards.len();
-            let mut found = None;
-            for off in 0..shards {
-                let idx = (id + off) % shards;
-                let mut shard = inner.shards[idx].lock().unwrap();
-                let popped = if off == 0 {
-                    shard.pop_front()
-                } else {
-                    shard.pop_back()
-                };
-                if let Some(job) = popped {
-                    stole = off != 0;
-                    found = Some(job);
-                    break;
-                }
-            }
-            match found {
-                Some(job) => break job,
-                None => thread::yield_now(),
-            }
-        };
-
-        job();
-
-        let mut ctl = inner.control.lock().unwrap();
-        ctl.active -= 1;
-        ctl.completed += 1;
-        if stole {
-            ctl.stolen += 1;
+        // Panic containment: a session that unwinds is recorded and
+        // counted; the worker, its shard, and the batch survive.
+        if catch_unwind(AssertUnwindSafe(|| job(id))).is_err() {
+            inner.panicked.fetch_add(1, Ordering::SeqCst);
         }
-        if ctl.queued == 0 && ctl.active == 0 {
+
+        inner.completed.fetch_add(1, Ordering::SeqCst);
+        let remaining = inner.in_flight.fetch_sub(1, Ordering::SeqCst) - 1;
+        if remaining == 0 {
+            // Cold path: only the last job of a lull pays for the lock.
+            let _guard = inner.idle.lock().unwrap();
             inner.drained.notify_all();
         }
-        drop(ctl);
     }
 }
 
@@ -282,7 +339,7 @@ mod tests {
         let hits = Arc::new(AtomicU64::new(0));
         for _ in 0..1000 {
             let hits = Arc::clone(&hits);
-            pool.submit(Box::new(move || {
+            pool.submit(Box::new(move |_worker| {
                 hits.fetch_add(1, Ordering::Relaxed);
             }));
         }
@@ -290,6 +347,7 @@ mod tests {
         assert_eq!(hits.load(Ordering::Relaxed), 1000);
         assert_eq!(stats.submitted, 1000);
         assert_eq!(stats.completed, 1000);
+        assert_eq!(stats.panicked, 0);
     }
 
     #[test]
@@ -298,7 +356,7 @@ mod tests {
         let hits = Arc::new(AtomicU64::new(0));
         for _ in 0..200 {
             let hits = Arc::clone(&hits);
-            pool.submit(Box::new(move || {
+            pool.submit(Box::new(move |_worker| {
                 hits.fetch_add(1, Ordering::Relaxed);
             }));
         }
@@ -314,7 +372,7 @@ mod tests {
         let hits = Arc::new(AtomicU64::new(0));
         for _ in 0..50 {
             let hits = Arc::clone(&hits);
-            pool.submit(Box::new(move || {
+            pool.submit(Box::new(move |_worker| {
                 hits.fetch_add(1, Ordering::Relaxed);
             }));
         }
@@ -322,12 +380,119 @@ mod tests {
         assert_eq!(hits.load(Ordering::Relaxed), 50);
         for _ in 0..50 {
             let hits = Arc::clone(&hits);
-            pool.submit(Box::new(move || {
+            pool.submit(Box::new(move |_worker| {
                 hits.fetch_add(1, Ordering::Relaxed);
             }));
         }
         let stats = pool.shutdown();
         assert_eq!(hits.load(Ordering::Relaxed), 100);
         assert_eq!(stats.submitted, 100);
+    }
+
+    #[test]
+    fn pinned_submissions_force_stealing() {
+        // Everything lands in shard 0; workers 1..3 have empty shards
+        // and can only make progress by stealing. The jobs sleep just
+        // long enough that one worker cannot drain the queue before the
+        // thieves wake (the idle tick is 1 ms).
+        let pool = Executor::new(4, 0);
+        let hits = Arc::new(AtomicU64::new(0));
+        for _ in 0..64 {
+            let hits = Arc::clone(&hits);
+            pool.submit_to(
+                0,
+                Box::new(move |_worker| {
+                    std::thread::sleep(Duration::from_millis(2));
+                    hits.fetch_add(1, Ordering::Relaxed);
+                }),
+            );
+        }
+        let stats = pool.shutdown();
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+        assert_eq!(stats.completed, 64);
+        assert!(stats.stolen > 0, "uneven pinning must force steals");
+    }
+
+    #[test]
+    fn peak_in_flight_matches_reference_simulation() {
+        // Deterministic schedule: first occupy every worker with a gate
+        // job, then queue extra jobs while all workers are blocked — no
+        // completion can interleave with the submissions, so the true
+        // peak is known exactly and a single-threaded replay of the
+        // same event order must agree with the atomic counter.
+        use std::sync::atomic::AtomicBool;
+        const WORKERS: usize = 3;
+        const EXTRA: usize = 17;
+
+        let pool = Executor::new(WORKERS, 0);
+        let gate = Arc::new(AtomicBool::new(false));
+        let started = Arc::new(AtomicU64::new(0));
+        for shard in 0..WORKERS {
+            let gate = Arc::clone(&gate);
+            let started = Arc::clone(&started);
+            pool.submit_to(
+                shard,
+                Box::new(move |_worker| {
+                    started.fetch_add(1, Ordering::SeqCst);
+                    while !gate.load(Ordering::SeqCst) {
+                        std::thread::sleep(Duration::from_micros(50));
+                    }
+                }),
+            );
+        }
+        while started.load(Ordering::SeqCst) < WORKERS as u64 {
+            std::thread::sleep(Duration::from_micros(50));
+        }
+        for i in 0..EXTRA {
+            pool.submit_to(i % WORKERS, Box::new(|_worker| {}));
+        }
+        gate.store(true, Ordering::SeqCst);
+        let stats = pool.shutdown();
+
+        // Reference replay: (WORKERS + EXTRA) submissions before the
+        // first completion, then all completions.
+        let mut in_flight = 0u64;
+        let mut peak = 0u64;
+        for _ in 0..WORKERS + EXTRA {
+            in_flight += 1;
+            peak = peak.max(in_flight);
+        }
+        assert_eq!(stats.peak_in_flight, peak);
+        assert_eq!(stats.completed, (WORKERS + EXTRA) as u64);
+    }
+
+    #[test]
+    fn panicking_job_is_contained_and_counted() {
+        let pool = Executor::new(2, 0);
+        let hits = Arc::new(AtomicU64::new(0));
+        for i in 0..20 {
+            let hits = Arc::clone(&hits);
+            pool.submit(Box::new(move |_worker| {
+                if i == 7 {
+                    panic!("injected");
+                }
+                hits.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        let stats = pool.shutdown();
+        assert_eq!(hits.load(Ordering::Relaxed), 19);
+        assert_eq!(stats.completed, 20, "the panicked job still completes");
+        assert_eq!(stats.panicked, 1);
+    }
+
+    #[test]
+    fn worker_index_is_in_range() {
+        let pool = Executor::new(3, 0);
+        let bad = Arc::new(AtomicU64::new(0));
+        for _ in 0..300 {
+            let bad = Arc::clone(&bad);
+            pool.submit(Box::new(move |worker| {
+                if worker >= 3 {
+                    bad.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        }
+        pool.shutdown();
+        assert_eq!(bad.load(Ordering::Relaxed), 0);
     }
 }

@@ -21,9 +21,17 @@
 //!
 //! Both emit the versioned [`report::LOAD_SCHEMA`] (`rtj-load/v1`)
 //! document: per-(program, mode, engine) tail latencies, per-mode merged
-//! `rtj-metrics/v1` snapshots, and the Figure-12 ledger
+//! `rtj-metrics/v1` snapshots (accumulated incrementally in per-worker
+//! result shards, merged once at drain), the `sessions.shed` overload
+//! block, and the Figure-12 ledger
 //! (`static.elided == dynamic.performed`) re-established *under
-//! concurrency*. Architecture and schema reference: `SERVER.md`.
+//! concurrency* over the mode-matched admitted population. With
+//! [`ServeConfig::deadline`] set, sessions past their deadline are
+//! **shed** (at admission or in queue) instead of queued without bound.
+//! The checked-in serving baseline is the composite
+//! [`report::SERVE_BENCH_SCHEMA`] (`rtj-serve-bench/v1`) document: an
+//! overload row plus a fixed-workload worker sweep with per-row result
+//! fingerprints. Architecture and schema reference: `SERVER.md`.
 //!
 //! # Example
 //!
@@ -46,8 +54,11 @@ pub mod report;
 pub mod server;
 pub mod session;
 
-pub use executor::{Executor, ExecutorStats};
+pub use executor::{Executor, ExecutorStats, Job};
 pub use load::{run_load, LoadOutcome, LoadPlan};
-pub use report::{LatencySummary, LoadGroup, LoadLedger, LoadReport, LOAD_SCHEMA};
-pub use server::{run_batch, ServeConfig, ServeError, ServeOutcome, Server};
-pub use session::{SessionResult, SessionSpec};
+pub use report::{
+    LatencySummary, LoadGroup, LoadLedger, LoadReport, ServeBenchReport, SweepRow, LOAD_SCHEMA,
+    SERVE_BENCH_SCHEMA,
+};
+pub use server::{run_batch, ServeConfig, ServeError, ServeOutcome, Server, ShedStats};
+pub use session::{results_fingerprint, SessionResult, SessionSpec, ShedStage};

@@ -1,11 +1,16 @@
-//! The versioned `rtj-load/v1` serving report.
+//! The versioned `rtj-load/v1` serving report and the `rtj-serve-bench/v1`
+//! baseline document.
 //!
 //! One load (or batch-serve) run renders to a single JSON document:
-//! run-level totals, per-(program, mode, engine) latency groups with
-//! exact p50/p95/p99 and a mergeable log₂-µs histogram, the per-mode
-//! **merged** `rtj-metrics/v1` snapshots, and the Figure-12 ledger
-//! derived from them. `rtjc report` accepts these documents alongside
-//! metrics/checker/fig12 documents. Schema documented in `SERVER.md`.
+//! run-level totals (including the `sessions.shed` overload block),
+//! per-(program, mode, engine) latency groups with exact p50/p95/p99 and
+//! a mergeable log₂-µs histogram, the per-mode **merged** `rtj-metrics/v1`
+//! snapshots (accumulated in the worker shards), and the Figure-12
+//! ledger computed over the mode-matched admitted population. `rtjc
+//! report` accepts these documents alongside metrics/checker/fig12
+//! documents. [`ServeBenchReport`] bundles an overload run with a
+//! fixed-workload worker sweep — the checked-in `BENCH_serve.json`
+//! baseline. Schemas documented in `SERVER.md`.
 
 use rtj_interp::Engine;
 use rtj_runtime::{CheckMode, Histogram, Json, JsonError, MetricsSnapshot};
@@ -16,6 +21,10 @@ use crate::session::SessionResult;
 
 /// Version tag of the serving-report schema.
 pub const LOAD_SCHEMA: &str = "rtj-load/v1";
+
+/// Version tag of the serving-baseline schema (overload row + worker
+/// sweep).
+pub const SERVE_BENCH_SCHEMA: &str = "rtj-serve-bench/v1";
 
 /// Exact order statistics over one group's wall-clock samples, plus a
 /// log₂ histogram (same bucketing as `rtj-metrics/v1` cost histograms)
@@ -128,7 +137,9 @@ impl LatencySummary {
 
 /// One request class: all sessions of one program under one (mode,
 /// engine), with request-side latency (scheduled arrival → completion)
-/// and server-side service time (engine entry → exit).
+/// and server-side service time (engine entry → exit). `requests`,
+/// `latency`, `service`, and `cycles` cover **executed** sessions only;
+/// `shed` counts the sessions of this class the server gave up on.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LoadGroup {
     /// Server program name.
@@ -137,10 +148,12 @@ pub struct LoadGroup {
     pub mode: CheckMode,
     /// Engine of the group.
     pub engine: Engine,
-    /// Requests in the group.
+    /// Executed requests in the group.
     pub requests: u64,
     /// Requests that halted with a runtime error.
     pub failed: u64,
+    /// Requests shed (admission or queue) instead of executed.
+    pub shed: u64,
     /// Total virtual cycles across the group (deterministic).
     pub cycles: u64,
     /// Arrival-anchored latency (includes queueing).
@@ -149,15 +162,23 @@ pub struct LoadGroup {
     pub service: LatencySummary,
 }
 
-/// The Figure-12 ledger on the merged snapshots: the checks static mode
-/// elided are exactly the checks dynamic mode performed.
+/// The Figure-12 ledger over the **mode-matched admitted population**:
+/// for each (program, variant), the largest equal number of executed
+/// static and dynamic sessions is matched, and the checks static mode
+/// elided on that population are exactly the checks dynamic mode
+/// performed. Without shedding every round is complete, the whole
+/// population matches, and the numbers equal the plain merged totals.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LoadLedger {
-    /// Checks elided under [`CheckMode::Static`], merged over sessions.
+    /// Checks elided under [`CheckMode::Static`] over the matched
+    /// population.
     pub static_elided: u64,
-    /// Checks performed under [`CheckMode::Dynamic`], merged over
-    /// sessions.
+    /// Checks performed under [`CheckMode::Dynamic`] over the matched
+    /// population.
     pub dynamic_performed: u64,
+    /// Matched sessions per mode (Σ over (program, variant) of
+    /// `min(static_executed, dynamic_executed)`).
+    pub matched_sessions: u64,
 }
 
 impl LoadLedger {
@@ -178,23 +199,29 @@ pub struct LoadReport {
     pub rate_hz: f64,
     /// Wall-clock time from first arrival to full drain, milliseconds.
     pub duration_ms: u64,
-    /// Sessions submitted (including the round-completion top-up).
+    /// Sessions offered to the server (executed + shed, including the
+    /// round-completion top-up).
     pub submitted: u64,
-    /// Sessions completed.
+    /// Sessions executed to completion.
     pub completed: u64,
-    /// Sessions that halted with a runtime error.
+    /// Sessions that halted with a runtime error (contained panics
+    /// included).
     pub failed: u64,
+    /// Sessions shed at admission (deadline passed before enqueue).
+    pub shed_admission: u64,
+    /// Sessions shed in queue (deadline passed before a worker claim).
+    pub shed_queue: u64,
     /// High-water mark of concurrently in-flight sessions (queued +
     /// executing).
     pub peak_concurrent: u64,
     /// Sessions executed by a worker other than the shard owner.
     pub stolen: u64,
-    /// Completed sessions per second of wall-clock time.
+    /// Executed sessions per second of wall-clock time.
     pub throughput_hz: f64,
     /// Per-(program, mode, engine) groups, in deterministic order.
     pub groups: Vec<LoadGroup>,
-    /// Per-mode merged `rtj-metrics/v1` snapshots across all sessions of
-    /// that mode.
+    /// Per-mode merged `rtj-metrics/v1` snapshots across all executed
+    /// sessions of that mode.
     pub mode_metrics: Vec<(CheckMode, MetricsSnapshot)>,
     /// The Figure-12 ledger, when both static and dynamic ran.
     pub ledger: Option<LoadLedger>,
@@ -207,14 +234,75 @@ fn bad(message: impl Into<String>) -> JsonError {
     }
 }
 
-fn mode_order(results: &[SessionResult]) -> Vec<CheckMode> {
-    let mut modes = Vec::new();
-    for r in results {
-        if !modes.contains(&r.spec.mode) {
-            modes.push(r.spec.mode);
+/// The matched-population ledger: per (program, variant), every static
+/// session elides a deterministic per-session count and every dynamic
+/// session performs one; matching `min(n_static, n_dynamic)` sessions of
+/// each mode makes the comparison exact over the admitted population
+/// even when shedding unbalanced the modes.
+fn matched_ledger(results: &[SessionResult]) -> Option<LoadLedger> {
+    struct PvRow {
+        program: String,
+        variant: u32,
+        static_n: u64,
+        static_per_session: u64,
+        dynamic_n: u64,
+        dynamic_per_session: u64,
+    }
+    let mut rows: Vec<PvRow> = Vec::new();
+    let mut saw_static = false;
+    let mut saw_dynamic = false;
+    for r in results.iter().filter(|r| r.shed.is_none()) {
+        let (is_static, per_session) = match r.spec.mode {
+            CheckMode::Static => {
+                saw_static = true;
+                (true, r.metrics.checks_elided())
+            }
+            CheckMode::Dynamic => {
+                saw_dynamic = true;
+                (false, r.metrics.checks_performed())
+            }
+            _ => continue,
+        };
+        let row = match rows
+            .iter_mut()
+            .find(|row| *row.program == *r.spec.program && row.variant == r.spec.variant)
+        {
+            Some(row) => row,
+            None => {
+                rows.push(PvRow {
+                    program: r.spec.program.to_string(),
+                    variant: r.spec.variant,
+                    static_n: 0,
+                    static_per_session: 0,
+                    dynamic_n: 0,
+                    dynamic_per_session: 0,
+                });
+                rows.last_mut().unwrap()
+            }
+        };
+        if is_static {
+            row.static_n += 1;
+            row.static_per_session = per_session;
+        } else {
+            row.dynamic_n += 1;
+            row.dynamic_per_session = per_session;
         }
     }
-    modes
+    if !saw_static || !saw_dynamic {
+        return None;
+    }
+    let mut ledger = LoadLedger {
+        static_elided: 0,
+        dynamic_performed: 0,
+        matched_sessions: 0,
+    };
+    for row in &rows {
+        let matched = row.static_n.min(row.dynamic_n);
+        ledger.static_elided += matched * row.static_per_session;
+        ledger.dynamic_performed += matched * row.dynamic_per_session;
+        ledger.matched_sessions += matched;
+    }
+    Some(ledger)
 }
 
 impl LoadReport {
@@ -232,7 +320,7 @@ impl LoadReport {
         // deterministic result order (sorted by session id).
         let mut keys: Vec<(String, CheckMode, Engine)> = Vec::new();
         for r in results {
-            let key = (r.spec.program.clone(), r.spec.mode, r.spec.engine);
+            let key = (r.spec.program.to_string(), r.spec.mode, r.spec.engine);
             if !keys.contains(&key) {
                 keys.push(key);
             }
@@ -251,18 +339,23 @@ impl LoadReport {
                 let members: Vec<&SessionResult> = results
                     .iter()
                     .filter(|r| {
-                        r.spec.program == program && r.spec.mode == mode && r.spec.engine == engine
+                        *r.spec.program == *program
+                            && r.spec.mode == mode
+                            && r.spec.engine == engine
                     })
                     .collect();
+                let executed: Vec<&&SessionResult> =
+                    members.iter().filter(|r| r.shed.is_none()).collect();
                 LoadGroup {
-                    requests: members.len() as u64,
-                    failed: members.iter().filter(|r| r.error.is_some()).count() as u64,
-                    cycles: members.iter().map(|r| r.cycles).sum(),
+                    requests: executed.len() as u64,
+                    failed: executed.iter().filter(|r| r.error.is_some()).count() as u64,
+                    shed: (members.len() - executed.len()) as u64,
+                    cycles: executed.iter().map(|r| r.cycles).sum(),
                     latency: LatencySummary::from_samples(
-                        members.iter().map(|r| r.latency_us).collect(),
+                        executed.iter().map(|r| r.latency_us).collect(),
                     ),
                     service: LatencySummary::from_samples(
-                        members.iter().map(|r| r.service_us).collect(),
+                        executed.iter().map(|r| r.service_us).collect(),
                     ),
                     program,
                     mode,
@@ -271,35 +364,19 @@ impl LoadReport {
             })
             .collect();
 
-        // Merge per-session snapshots per mode. `MetricsSnapshot::merge`
-        // is associative and commutative (proptested in rtj-runtime), so
-        // the merged totals are the exact sums of the per-session ones.
-        let mode_metrics: Vec<(CheckMode, MetricsSnapshot)> = mode_order(results)
-            .into_iter()
-            .map(|mode| {
-                let mut merged = MetricsSnapshot {
-                    mode,
-                    ..Default::default()
-                };
-                for r in results.iter().filter(|r| r.spec.mode == mode) {
-                    merged.merge(&r.metrics);
-                }
-                (mode, merged)
-            })
-            .collect();
+        // The per-mode merged snapshots were accumulated incrementally
+        // in the worker shards and merged once at drain
+        // (`MetricsSnapshot::merge` is associative and commutative —
+        // proptested in rtj-runtime — so the shard merge order cannot
+        // change the totals).
+        let mode_metrics = outcome.mode_metrics.clone();
+        let ledger = matched_ledger(results);
 
-        let find = |m: CheckMode| mode_metrics.iter().find(|(mode, _)| *mode == m);
-        let ledger = match (find(CheckMode::Static), find(CheckMode::Dynamic)) {
-            (Some((_, s)), Some((_, d))) => Some(LoadLedger {
-                static_elided: s.checks_elided(),
-                dynamic_performed: d.checks_performed(),
-            }),
-            _ => None,
-        };
-
-        let failed = results.iter().filter(|r| r.error.is_some()).count() as u64;
+        let executed = results.iter().filter(|r| r.shed.is_none());
+        let completed = executed.clone().count() as u64;
+        let failed = executed.clone().filter(|r| r.error.is_some()).count() as u64;
         let throughput_hz = if duration_ms > 0 {
-            outcome.stats.completed as f64 * 1000.0 / duration_ms as f64
+            completed as f64 * 1000.0 / duration_ms as f64
         } else {
             0.0
         };
@@ -308,9 +385,11 @@ impl LoadReport {
             workers: outcome.stats.workers,
             rate_hz,
             duration_ms,
-            submitted: outcome.stats.submitted,
-            completed: outcome.stats.completed,
+            submitted: results.len() as u64,
+            completed,
             failed,
+            shed_admission: outcome.shed.admission,
+            shed_queue: outcome.shed.queue,
             peak_concurrent: outcome.stats.peak_in_flight,
             stolen: outcome.stats.stolen,
             throughput_hz,
@@ -330,6 +409,11 @@ impl LoadReport {
         )
     }
 
+    /// Total shed sessions (admission + queue).
+    pub fn shed_total(&self) -> u64 {
+        self.shed_admission + self.shed_queue
+    }
+
     /// Serialises to the versioned document.
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
@@ -344,6 +428,14 @@ impl LoadReport {
                     ("submitted", Json::Int(self.submitted as i64)),
                     ("completed", Json::Int(self.completed as i64)),
                     ("failed", Json::Int(self.failed as i64)),
+                    (
+                        "shed",
+                        Json::obj(vec![
+                            ("admission", Json::Int(self.shed_admission as i64)),
+                            ("queue", Json::Int(self.shed_queue as i64)),
+                            ("total", Json::Int(self.shed_total() as i64)),
+                        ]),
+                    ),
                     ("peak_concurrent", Json::Int(self.peak_concurrent as i64)),
                     ("stolen", Json::Int(self.stolen as i64)),
                 ]),
@@ -361,6 +453,7 @@ impl LoadReport {
                                 ("engine", Json::Str(g.engine.to_string())),
                                 ("requests", Json::Int(g.requests as i64)),
                                 ("failed", Json::Int(g.failed as i64)),
+                                ("shed", Json::Int(g.shed as i64)),
                                 ("cycles", Json::Int(g.cycles as i64)),
                                 ("latency", g.latency.to_json()),
                                 ("service", g.service.to_json()),
@@ -389,6 +482,7 @@ impl LoadReport {
                     Some(l) => Json::obj(vec![
                         ("static_elided", Json::Int(l.static_elided as i64)),
                         ("dynamic_performed", Json::Int(l.dynamic_performed as i64)),
+                        ("matched_sessions", Json::Int(l.matched_sessions as i64)),
                         ("holds", Json::Bool(l.holds())),
                     ]),
                     None => Json::Null,
@@ -417,6 +511,14 @@ impl LoadReport {
                 .get(k)
                 .and_then(Json::as_u64)
                 .ok_or_else(|| bad(format!("missing `sessions.{k}`")))
+        };
+        // The shed block is optional so pre-shedding documents parse.
+        let (shed_admission, shed_queue) = match sessions.get("shed") {
+            Some(shed) => (
+                shed.get("admission").and_then(Json::as_u64).unwrap_or(0),
+                shed.get("queue").and_then(Json::as_u64).unwrap_or(0),
+            ),
+            None => (0, 0),
         };
         let parse_engine = |s: &str| -> Result<Engine, JsonError> {
             match s {
@@ -453,6 +555,7 @@ impl LoadReport {
                     .and_then(Json::as_u64)
                     .ok_or_else(|| bad("missing group `requests`"))?,
                 failed: g.get("failed").and_then(Json::as_u64).unwrap_or(0),
+                shed: g.get("shed").and_then(Json::as_u64).unwrap_or(0),
                 cycles: g.get("cycles").and_then(Json::as_u64).unwrap_or(0),
                 latency: LatencySummary::from_json(
                     g.get("latency").ok_or_else(|| bad("missing `latency`"))?,
@@ -484,6 +587,10 @@ impl LoadReport {
                     .get("dynamic_performed")
                     .and_then(Json::as_u64)
                     .ok_or_else(|| bad("missing `dynamic_performed`"))?,
+                matched_sessions: l
+                    .get("matched_sessions")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
             }),
         };
         Ok(LoadReport {
@@ -503,6 +610,8 @@ impl LoadReport {
             submitted: sess_field("submitted")?,
             completed: sess_field("completed")?,
             failed: sess_field("failed")?,
+            shed_admission,
+            shed_queue,
             peak_concurrent: sess_field("peak_concurrent")?,
             stolen: sess_field("stolen")?,
             throughput_hz: v
@@ -539,25 +648,34 @@ impl LoadReport {
         }
         out += &format!("duration      : {} ms\n", self.duration_ms);
         out += &format!(
-            "sessions      : {} submitted, {} completed, {} failed\n",
+            "sessions      : {} offered, {} completed, {} failed\n",
             self.submitted, self.completed, self.failed
         );
+        if self.shed_total() > 0 {
+            out += &format!(
+                "shed          : {} ({} at admission, {} in queue)\n",
+                self.shed_total(),
+                self.shed_admission,
+                self.shed_queue
+            );
+        }
         out += &format!(
             "concurrency   : peak {} in flight, {} stolen\n",
             self.peak_concurrent, self.stolen
         );
         out += &format!("throughput    : {:.0} sessions/s\n\n", self.throughput_hz);
         out += &format!(
-            "{:<8} {:<8} {:<6} {:>8} {:>9} {:>9} {:>9} {:>9}\n",
-            "program", "mode", "engine", "requests", "p50 µs", "p95 µs", "p99 µs", "max µs"
+            "{:<8} {:<8} {:<6} {:>8} {:>6} {:>9} {:>9} {:>9} {:>9}\n",
+            "program", "mode", "engine", "requests", "shed", "p50 µs", "p95 µs", "p99 µs", "max µs"
         );
         for g in &self.groups {
             out += &format!(
-                "{:<8} {:<8} {:<6} {:>8} {:>9} {:>9} {:>9} {:>9}\n",
+                "{:<8} {:<8} {:<6} {:>8} {:>6} {:>9} {:>9} {:>9} {:>9}\n",
                 g.program,
                 g.mode.name(),
                 g.engine.to_string(),
                 g.requests,
+                g.shed,
                 g.latency.p50_us,
                 g.latency.p95_us,
                 g.latency.p99_us,
@@ -566,13 +684,211 @@ impl LoadReport {
         }
         if let Some(l) = &self.ledger {
             out += &format!(
-                "\nfigure-12 ledger: static.elided {} {} dynamic.performed {} ({})\n",
+                "\nfigure-12 ledger: static.elided {} {} dynamic.performed {} ({}, {} matched sessions/mode)\n",
                 l.static_elided,
                 if l.holds() { "==" } else { "!=" },
                 l.dynamic_performed,
                 if l.holds() { "holds" } else { "VIOLATED" },
+                l.matched_sessions,
             );
         }
+        out
+    }
+}
+
+/// One row of the worker sweep: a fixed saturation batch run at one
+/// worker count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRow {
+    /// Worker-thread count of this row.
+    pub workers: usize,
+    /// Sessions executed (the batch size; constant across rows).
+    pub sessions: u64,
+    /// Wall-clock time to drain the batch, milliseconds.
+    pub duration_ms: u64,
+    /// Executed sessions per second.
+    pub throughput_hz: f64,
+    /// Sessions executed by a non-owner worker.
+    pub stolen: u64,
+    /// FNV-1a fingerprint over the deterministic per-session results —
+    /// equal across rows ⇔ byte-identical results at every worker count.
+    pub fingerprint: u64,
+}
+
+impl SweepRow {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("workers", Json::Int(self.workers as i64)),
+            ("sessions", Json::Int(self.sessions as i64)),
+            ("duration_ms", Json::Int(self.duration_ms as i64)),
+            ("throughput_hz", Json::Float(self.throughput_hz)),
+            ("stolen", Json::Int(self.stolen as i64)),
+            (
+                "fingerprint",
+                Json::Str(format!("{:016x}", self.fingerprint)),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<SweepRow, JsonError> {
+        let int = |k: &str| -> Result<u64, JsonError> {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad(format!("missing sweep `{k}`")))
+        };
+        let fingerprint = v
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing sweep `fingerprint`"))?;
+        Ok(SweepRow {
+            workers: int("workers")? as usize,
+            sessions: int("sessions")?,
+            duration_ms: int("duration_ms")?,
+            throughput_hz: v
+                .get("throughput_hz")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| bad("missing sweep `throughput_hz`"))?,
+            stolen: int("stolen")?,
+            fingerprint: u64::from_str_radix(fingerprint, 16)
+                .map_err(|_| bad("bad sweep `fingerprint`"))?,
+        })
+    }
+}
+
+/// The `rtj-serve-bench/v1` baseline document: one overload load run
+/// (deadline shedding active) plus a fixed-workload saturation-batch
+/// sweep over worker counts, with per-row result fingerprints proving
+/// byte-identity across the sweep.
+#[derive(Debug, Clone)]
+pub struct ServeBenchReport {
+    /// The overload row: an open-loop run far past the knee, with
+    /// deadline shedding keeping the queue bounded.
+    pub overload: LoadReport,
+    /// Mix rounds per sweep row (the fixed batch).
+    pub sweep_rounds: u64,
+    /// Simulated downstream stall per session in the sweep (µs); worker
+    /// scaling of I/O-shaped load is what the sweep isolates.
+    pub sweep_stall_us: u64,
+    /// One row per worker count, ascending.
+    pub rows: Vec<SweepRow>,
+}
+
+impl ServeBenchReport {
+    /// Throughput of the last row over the first (e.g. 8 workers vs 1).
+    pub fn speedup(&self) -> f64 {
+        match (self.rows.first(), self.rows.last()) {
+            (Some(first), Some(last)) if first.throughput_hz > 0.0 => {
+                last.throughput_hz / first.throughput_hz
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Whether every sweep row produced byte-identical per-session
+    /// results (equal fingerprints).
+    pub fn identical_results(&self) -> bool {
+        self.rows
+            .windows(2)
+            .all(|w| w[0].fingerprint == w[1].fingerprint)
+    }
+
+    /// Serialises to the versioned document.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema", Json::Str(SERVE_BENCH_SCHEMA.into())),
+            ("overload", self.overload.to_json()),
+            (
+                "sweep",
+                Json::obj(vec![
+                    ("rounds", Json::Int(self.sweep_rounds as i64)),
+                    ("stall_us", Json::Int(self.sweep_stall_us as i64)),
+                    (
+                        "rows",
+                        Json::Arr(self.rows.iter().map(SweepRow::to_json).collect()),
+                    ),
+                    ("speedup", Json::Float(self.speedup())),
+                    ("identical_results", Json::Bool(self.identical_results())),
+                ]),
+            ),
+        ])
+    }
+
+    /// Parses a document produced by [`ServeBenchReport::to_json`].
+    pub fn from_json(v: &Json) -> Result<ServeBenchReport, JsonError> {
+        match v.get("schema").and_then(Json::as_str) {
+            Some(SERVE_BENCH_SCHEMA) => {}
+            Some(other) => return Err(bad(format!("expected {SERVE_BENCH_SCHEMA}, got {other}"))),
+            None => return Err(bad("missing `schema`")),
+        }
+        let overload =
+            LoadReport::from_json(v.get("overload").ok_or_else(|| bad("missing `overload`"))?)?;
+        let sweep = v.get("sweep").ok_or_else(|| bad("missing `sweep`"))?;
+        let mut rows = Vec::new();
+        for row in sweep
+            .get("rows")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("missing `sweep.rows`"))?
+        {
+            rows.push(SweepRow::from_json(row)?);
+        }
+        Ok(ServeBenchReport {
+            overload,
+            sweep_rounds: sweep
+                .get("rounds")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad("missing `sweep.rounds`"))?,
+            sweep_stall_us: sweep.get("stall_us").and_then(Json::as_u64).unwrap_or(0),
+            rows,
+        })
+    }
+
+    /// Parses the rendered text form.
+    pub fn parse(text: &str) -> Result<ServeBenchReport, JsonError> {
+        ServeBenchReport::from_json(&Json::parse(text)?)
+    }
+
+    /// Renders the JSON document.
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Renders the human-readable baseline: the overload report, then
+    /// the sweep table.
+    pub fn render_report(&self) -> String {
+        let mut out = String::new();
+        out += &format!("serving baseline ({SERVE_BENCH_SCHEMA})\n\n");
+        out += "== overload row (deadline shedding) ==\n";
+        out += &self.overload.render_report();
+        out += &format!(
+            "\n== worker sweep ({} rounds/row, {} µs stall) ==\n",
+            self.sweep_rounds, self.sweep_stall_us
+        );
+        out += &format!(
+            "{:>7} {:>9} {:>11} {:>13} {:>7}  {}\n",
+            "workers", "sessions", "drain ms", "sessions/s", "stolen", "fingerprint"
+        );
+        for row in &self.rows {
+            out += &format!(
+                "{:>7} {:>9} {:>11} {:>13.0} {:>7}  {:016x}\n",
+                row.workers,
+                row.sessions,
+                row.duration_ms,
+                row.throughput_hz,
+                row.stolen,
+                row.fingerprint
+            );
+        }
+        out += &format!(
+            "\nspeedup {:.2}x ({} → {} workers), results {}\n",
+            self.speedup(),
+            self.rows.first().map_or(0, |r| r.workers),
+            self.rows.last().map_or(0, |r| r.workers),
+            if self.identical_results() {
+                "byte-identical across the sweep"
+            } else {
+                "DIVERGED"
+            }
+        );
         out
     }
 }

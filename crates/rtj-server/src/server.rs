@@ -1,5 +1,6 @@
 //! The multi-tenant server: prepared program artifacts shared across
-//! sessions, per-session runtimes, and the executor gluing them.
+//! sessions, per-session runtimes, per-worker result shards, and the
+//! executor gluing them.
 //!
 //! [`Server::start`] compiles every (program, variant) in the request
 //! mix **once** ([`rtj_interp::prepare`]) and shares the immutable
@@ -8,15 +9,40 @@
 //! ([`rtj_interp::run_prepared`]), so tenants share *code* but never
 //! *state*. The `Runtime: Send` audit in rtj-runtime plus the global
 //! string interner (PR 1) are the only cross-session surfaces.
+//!
+//! # Result aggregation: sharing serialized by construction
+//!
+//! Completed sessions land in **per-worker result shards**: worker `w`
+//! appends to shard `w` (its own `Vec<SessionResult>` plus incrementally
+//! merged per-(mode, engine) `rtj-metrics/v1` accumulators), so the hot
+//! path never touches a lock another thread wants — the
+//! regions-and-locks framing (Gerakios et al.) applied to the serving
+//! layer: exclusive ownership instead of a global results mutex. The
+//! shards are merged **once**, at [`Server::finish`], and sorting by
+//! session id restores the deterministic result order, so byte-identity
+//! across `--workers` is unaffected.
+//!
+//! # Admission control and deadline shedding
+//!
+//! With [`ServeConfig::deadline`] set, a session whose deadline
+//! (scheduled arrival + deadline) has already passed is **shed**:
+//! either at admission (before it ever reaches the executor) or in the
+//! queue (a worker claims it, sees the deadline expired, and skips the
+//! engine). Shed sessions produce a [`SessionResult`] with
+//! [`ShedStage`] set and empty virtual outcome; they are reported in
+//! the `sessions.shed` block of `rtj-load/v1` and excluded from the
+//! executed population the Figure-12 ledger is computed over.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use rtj_interp::{prepare, run_prepared, Engine, Prepared, RunConfig};
-use rtj_runtime::CheckMode;
+use rtj_interp::{prepare, run_prepared, Engine, Prepared, RunConfig, RunError};
+use rtj_runtime::{CheckMode, MetricsSnapshot};
 
 use crate::executor::{Executor, ExecutorStats};
-use crate::session::{SessionResult, SessionSpec};
+use crate::session::{SessionResult, SessionSpec, ShedStage};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -36,6 +62,19 @@ pub struct ServeConfig {
     pub modes: Vec<CheckMode>,
     /// Engines in the request mix.
     pub engines: Vec<Engine>,
+    /// Per-session deadline, measured from the scheduled arrival.
+    /// `None` disables shedding. Sessions past their deadline are shed
+    /// at admission or in the queue instead of executed.
+    pub deadline: Option<Duration>,
+    /// Simulated downstream stall per session (a real `thread::sleep`
+    /// inside the worker, after the engine run). Models request handlers
+    /// blocked on external I/O; lets worker sweeps measure executor
+    /// concurrency independent of host core count. Zero disables it.
+    pub stall_us: u64,
+    /// Fault injection: the session id (if any) whose job panics instead
+    /// of running — exercises panic containment (the session is recorded
+    /// as failed; the round completes).
+    pub panic_session: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -50,6 +89,9 @@ impl Default for ServeConfig {
             variants: 4,
             modes: vec![CheckMode::Static, CheckMode::Dynamic, CheckMode::Audit],
             engines: vec![Engine::Vm],
+            deadline: None,
+            stall_us: 0,
+            panic_session: None,
         }
     }
 }
@@ -73,28 +115,95 @@ impl std::error::Error for ServeError {}
 /// One entry of the request mix: a compiled (program, variant) under a
 /// (mode, engine). Session id `s` maps to `mix[s % mix.len()]`.
 struct MixEntry {
-    program: String,
+    /// Interned program name — cloned per session as a refcount bump,
+    /// never a heap copy, so the 60k/s submit path stays allocation-light.
+    program: Arc<str>,
     variant: u32,
     mode: CheckMode,
     engine: Engine,
     prepared: Arc<Prepared>,
 }
 
+/// Sessions shed instead of executed, by stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShedStats {
+    /// Shed at admission: the deadline had passed before the session
+    /// reached the executor.
+    pub admission: u64,
+    /// Shed in queue: a worker claimed the session after its deadline.
+    pub queue: u64,
+}
+
+impl ShedStats {
+    /// Total shed sessions.
+    pub fn total(&self) -> u64 {
+        self.admission + self.queue
+    }
+}
+
 /// Everything a finished serving run produced.
 #[derive(Debug)]
 pub struct ServeOutcome {
-    /// Per-session results, sorted by session id.
+    /// Per-session results (executed and shed), sorted by session id.
     pub results: Vec<SessionResult>,
     /// Final executor counters.
     pub stats: ExecutorStats,
+    /// Per-mode merged `rtj-metrics/v1` snapshots over executed
+    /// sessions, accumulated incrementally in the worker shards and
+    /// merged once at drain. Ordered by first appearance in session-id
+    /// order.
+    pub mode_metrics: Vec<(CheckMode, MetricsSnapshot)>,
+    /// Shed counts by stage.
+    pub shed: ShedStats,
 }
 
-/// The running server. `submit` is cheap (boxes a closure); all engine
-/// work happens on the executor's workers.
+/// One worker's private result aggregation: owned by exactly one worker
+/// thread while the run is live (the mutex is uncontended; it exists to
+/// hand the shard to `finish` safely).
+#[derive(Debug, Default)]
+struct ResultShard {
+    results: Vec<SessionResult>,
+    /// Incrementally merged per-(mode, engine) snapshots of executed
+    /// sessions — the streaming aggregation that replaces a re-merge
+    /// over every per-session snapshot at report time.
+    metrics: Vec<((CheckMode, Engine), MetricsSnapshot)>,
+}
+
+impl ResultShard {
+    fn record(&mut self, result: SessionResult) {
+        if result.shed.is_none() {
+            let key = (result.spec.mode, result.spec.engine);
+            match self.metrics.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, merged)) => merged.merge(&result.metrics),
+                None => {
+                    let mut merged = MetricsSnapshot {
+                        mode: result.spec.mode,
+                        ..Default::default()
+                    };
+                    merged.merge(&result.metrics);
+                    self.metrics.push((key, merged));
+                }
+            }
+        }
+        self.results.push(result);
+    }
+}
+
+/// The running server. `submit` is cheap (boxes a closure, bumps
+/// refcounts); all engine work happens on the executor's workers.
 pub struct Server {
     executor: Executor,
     mix: Vec<Arc<MixEntry>>,
-    results: Arc<Mutex<Vec<SessionResult>>>,
+    /// One result shard per worker, indexed by executing-worker id.
+    shards: Arc<Vec<Mutex<ResultShard>>>,
+    /// Admission-shed results, owned by the submitting thread (the
+    /// drivers submit from one thread; this mutex is uncontended).
+    admission_shed: Mutex<Vec<SessionResult>>,
+    shed_admission: AtomicU64,
+    shed_queue: Arc<AtomicU64>,
+    deadline: Option<Duration>,
+    stall: Duration,
+    panic_session: Option<u64>,
 }
 
 impl Server {
@@ -114,7 +223,7 @@ impl Server {
         }
         // Compile each (program, variant) once; share across modes and
         // engines.
-        let mut compiled = Vec::new();
+        let mut compiled: Vec<(Arc<str>, u32, Arc<Prepared>)> = Vec::new();
         for name in &cfg.programs {
             let sources =
                 rtj_corpus::request_variants(name, cfg.variants).ok_or_else(|| ServeError {
@@ -123,11 +232,16 @@ impl Server {
                         rtj_corpus::SERVER_PROGRAMS.join(", ")
                     ),
                 })?;
+            let name: Arc<str> = Arc::from(name.as_str());
             for (variant, src) in sources.iter().enumerate() {
                 let checked = rtj_interp::build(src).map_err(|e| ServeError {
                     message: format!("{name} variant {variant} failed to build: {e:?}"),
                 })?;
-                compiled.push((name.clone(), variant as u32, Arc::new(prepare(&checked))));
+                compiled.push((
+                    Arc::clone(&name),
+                    variant as u32,
+                    Arc::new(prepare(&checked)),
+                ));
             }
         }
         let mut mix = Vec::new();
@@ -135,7 +249,7 @@ impl Server {
             for engine in &cfg.engines {
                 for (program, variant, prepared) in &compiled {
                     mix.push(Arc::new(MixEntry {
-                        program: program.clone(),
+                        program: Arc::clone(program),
                         variant: *variant,
                         mode: *mode,
                         engine: *engine,
@@ -144,10 +258,22 @@ impl Server {
                 }
             }
         }
+        let executor = Executor::new(cfg.workers, cfg.queue_capacity);
+        let shards = Arc::new(
+            (0..executor.workers())
+                .map(|_| Mutex::new(ResultShard::default()))
+                .collect::<Vec<_>>(),
+        );
         Ok(Server {
-            executor: Executor::new(cfg.workers, cfg.queue_capacity),
+            executor,
             mix,
-            results: Arc::new(Mutex::new(Vec::new())),
+            shards,
+            admission_shed: Mutex::new(Vec::new()),
+            shed_admission: AtomicU64::new(0),
+            shed_queue: Arc::new(AtomicU64::new(0)),
+            deadline: cfg.deadline,
+            stall: Duration::from_micros(cfg.stall_us),
+            panic_session: cfg.panic_session,
         })
     }
 
@@ -166,7 +292,7 @@ impl Server {
         let entry = &self.mix[(session as usize) % self.mix.len()];
         SessionSpec {
             session,
-            program: entry.program.clone(),
+            program: Arc::clone(&entry.program),
             variant: entry.variant,
             mode: entry.mode,
             engine: entry.engine,
@@ -176,32 +302,100 @@ impl Server {
     /// Submits session `session`, anchored to `scheduled` for latency
     /// accounting (pass the open-loop arrival time, or `Instant::now()`
     /// for an unpaced batch). Blocks only when the executor queue is at
-    /// capacity.
+    /// capacity. With a deadline configured, a session already past it
+    /// is shed here (admission) and never reaches the executor.
     pub fn submit(&self, session: u64, scheduled: Instant) {
         let entry = Arc::clone(&self.mix[(session as usize) % self.mix.len()]);
-        let results = Arc::clone(&self.results);
-        self.executor.submit(Box::new(move || {
+        let deadline = self.deadline.map(|d| scheduled + d);
+
+        // Shed on admission: the deadline passed while the submitter
+        // itself was behind — refuse before paying for the queue.
+        if let Some(dl) = deadline {
+            if Instant::now() >= dl {
+                self.shed_admission.fetch_add(1, Ordering::Relaxed);
+                self.admission_shed.lock().unwrap().push(shed_result(
+                    &entry,
+                    session,
+                    scheduled,
+                    ShedStage::Admission,
+                ));
+                return;
+            }
+        }
+
+        let shards = Arc::clone(&self.shards);
+        let shed_queue = Arc::clone(&self.shed_queue);
+        let stall = self.stall;
+        let panic_session = self.panic_session;
+        self.executor.submit(Box::new(move |worker: usize| {
+            // Shed in queue: claimed too late to matter.
+            if let Some(dl) = deadline {
+                if Instant::now() >= dl {
+                    shed_queue.fetch_add(1, Ordering::Relaxed);
+                    let result = shed_result(&entry, session, scheduled, ShedStage::Queue);
+                    shards[worker].lock().unwrap().record(result);
+                    return;
+                }
+            }
             let mut cfg = RunConfig::new(entry.mode);
             cfg.engine = entry.engine;
             cfg.session = session;
-            let outcome = run_prepared(&entry.prepared, cfg);
+            // Contain unwinds *before* touching the shard lock: a
+            // panicking session is recorded as failed and can neither
+            // poison the shard nor wedge the batch.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                if panic_session == Some(session) {
+                    panic!("injected fault: session {session}");
+                }
+                run_prepared(&entry.prepared, cfg)
+            }));
+            if !stall.is_zero() {
+                // Simulated downstream I/O: the worker is occupied but
+                // off-CPU, exactly like a handler awaiting an upstream.
+                std::thread::sleep(stall);
+            }
             let latency_us = scheduled.elapsed().as_micros() as u64;
-            let result = SessionResult {
-                spec: SessionSpec {
-                    session,
-                    program: entry.program.clone(),
-                    variant: entry.variant,
-                    mode: entry.mode,
-                    engine: entry.engine,
+            let result = match outcome {
+                Ok(outcome) => SessionResult {
+                    spec: SessionSpec {
+                        session,
+                        program: Arc::clone(&entry.program),
+                        variant: entry.variant,
+                        mode: entry.mode,
+                        engine: entry.engine,
+                    },
+                    cycles: outcome.cycles,
+                    metrics: outcome.metrics,
+                    output: outcome.trace,
+                    error: outcome.error,
+                    shed: None,
+                    service_us: outcome.wall.as_micros() as u64,
+                    latency_us,
                 },
-                cycles: outcome.cycles,
-                metrics: outcome.metrics,
-                output: outcome.trace,
-                error: outcome.error,
-                service_us: outcome.wall.as_micros() as u64,
-                latency_us,
+                Err(payload) => {
+                    let msg = panic_message(payload.as_ref());
+                    SessionResult {
+                        spec: SessionSpec {
+                            session,
+                            program: Arc::clone(&entry.program),
+                            variant: entry.variant,
+                            mode: entry.mode,
+                            engine: entry.engine,
+                        },
+                        cycles: 0,
+                        metrics: MetricsSnapshot {
+                            mode: entry.mode,
+                            ..Default::default()
+                        },
+                        output: Vec::new(),
+                        error: Some(RunError::Interp(format!("session panicked: {msg}"))),
+                        shed: None,
+                        service_us: 0,
+                        latency_us,
+                    }
+                }
             };
-            results.lock().unwrap().push(result);
+            shards[worker].lock().unwrap().record(result);
         }));
     }
 
@@ -215,16 +409,99 @@ impl Server {
         self.executor.stats()
     }
 
-    /// Drains, stops the workers, and returns the per-session results
-    /// sorted by session id.
+    /// Drains, stops the workers, merges the per-worker result shards
+    /// (once), and returns the per-session results sorted by session id
+    /// plus the pre-merged per-mode metrics.
     pub fn finish(self) -> ServeOutcome {
         let stats = self.executor.shutdown();
-        let mut results = Arc::try_unwrap(self.results)
-            .expect("workers stopped")
-            .into_inner()
-            .unwrap();
+        let shards = Arc::try_unwrap(self.shards).expect("workers stopped");
+        let mut results = self.admission_shed.into_inner().unwrap();
+        let mut merged: Vec<((CheckMode, Engine), MetricsSnapshot)> = Vec::new();
+        for shard in shards {
+            let shard = shard.into_inner().unwrap();
+            results.extend(shard.results);
+            for (key, snap) in shard.metrics {
+                match merged.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, agg)) => agg.merge(&snap),
+                    None => merged.push((key, snap)),
+                }
+            }
+        }
         results.sort_by_key(|r| r.spec.session);
-        ServeOutcome { results, stats }
+
+        // Collapse the per-(mode, engine) accumulators to per-mode, in
+        // first-appearance (session-id) order, so the report is
+        // byte-identical at any worker count.
+        let mut mode_metrics: Vec<(CheckMode, MetricsSnapshot)> = Vec::new();
+        for r in results.iter().filter(|r| r.shed.is_none()) {
+            if !mode_metrics.iter().any(|(m, _)| *m == r.spec.mode) {
+                mode_metrics.push((
+                    r.spec.mode,
+                    MetricsSnapshot {
+                        mode: r.spec.mode,
+                        ..Default::default()
+                    },
+                ));
+            }
+        }
+        for ((mode, _), snap) in &merged {
+            let slot = mode_metrics
+                .iter_mut()
+                .find(|(m, _)| m == mode)
+                .expect("accumulated mode appears in results");
+            slot.1.merge(snap);
+        }
+
+        let shed = ShedStats {
+            admission: self.shed_admission.load(Ordering::Relaxed),
+            queue: self.shed_queue.load(Ordering::Relaxed),
+        };
+        ServeOutcome {
+            results,
+            stats,
+            mode_metrics,
+            shed,
+        }
+    }
+}
+
+/// Builds the placeholder result for a shed session: empty virtual
+/// outcome, latency measured to the shed decision.
+fn shed_result(
+    entry: &MixEntry,
+    session: u64,
+    scheduled: Instant,
+    stage: ShedStage,
+) -> SessionResult {
+    SessionResult {
+        spec: SessionSpec {
+            session,
+            program: Arc::clone(&entry.program),
+            variant: entry.variant,
+            mode: entry.mode,
+            engine: entry.engine,
+        },
+        cycles: 0,
+        metrics: MetricsSnapshot {
+            mode: entry.mode,
+            ..Default::default()
+        },
+        output: Vec::new(),
+        error: None,
+        shed: Some(stage),
+        service_us: 0,
+        latency_us: scheduled.elapsed().as_micros() as u64,
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string panic payload>"
     }
 }
 

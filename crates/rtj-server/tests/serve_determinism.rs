@@ -20,6 +20,7 @@ fn smoke_config(workers: usize) -> ServeConfig {
         variants: 2,
         modes: vec![CheckMode::Static, CheckMode::Dynamic, CheckMode::Audit],
         engines: vec![Engine::Vm, Engine::Tree],
+        ..ServeConfig::default()
     }
 }
 
@@ -41,6 +42,11 @@ fn per_session_results_identical_across_worker_counts() {
             deterministic_keys(&baseline),
             deterministic_keys(&outcome),
             "results diverged between 1 and {workers} workers"
+        );
+        // The sweep's byte-identity witness agrees with the full diff.
+        assert_eq!(
+            rtj_server::results_fingerprint(&baseline.results),
+            rtj_server::results_fingerprint(&outcome.results),
         );
     }
 }

@@ -160,12 +160,42 @@ fn serving_docs_cross_reference_each_other() {
 }
 
 /// The checked-in serving baseline must parse as a current-schema
-/// document (catches schema drift that would strand the baseline).
+/// document (catches schema drift that would strand the baseline) and
+/// must actually witness the sharded-result-path claims: a 1/2/4/8
+/// worker sweep with byte-identical results and real scaling, plus an
+/// overload row where deadline shedding (not unbounded queueing)
+/// absorbed the excess and the Figure-12 ledger still held exactly over
+/// the admitted population.
 #[test]
 fn bench_serve_baseline_parses() {
     let text = read_doc("BENCH_serve.json");
-    let report = rtjava::server::LoadReport::parse(&text).expect("BENCH_serve.json parses");
-    assert!(report.completed >= 1000, "baseline should show a real run");
-    let ledger = report.ledger.expect("baseline carries the ledger");
+    let report = rtjava::server::ServeBenchReport::parse(&text).expect("BENCH_serve.json parses");
+
+    let workers: Vec<usize> = report.rows.iter().map(|r| r.workers).collect();
+    assert_eq!(workers, [1, 2, 4, 8], "sweep must cover 1/2/4/8 workers");
+    assert!(
+        report.identical_results(),
+        "per-session results must be byte-identical across worker counts"
+    );
+    assert!(
+        report.speedup() >= 2.5,
+        "sweep speedup 1→8 workers must be >= 2.5x, got {:.2}x",
+        report.speedup()
+    );
+    for row in &report.rows {
+        assert_eq!(row.sessions, report.rows[0].sessions, "fixed batch");
+    }
+
+    let overload = &report.overload;
+    assert!(
+        overload.completed >= 1000,
+        "baseline should show a real run"
+    );
+    assert!(
+        overload.shed_total() > 0,
+        "overload must shed instead of queueing without bound"
+    );
+    let ledger = overload.ledger.expect("baseline carries the ledger");
     assert!(ledger.holds(), "Figure-12 ledger must hold in the baseline");
+    assert!(ledger.matched_sessions > 0, "matched population non-empty");
 }
