@@ -8,6 +8,12 @@
 //! rtjc check --explain <file>  …rendering each error's derivation trace
 //! rtjc check --profile[=FILE] [--trace-format chrome|jsonl] <file>
 //!                              …self-profiling the checker pipeline
+//! rtjc check --watch [--watch-max N] <file>
+//!                              re-check the file whenever it changes,
+//!                              reusing fingerprint-clean results
+//! rtjc check --edits FILE [--final-out F] <file>
+//!                              apply an rtj-edits/v1 script batch by
+//!                              batch through the incremental engine
 //! rtjc run <file.rtj>          check then run (static mode, bytecode VM)
 //! rtjc run --dynamic <file>    run with the RTSJ dynamic checks
 //! rtjc run --audit <file>      run the checks at zero virtual cost
@@ -23,6 +29,10 @@
 //! rtjc bench <name>            print a corpus program's source
 //! rtjc bench scaled:N --format json  tree-vs-VM engine comparison
 //!                              (an rtj-bench/v1 document)
+//! rtjc bench incremental[:N] [--batches B] [--seed S] [--jobs J]
+//!                              incremental re-check latency baseline
+//!                              (an rtj-check-bench/v1 document,
+//!                              persisted as BENCH_check.json)
 //! rtjc serve --rounds R        multi-tenant batch serving (saturation)
 //! rtjc load --rate HZ --duration-ms MS  open-loop Poisson load
 //!                              (both emit rtj-load/v1; see SERVER.md)
@@ -36,9 +46,11 @@
 //! snapshots are `rtj-checker-metrics/v1` documents, and `report`
 //! renders any mix of those plus `rtj-fig12/v1` documents (from `fig12
 //! --format json`), `rtj-load/v1` serving reports (from `serve`/`load`),
-//! and `rtj-serve-bench/v1` baselines (from `servebench`) — given both a
-//! checker and a runtime snapshot it appends the combined static-cost
-//! vs. checks-elided view. `FILE` may be `-` for stdout.
+//! `rtj-serve-bench/v1` baselines (from `servebench`), and
+//! `rtj-check-bench/v1` incremental-checker baselines (from `bench
+//! incremental:N`) — given both a checker and a runtime snapshot it
+//! appends the combined static-cost vs. checks-elided view. `FILE` may
+//! be `-` for stdout.
 
 use rtj_interp::{build, run_checked, Engine, RunConfig, TraceCapture};
 use rtj_runtime::{CheckMode, CheckerMetrics, Json, MetricsSnapshot};
@@ -185,11 +197,15 @@ fn main() -> ExitCode {
                 "usage: rtjc <check|run|fmt|fig11|fig12|report|bench|serve|load|servebench> [args]\n\
                  \n\
                  check [--stats] [--format json] [--jobs N] [--explain]\n\
-                 \x20     [--profile[=FILE]] [--trace-format chrome|jsonl] <file>\n\
+                 \x20     [--profile[=FILE]] [--trace-format chrome|jsonl]\n\
+                 \x20     [--watch [--watch-max N]] [--edits FILE [--final-out F]]\n\
+                 \x20     <file>\n\
                  \x20                   type-check a program; --stats --format json\n\
                  \x20                   emits the rtj-checker-metrics/v1 document,\n\
                  \x20                   --explain renders derivation traces,\n\
-                 \x20                   --profile exports the self-profiling snapshot\n\
+                 \x20                   --profile exports the self-profiling snapshot;\n\
+                 \x20                   --watch re-checks incrementally on change,\n\
+                 \x20                   --edits replays an rtj-edits/v1 script\n\
                  run [--static|--dynamic|--audit] [--engine tree|vm]\n\
                  \x20   [--trace FILE] [--metrics[=FILE]] <file>\n\
                  \x20                   check then interpret (bytecode VM by\n\
@@ -206,12 +222,18 @@ fn main() -> ExitCode {
                  \x20                   regenerate paper Figure 12\n\
                  report <snapshot.json>...  render the report(s) from any mix of\n\
                  \x20                   rtj-metrics/v1, rtj-checker-metrics/v1,\n\
-                 \x20                   rtj-fig12/v1, rtj-load/v1, and\n\
-                 \x20                   rtj-serve-bench/v1 documents\n\
+                 \x20                   rtj-fig12/v1, rtj-load/v1,\n\
+                 \x20                   rtj-serve-bench/v1, and rtj-check-bench/v1\n\
+                 \x20                   documents\n\
                  bench <name|scaled[:N]> [--format json] [--iters N]\n\
                  \x20                   print a corpus program, or with --format\n\
                  \x20                   json run it under both engines and emit\n\
                  \x20                   an rtj-bench/v1 comparison document\n\
+                 bench incremental[:N] [--batches B] [--seed S] [--jobs J]\n\
+                 \x20     [--iters I] [--edits-out FILE] [--format json]\n\
+                 \x20                   measure incremental re-checking against a\n\
+                 \x20                   from-scratch check on scaled_classes(N) and\n\
+                 \x20                   emit an rtj-check-bench/v1 baseline\n\
                  serve [--rounds R] [--workers N] [--programs a,b] [--variants K]\n\
                  \x20     [--modes static,dynamic,audit] [--engine vm|tree|both]\n\
                  \x20     [--queue-capacity Q] [--deadline-us D] [--stall-us S]\n\
@@ -246,13 +268,18 @@ fn main() -> ExitCode {
 /// one thread per core. `FILE` may be `-` for stdout.
 fn check_cmd(args: &[String]) -> ExitCode {
     const USAGE: &str = "usage: rtjc check [--stats] [--format text|json] [--jobs N] \
-                         [--explain] [--profile[=FILE]] [--trace-format chrome|jsonl] <file>";
+                         [--explain] [--profile[=FILE]] [--trace-format chrome|jsonl] \
+                         [--watch [--watch-max N]] [--edits FILE [--final-out F]] <file>";
     let mut stats = false;
     let mut json = false;
     let mut jobs = 0usize;
     let mut explain = false;
     let mut profile_out: Option<String> = None;
     let mut trace_format: Option<String> = None;
+    let mut watch = false;
+    let mut watch_max: Option<u64> = None;
+    let mut edits_path: Option<String> = None;
+    let mut final_out: Option<String> = None;
     let mut file = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -260,6 +287,44 @@ fn check_cmd(args: &[String]) -> ExitCode {
             stats = true;
         } else if a == "--explain" {
             explain = true;
+        } else if a == "--watch" {
+            watch = true;
+        } else if let Some(n) = a.strip_prefix("--watch-max=") {
+            match n.parse() {
+                Ok(n) => watch_max = Some(n),
+                Err(_) => {
+                    eprintln!("--watch-max expects a number, got `{n}`");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if a == "--watch-max" {
+            match it.next().map(|n| n.parse()) {
+                Some(Ok(n)) => watch_max = Some(n),
+                _ => {
+                    eprintln!("--watch-max expects a number");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if let Some(p) = a.strip_prefix("--edits=") {
+            edits_path = Some(p.to_string());
+        } else if a == "--edits" {
+            match it.next() {
+                Some(p) => edits_path = Some(p.clone()),
+                None => {
+                    eprintln!("--edits expects an rtj-edits/v1 file argument");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if let Some(p) = a.strip_prefix("--final-out=") {
+            final_out = Some(p.to_string());
+        } else if a == "--final-out" {
+            match it.next() {
+                Some(p) => final_out = Some(p.clone()),
+                None => {
+                    eprintln!("--final-out expects a file argument (`-` for stdout)");
+                    return ExitCode::FAILURE;
+                }
+            }
         } else if let Some(p) = a.strip_prefix("--profile=") {
             profile_out = Some(p.to_string());
         } else if a == "--profile" {
@@ -326,6 +391,28 @@ fn check_cmd(args: &[String]) -> ExitCode {
         eprintln!("missing file argument");
         return ExitCode::FAILURE;
     };
+    if watch && edits_path.is_some() {
+        eprintln!("--watch and --edits are mutually exclusive");
+        return ExitCode::FAILURE;
+    }
+    if watch_max.is_some() && !watch {
+        eprintln!("--watch-max requires --watch");
+        return ExitCode::FAILURE;
+    }
+    if final_out.is_some() && edits_path.is_none() {
+        eprintln!("--final-out requires --edits");
+        return ExitCode::FAILURE;
+    }
+    let opts = rtj_types::CheckOptions {
+        jobs,
+        profile: profile_out.is_some(),
+    };
+    if watch {
+        return check_watch(&path, watch_max, opts);
+    }
+    if let Some(edits) = &edits_path {
+        return check_edits(&path, edits, final_out.as_deref(), opts);
+    }
     let src = match std::fs::read_to_string(&path) {
         Ok(src) => src,
         Err(e) => {
@@ -342,10 +429,6 @@ fn check_cmd(args: &[String]) -> ExitCode {
         }
     };
     let parse_wall = parse_start.elapsed();
-    let opts = rtj_types::CheckOptions {
-        jobs,
-        profile: profile_out.is_some(),
-    };
     match rtj_types::check_program_in(program, &opts) {
         Ok(checked) => {
             // The lex/parse span runs before `check_program_in` (the
@@ -394,6 +477,130 @@ fn check_cmd(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// One line summarizing an incremental pass, for the watch/edits flows.
+fn recheck_summary(out: &rtj_types::RecheckOutcome) -> String {
+    format!(
+        "{} of {} classes re-checked ({} reused, {}) in {:.3} ms, {} error{}",
+        out.dirty.len(),
+        out.classes,
+        out.reused,
+        if out.full_rebuild {
+            "full rebuild"
+        } else {
+            "table reused"
+        },
+        out.check_ns as f64 / 1e6,
+        out.errors.len(),
+        if out.errors.len() == 1 { "" } else { "s" }
+    )
+}
+
+/// `rtjc check --watch [--watch-max N] <file>`: poll the file's mtime and
+/// re-check on every change through the fingerprint-keyed incremental
+/// engine. Summaries go to stdout, diagnostics to stderr. `--watch-max`
+/// exits cleanly after N checks (the initial check counts) — the CI
+/// smoke's hook; without it the loop runs until interrupted.
+fn check_watch(path: &str, watch_max: Option<u64>, opts: rtj_types::CheckOptions) -> ExitCode {
+    let mut engine = rtj_types::IncrementalChecker::new(opts);
+    let mut last_mtime = None;
+    let mut checks = 0u64;
+    loop {
+        let mtime = std::fs::metadata(path).and_then(|m| m.modified()).ok();
+        if mtime.is_some() && mtime != last_mtime {
+            last_mtime = mtime;
+            match std::fs::read_to_string(path) {
+                Ok(src) => {
+                    match engine.check_source(&src) {
+                        Ok(out) => {
+                            println!("[watch] {path}: {}", recheck_summary(&out));
+                            for t in &out.errors {
+                                eprintln!("{}", rtj_lang::diag::render(&src, t.span, &t.message));
+                            }
+                        }
+                        Err(e) => {
+                            println!("[watch] {path}: parse error (cache kept)");
+                            eprintln!("{}", rtj_lang::diag::render(&src, e.span, &e.message));
+                        }
+                    }
+                    checks += 1;
+                    if let Some(max) = watch_max {
+                        if checks >= max {
+                            return ExitCode::SUCCESS;
+                        }
+                    }
+                }
+                Err(e) => eprintln!("cannot read {path}: {e}"),
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(150));
+    }
+}
+
+/// `rtjc check --edits FILE [--final-out F] <file>`: apply an
+/// `rtj-edits/v1` script batch by batch through the incremental engine.
+/// Per-batch summaries go to stdout; the *final* source's diagnostics go
+/// to stderr (rendered exactly as a plain `rtjc check` of that source
+/// would — the CI smoke diffs the two); `--final-out` writes the final
+/// edited source so that from-scratch check can be run. Exits non-zero
+/// iff the final source has errors.
+fn check_edits(
+    path: &str,
+    edits_path: &str,
+    final_out: Option<&str>,
+    opts: rtj_types::CheckOptions,
+) -> ExitCode {
+    let run = || -> Result<ExitCode, String> {
+        let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let text = std::fs::read_to_string(edits_path)
+            .map_err(|e| format!("cannot read {edits_path}: {e}"))?;
+        let doc = Json::parse(&text).map_err(|e| format!("{edits_path}: {e}"))?;
+        let script = rtj_corpus::parse_edits(&doc).map_err(|e| format!("{edits_path}: {e}"))?;
+        let mut engine = rtj_types::IncrementalChecker::new(opts);
+        let mut last = match engine.check_source(&src) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("{}", rtj_lang::diag::render(&src, e.span, &e.message));
+                return Ok(ExitCode::FAILURE);
+            }
+        };
+        println!("initial: {}", recheck_summary(&last));
+        for b in &script.batches {
+            let out = engine
+                .recheck(&[rtj_types::ClassEdit {
+                    class: b.class.clone(),
+                    source: b.source.clone(),
+                }])
+                .map_err(|e| format!("batch {}: {e}", b.id))?;
+            println!(
+                "batch {:>3} {:<10} {:<10} {}",
+                b.id,
+                b.kind,
+                b.class,
+                recheck_summary(&out)
+            );
+            last = out;
+        }
+        if let Some(dest) = final_out {
+            write_output(dest, engine.source())?;
+        }
+        for t in &last.errors {
+            eprintln!(
+                "{}",
+                rtj_lang::diag::render(engine.source(), t.span, &t.message)
+            );
+        }
+        Ok(if last.errors.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        })
+    };
+    run().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        ExitCode::FAILURE
+    })
 }
 
 /// `rtjc run [--static|--dynamic|--audit] [--engine tree|vm] [--trace FILE]
@@ -532,7 +739,8 @@ fn run_cmd(args: &[String]) -> ExitCode {
 /// `rtj_corpus::scaled_vm_workload`, whose runtime actually exercises
 /// the engines; plain corpus names measure that program at smoke scale).
 fn bench_cmd(args: &[String]) -> ExitCode {
-    const USAGE: &str = "usage: rtjc bench <name|scaled[:N]> [--format json] [--iters N]";
+    const USAGE: &str = "usage: rtjc bench <name|scaled[:N]|incremental[:N]> [--format json] \
+                         [--iters N] [--batches B] [--seed S] [--jobs J] [--edits-out FILE]";
     let json = match parse_format(args) {
         Ok(j) => j,
         Err(e) => {
@@ -541,22 +749,52 @@ fn bench_cmd(args: &[String]) -> ExitCode {
         }
     };
     let mut iters = 3u32;
+    let mut batches = 24usize;
+    let mut seed = 1u64;
+    let mut jobs = 1usize;
+    let mut edits_out: Option<String> = None;
     let mut name: Option<&String> = None;
     let mut it = args.iter();
-    while let Some(a) = it.next() {
-        if let Some(n) = a.strip_prefix("--iters=") {
-            match n.parse() {
-                Ok(n) => iters = n,
-                Err(_) => {
-                    eprintln!("--iters expects a number, got `{n}`");
-                    return ExitCode::FAILURE;
+    // Numeric flags share one parse shape: `--flag N` or `--flag=N`.
+    macro_rules! numeric_flag {
+        ($a:expr, $it:expr, $flag:literal, $target:ident) => {
+            if let Some(n) = $a.strip_prefix(concat!($flag, "=")) {
+                match n.parse() {
+                    Ok(n) => {
+                        $target = n;
+                        continue;
+                    }
+                    Err(_) => {
+                        eprintln!("{} expects a number, got `{n}`", $flag);
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else if $a == $flag {
+                match $it.next().map(|n| n.parse()) {
+                    Some(Ok(n)) => {
+                        $target = n;
+                        continue;
+                    }
+                    _ => {
+                        eprintln!("{} expects a number", $flag);
+                        return ExitCode::FAILURE;
+                    }
                 }
             }
-        } else if a == "--iters" {
-            match it.next().map(|n| n.parse()) {
-                Some(Ok(n)) => iters = n,
-                _ => {
-                    eprintln!("--iters expects a number");
+        };
+    }
+    while let Some(a) = it.next() {
+        numeric_flag!(a, it, "--iters", iters);
+        numeric_flag!(a, it, "--batches", batches);
+        numeric_flag!(a, it, "--seed", seed);
+        numeric_flag!(a, it, "--jobs", jobs);
+        if let Some(p) = a.strip_prefix("--edits-out=") {
+            edits_out = Some(p.to_string());
+        } else if a == "--edits-out" {
+            match it.next() {
+                Some(p) => edits_out = Some(p.clone()),
+                None => {
+                    eprintln!("--edits-out expects a file argument (`-` for stdout)");
                     return ExitCode::FAILURE;
                 }
             }
@@ -580,6 +818,27 @@ fn bench_cmd(args: &[String]) -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    if name == "incremental" || name.starts_with("incremental:") {
+        let copies = match name.strip_prefix("incremental:") {
+            None | Some("") => 64,
+            Some(n) => match n.parse() {
+                Ok(n) => n,
+                Err(_) => {
+                    eprintln!("`incremental:` expects a replica count, got `{n}`");
+                    return ExitCode::FAILURE;
+                }
+            },
+        };
+        return bench_incremental(
+            copies,
+            batches,
+            seed,
+            jobs,
+            iters,
+            json,
+            edits_out.as_deref(),
+        );
+    }
     let scaled_n = if name == "scaled" || name.starts_with("scaled:") {
         match name.strip_prefix("scaled:") {
             None | Some("") => Some(8),
@@ -647,11 +906,107 @@ fn bench_cmd(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `rtjc bench incremental:N`: the incremental re-check latency baseline.
+///
+/// Measures, on `scaled_classes(copies)` at `--jobs` workers:
+///
+/// 1. the median from-scratch `check_program_in` wall clock over
+///    `--iters` runs (parse excluded);
+/// 2. the engine's cache-cold initial pass;
+/// 3. one incremental re-check per generated edit batch (also parse
+///    excluded — the same program text is parsed on both sides).
+///
+/// Emits the `rtj-check-bench/v1` document (persisted as
+/// `BENCH_check.json`); `--edits-out` additionally writes the generated
+/// `rtj-edits/v1` script so `rtjc check --edits` can replay the exact
+/// same batches.
+fn bench_incremental(
+    copies: usize,
+    batches: usize,
+    seed: u64,
+    jobs: usize,
+    iters: u32,
+    json: bool,
+    edits_out: Option<&str>,
+) -> ExitCode {
+    let run = || -> Result<ExitCode, String> {
+        let source = rtj_corpus::scaled_classes(copies);
+        let program =
+            rtj_lang::parse_program(&source).map_err(|e| format!("scaled corpus: {e}"))?;
+        let opts = rtj_types::CheckOptions {
+            jobs,
+            profile: false,
+        };
+        let mut full_ms: Vec<f64> = Vec::new();
+        for _ in 0..iters.max(1) {
+            let prog = program.clone();
+            let t0 = std::time::Instant::now();
+            if rtj_types::check_program_in(prog, &opts).is_err() {
+                return Err("scaled corpus failed the from-scratch check".to_string());
+            }
+            full_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        full_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let full_check_ms = rtj_types::incremental::percentile(&full_ms, 50.0);
+
+        let mut engine = rtj_types::IncrementalChecker::new(opts);
+        let initial = engine
+            .check_source(&source)
+            .map_err(|e| format!("scaled corpus: {e}"))?;
+        let script = rtj_corpus::edit_batches(copies, batches, seed);
+        if let Some(dest) = edits_out {
+            write_output(
+                dest,
+                &format!("{}\n", rtj_corpus::edits_json(&script).render()),
+            )?;
+        }
+        let mut rows = Vec::with_capacity(script.batches.len());
+        for b in &script.batches {
+            let out = engine
+                .recheck(&[rtj_types::ClassEdit {
+                    class: b.class.clone(),
+                    source: b.source.clone(),
+                }])
+                .map_err(|e| format!("batch {}: {e}", b.id))?;
+            rows.push(rtj_types::EditBenchRow {
+                batch: b.id,
+                kind: b.kind.clone(),
+                dirty: out.dirty.len(),
+                reused: out.reused,
+                recheck_ms: out.check_ns as f64 / 1e6,
+                errors: out.errors.len(),
+                hit_rate: out.stats.hit_rate(),
+            });
+        }
+        let report = rtj_types::CheckBenchReport {
+            workload: format!("scaled:{copies}"),
+            classes: program.classes.len(),
+            jobs,
+            seed,
+            batches,
+            full_check_ms,
+            initial_check_ms: initial.check_ns as f64 / 1e6,
+            rows,
+        };
+        if json {
+            println!("{}", report.to_json().render());
+        } else {
+            print!("{}", report.render_report());
+        }
+        Ok(ExitCode::SUCCESS)
+    };
+    run().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        ExitCode::FAILURE
+    })
+}
+
 /// `rtjc report <snapshot.json>...`: render the report(s) from any mix
 /// of observability documents — `rtj-metrics/v1` (from `rtjc run
 /// --metrics`), `rtj-checker-metrics/v1` (from `rtjc check --profile` or
-/// `check --stats --format json`), and `rtj-fig12/v1` (from `rtjc fig12
-/// --format json`). Given both a checker and a runtime document, a
+/// `check --stats --format json`), `rtj-fig12/v1` (from `rtjc fig12
+/// --format json`), and `rtj-check-bench/v1` (from `rtjc bench
+/// incremental:N`). Given both a checker and a runtime document, a
 /// combined static-cost vs. dynamic-checks-elided section follows the
 /// per-document reports.
 fn report_cmd(args: &[String]) -> ExitCode {
@@ -749,14 +1104,24 @@ fn report_cmd(args: &[String]) -> ExitCode {
                     }
                 }
             }
+            Some(rtj_types::CHECK_BENCH_SCHEMA) => {
+                match rtj_types::CheckBenchReport::from_json(&doc) {
+                    Ok(report) => out += &report.render_report(),
+                    Err(e) => {
+                        eprintln!("{path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             other => {
                 eprintln!(
-                    "{path}: unsupported schema {other:?}; expected `{}`, `{}`, `{}`, `{}`, or `{}`",
+                    "{path}: unsupported schema {other:?}; expected `{}`, `{}`, `{}`, `{}`, `{}`, or `{}`",
                     rtj_runtime::METRICS_SCHEMA,
                     rtj_types::CHECKER_METRICS_SCHEMA,
                     rtj_corpus::FIG12_SCHEMA,
                     rtj_server::LOAD_SCHEMA,
-                    rtj_server::SERVE_BENCH_SCHEMA
+                    rtj_server::SERVE_BENCH_SCHEMA,
+                    rtj_types::CHECK_BENCH_SCHEMA
                 );
                 return ExitCode::FAILURE;
             }
@@ -1263,8 +1628,21 @@ fn print_stats(s: &rtj_types::CheckStats) {
         s.cache_misses(),
         s.hit_rate() * 100.0
     );
+    eprintln!(
+        "  {:<10} {:>10} {:>10} {:>10} {:>9}",
+        "family", "hits", "misses", "queries", "hit rate"
+    );
     for (family, c) in s.judgments.families() {
-        eprintln!("  {family:<9}     : {} hits / {} misses", c.hits, c.misses);
+        let queries = c.hits + c.misses;
+        let rate = if queries > 0 {
+            c.hits as f64 / queries as f64 * 100.0
+        } else {
+            0.0
+        };
+        eprintln!(
+            "  {family:<10} {:>10} {:>10} {:>10} {:>8.1}%",
+            c.hits, c.misses, queries, rate
+        );
     }
     eprintln!("threads used    : {}", s.threads_used);
     eprintln!("wall time       : {:?}", s.elapsed);

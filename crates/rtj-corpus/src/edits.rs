@@ -1,0 +1,273 @@
+//! Seeded single-class edit batches against [`scaled_classes`], the
+//! workload of the incremental re-checking bench (`rtjc bench
+//! incremental:N`) and of the CI differential smoke (`rtjc check --edits`).
+//!
+//! Each batch replaces one whole class declaration of one replica with a
+//! batch-unique variant:
+//!
+//! * `body` — pads `Stack{r}::size` with a self-cancelling local, so only
+//!   the class's *full* fingerprint changes (the fast path: nothing else
+//!   re-checks);
+//! * `signature` — adds a method to `Item{r}`, changing its *signature*
+//!   fingerprint (the dirty closure pulls in `Node{r}` and `Stack{r}`);
+//! * `body_error` — makes `Base{r}::bump` reference an undeclared
+//!   variable, so the batch must produce a diagnostic (and a later batch
+//!   on the same replica heals it) — exercising cached-diagnostic reuse.
+//!
+//! Generation is a pure function of `(copies, batches, seed)` via an MMIX
+//! LCG, like the request mixes in `rtj-server`.
+
+use crate::programs::scaled_classes;
+use rtj_lang::json::{Json, JsonError};
+use rtj_lang::parser::parse_program;
+
+/// Schema identifier for serialized edit scripts.
+pub const EDITS_SCHEMA: &str = "rtj-edits/v1";
+
+/// One single-class edit batch: replace the declaration of `class` with
+/// `source`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EditBatch {
+    /// Batch index (application order).
+    pub id: usize,
+    /// `"body"`, `"signature"`, or `"body_error"`.
+    pub kind: String,
+    /// The class whose declaration is replaced.
+    pub class: String,
+    /// The full replacement declaration text.
+    pub source: String,
+}
+
+/// A generated edit script: the workload it applies to plus the batches
+/// in application order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EditScript {
+    /// Workload label, e.g. `"scaled:64"` (apply to [`scaled_classes`]).
+    pub workload: String,
+    /// Replica count of the workload.
+    pub copies: usize,
+    /// Generator seed.
+    pub seed: u64,
+    /// The batches, in application order.
+    pub batches: Vec<EditBatch>,
+}
+
+const MMIX_MUL: u64 = 6364136223846793005;
+const MMIX_INC: u64 = 1442695040888963407;
+
+fn next(state: &mut u64) -> u64 {
+    *state = state.wrapping_mul(MMIX_MUL).wrapping_add(MMIX_INC);
+    *state >> 16
+}
+
+/// Generates `batches` seeded single-class edit batches against
+/// `scaled_classes(copies)`.
+///
+/// Roughly five in eight batches are body-only, two are
+/// signature-changing, one introduces (or, by replacing the whole
+/// declaration, heals) a type error.
+///
+/// # Panics
+///
+/// Panics if [`scaled_classes`] stops parsing or its class bodies lose
+/// the needles the edits splice against — both are corpus invariants
+/// covered by tests.
+pub fn edit_batches(copies: usize, batches: usize, seed: u64) -> EditScript {
+    let copies = copies.max(1);
+    let source = scaled_classes(copies);
+    let program = parse_program(&source).expect("scaled_classes parses");
+    let class_text = |name: &str| -> &str {
+        let decl = program
+            .classes
+            .iter()
+            .find(|c| c.name.name.as_str() == name)
+            .unwrap_or_else(|| panic!("scaled_classes has no class {name}"));
+        &source[decl.span.start as usize..decl.span.end as usize]
+    };
+
+    let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+    let mut out = Vec::with_capacity(batches);
+    for id in 0..batches {
+        let replica = (next(&mut state) as usize) % copies;
+        let v = next(&mut state) % 1000;
+        let (kind, class, source) = match next(&mut state) % 8 {
+            0..=4 => {
+                let class = format!("Stack{replica}");
+                let needle = "let c = 0;";
+                let text = class_text(&class);
+                assert!(text.contains(needle), "{class} lost its size() preamble");
+                let patched = text.replacen(
+                    needle,
+                    &format!("let c = 0;\n        let pad{id} = {v};\n        c = c + pad{id} - pad{id};"),
+                    1,
+                );
+                ("body", class, patched)
+            }
+            5..=6 => {
+                let class = format!("Item{replica}");
+                let text = class_text(&class);
+                let close = text.rfind('}').expect("class body closes");
+                let mut patched = text[..close].to_string();
+                patched.push_str(&format!("int probe{id}(int x) {{ return x + {v}; }} }}"));
+                ("signature", class, patched)
+            }
+            _ => {
+                let class = format!("Base{replica}");
+                let needle = "this.tag = this.tag + x;";
+                let text = class_text(&class);
+                assert!(text.contains(needle), "{class} lost its bump() body");
+                let patched = text.replacen(needle, &format!("this.tag = oops{id} + x;"), 1);
+                ("body_error", class, patched)
+            }
+        };
+        out.push(EditBatch {
+            id,
+            kind: kind.to_string(),
+            class,
+            source,
+        });
+    }
+    EditScript {
+        workload: format!("scaled:{copies}"),
+        copies,
+        seed,
+        batches: out,
+    }
+}
+
+/// Serializes an edit script as a versioned `rtj-edits/v1` document.
+pub fn edits_json(script: &EditScript) -> Json {
+    Json::obj(vec![
+        ("schema", Json::Str(EDITS_SCHEMA.to_string())),
+        ("workload", Json::Str(script.workload.clone())),
+        ("copies", Json::Int(script.copies as i64)),
+        ("seed", Json::Int(script.seed as i64)),
+        (
+            "batches",
+            Json::Arr(
+                script
+                    .batches
+                    .iter()
+                    .map(|b| {
+                        Json::obj(vec![
+                            ("id", Json::Int(b.id as i64)),
+                            ("kind", Json::Str(b.kind.clone())),
+                            ("class", Json::Str(b.class.clone())),
+                            ("source", Json::Str(b.source.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Parses an `rtj-edits/v1` document back into an [`EditScript`].
+///
+/// # Errors
+///
+/// Rejects documents with a missing/unknown schema or missing fields.
+pub fn parse_edits(doc: &Json) -> Result<EditScript, JsonError> {
+    let fail = |m: String| JsonError { at: 0, message: m };
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(EDITS_SCHEMA) => {}
+        other => {
+            return Err(fail(format!(
+                "expected schema {EDITS_SCHEMA:?}, found {other:?}"
+            )))
+        }
+    }
+    let str_of = |v: &Json, k: &str| {
+        v.get(k)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| fail(format!("missing string `{k}`")))
+    };
+    let mut batches = Vec::new();
+    for b in doc
+        .get("batches")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| fail("missing `batches`".to_string()))?
+    {
+        batches.push(EditBatch {
+            id: b
+                .get("id")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| fail("batch missing `id`".to_string()))? as usize,
+            kind: str_of(b, "kind")?,
+            class: str_of(b, "class")?,
+            source: str_of(b, "source")?,
+        });
+    }
+    Ok(EditScript {
+        workload: str_of(doc, "workload")?,
+        copies: doc
+            .get("copies")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| fail("missing `copies`".to_string()))? as usize,
+        seed: doc
+            .get("seed")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| fail("missing `seed`".to_string()))?,
+        batches,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtj_types::{CheckOptions, ClassEdit, IncrementalChecker};
+
+    #[test]
+    fn generation_is_deterministic_and_covers_all_kinds() {
+        let a = edit_batches(4, 32, 7);
+        let b = edit_batches(4, 32, 7);
+        assert_eq!(a, b);
+        for kind in ["body", "signature", "body_error"] {
+            assert!(
+                a.batches.iter().any(|e| e.kind == kind),
+                "32 batches should include a {kind} edit"
+            );
+        }
+        assert_ne!(a, edit_batches(4, 32, 8), "seed must matter");
+    }
+
+    #[test]
+    fn edits_round_trip_through_json() {
+        let script = edit_batches(2, 6, 1);
+        let back = parse_edits(&edits_json(&script)).unwrap();
+        assert_eq!(script, back);
+    }
+
+    #[test]
+    fn batches_apply_cleanly_to_the_engine() {
+        let script = edit_batches(2, 12, 3);
+        let mut eng = IncrementalChecker::new(CheckOptions::default());
+        eng.check_source(&scaled_classes(2)).unwrap();
+        for b in &script.batches {
+            let out = eng
+                .recheck(&[ClassEdit {
+                    class: b.class.clone(),
+                    source: b.source.clone(),
+                }])
+                .unwrap_or_else(|e| panic!("batch {}: {e}", b.id));
+            match b.kind.as_str() {
+                "body" => assert!(
+                    !out.full_rebuild,
+                    "batch {} (body) must take the fast path",
+                    b.id
+                ),
+                "signature" => assert!(
+                    out.dirty.len() >= 3,
+                    "batch {} (signature) must invalidate dependents",
+                    b.id
+                ),
+                _ => assert!(
+                    !out.ok(),
+                    "batch {} (body_error) must produce a diagnostic",
+                    b.id
+                ),
+            }
+        }
+    }
+}

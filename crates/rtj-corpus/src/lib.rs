@@ -18,10 +18,12 @@
 
 #![warn(missing_docs)]
 
+pub mod edits;
 pub mod experiments;
 pub mod metrics;
 pub mod programs;
 
+pub use edits::{edit_batches, edits_json, parse_edits, EditBatch, EditScript, EDITS_SCHEMA};
 pub use experiments::{
     bench_engines, bench_json, fig11, fig11_json, fig12, fig12_json, fig12_on, fig12_row,
     fig12_row_on, geomean_speedup, paper_ratio, render_bench, render_fig11, render_fig12,

@@ -1,0 +1,783 @@
+//! Structural fingerprints over elaborated declarations.
+//!
+//! The incremental checker (`rtj-types::incremental`) needs to decide,
+//! after an edit batch, which class declarations actually changed — and
+//! *how* they changed. Hashing source bytes is useless for that (a byte
+//! insertion shifts every later declaration), so fingerprints are computed
+//! structurally over the AST:
+//!
+//! * the **signature fingerprint** covers everything another declaration
+//!   can observe — name, formal owners, `extends`, `where` clauses, field
+//!   types, and method signatures (including effects) — and hashes **no
+//!   spans at all**. Two declarations with equal signature fingerprints
+//!   are interchangeable as far as their dependents' checking outcomes go.
+//! * the **full fingerprint** additionally covers method bodies and every
+//!   span *relative to the declaration start*. Equal full fingerprints
+//!   mean the declaration's internal layout is byte-for-byte identical up
+//!   to a uniform shift, so cached diagnostics can be relocated exactly.
+//!
+//! [`Symbol`]s hash and compare by interner pointer, which depends on
+//! interning order; fingerprints must survive across independently parsed
+//! sources, so every identifier is hashed by its **string contents**.
+//!
+//! [`class_refs`] / [`region_kind_refs`] collect the class and region-kind
+//! names a declaration mentions; the incremental checker builds its
+//! reverse dependency index from them (transitively, so names reachable
+//! only through another declaration's members are still covered).
+
+use crate::ast::*;
+use crate::intern::Symbol;
+use crate::span::Span;
+
+/// Incremental FNV-1a 64-bit hasher (the same function the server uses
+/// for result fingerprints: dependency-free and byte-order stable).
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x1000_0000_01b3;
+
+    /// Creates a hasher at the FNV offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64(Self::OFFSET)
+    }
+
+    /// Feeds raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Feeds a string (length-prefixed so concatenations can't collide).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+
+    /// Feeds a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Feeds a `u32` (little-endian).
+    pub fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Feeds an `i64` (little-endian two's complement).
+    pub fn write_i64(&mut self, v: i64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Feeds a single tag byte (enum discriminants, arity markers).
+    pub fn write_tag(&mut self, t: u8) {
+        self.write(&[t]);
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// The two structural hashes of a class declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassFingerprint {
+    /// Signature-only hash (no bodies, no spans): what dependents see.
+    pub sig: u64,
+    /// Whole-declaration hash with declaration-relative spans: equality
+    /// means cached diagnostics shift exactly.
+    pub full: u64,
+}
+
+/// Fingerprints a class declaration. Call on the *elaborated* declaration
+/// (after `apply_declaration_defaults`) so that omitted owners count as
+/// their completed forms.
+pub fn fingerprint_class(c: &ClassDecl) -> ClassFingerprint {
+    let mut sig = Fnv64::new();
+    hash_class_sig(&mut sig, c);
+    let mut full = Fnv64::new();
+    hash_class_sig(&mut full, c);
+    // Full adds: relative spans of the signature surface plus the bodies.
+    let base = c.span.start;
+    full.write_span(base, c.span);
+    full.write_span(base, c.name.span);
+    for f in &c.formals {
+        full.write_span(base, f.name.span);
+        hash_kind_spans(&mut full, base, &f.kind);
+    }
+    if let Some(ext) = &c.extends {
+        hash_class_type_spans(&mut full, base, ext);
+    }
+    for w in &c.where_clauses {
+        full.write_span(base, w.lhs.span());
+        full.write_span(base, w.rhs.span());
+    }
+    for f in &c.fields {
+        full.write_span(base, f.span);
+        hash_type_spans(&mut full, base, &f.ty);
+    }
+    full.write_u64(c.methods.len() as u64);
+    for m in &c.methods {
+        full.write_span(base, m.span);
+        hash_type_spans(&mut full, base, &m.ret);
+        hash_block(&mut full, base, &m.body);
+    }
+    ClassFingerprint {
+        sig: sig.finish(),
+        full: full.finish(),
+    }
+}
+
+/// Fingerprints a region-kind declaration (one hash: region kinds have no
+/// bodies, so any structural change is treated as a signature change; the
+/// hash still mixes in relative spans so layout changes are detected).
+pub fn fingerprint_region_kind(rk: &RegionKindDecl) -> u64 {
+    let mut h = Fnv64::new();
+    let base = rk.span.start;
+    h.write_str(rk.name.name.as_str());
+    h.write_u64(rk.formals.len() as u64);
+    for f in &rk.formals {
+        h.write_str(f.name.name.as_str());
+        hash_kind(&mut h, &f.kind);
+        h.write_span(base, f.name.span);
+    }
+    match &rk.extends {
+        Some(k) => {
+            h.write_tag(1);
+            hash_kind(&mut h, k);
+            hash_kind_spans(&mut h, base, k);
+        }
+        None => h.write_tag(0),
+    }
+    hash_constraints(&mut h, &rk.where_clauses);
+    h.write_u64(rk.portals.len() as u64);
+    for p in &rk.portals {
+        h.write_str(p.name.name.as_str());
+        hash_type(&mut h, &p.ty);
+        h.write_span(base, p.span);
+        hash_type_spans(&mut h, base, &p.ty);
+    }
+    h.write_u64(rk.subregions.len() as u64);
+    for s in &rk.subregions {
+        h.write_str(s.name.name.as_str());
+        hash_kind(&mut h, &s.kind);
+        match s.policy {
+            Policy::Lt { size } => {
+                h.write_tag(0);
+                h.write_u64(size);
+            }
+            Policy::Vt => h.write_tag(1),
+        }
+        h.write_tag(match s.thread {
+            ThreadTag::Rt => 0,
+            ThreadTag::NoRt => 1,
+        });
+        h.write_span(base, s.span);
+    }
+    h.finish()
+}
+
+impl Fnv64 {
+    /// Feeds a span relative to `base` (wrapping: synthesized nodes carry
+    /// `Span::DUMMY`, which may sit before the declaration start).
+    fn write_span(&mut self, base: u32, s: Span) {
+        self.write_u32(s.start.wrapping_sub(base));
+        self.write_u32(s.end.wrapping_sub(base));
+    }
+}
+
+// ------------------------------------------------------- span-free hashing
+
+/// Hashes the span-free signature surface of a class.
+fn hash_class_sig(h: &mut Fnv64, c: &ClassDecl) {
+    h.write_str(c.name.name.as_str());
+    h.write_u64(c.formals.len() as u64);
+    for f in &c.formals {
+        h.write_str(f.name.name.as_str());
+        hash_kind(h, &f.kind);
+    }
+    match &c.extends {
+        Some(ext) => {
+            h.write_tag(1);
+            hash_class_type(h, ext);
+        }
+        None => h.write_tag(0),
+    }
+    hash_constraints(h, &c.where_clauses);
+    h.write_u64(c.fields.len() as u64);
+    for f in &c.fields {
+        h.write_str(f.name.name.as_str());
+        hash_type(h, &f.ty);
+    }
+    h.write_u64(c.methods.len() as u64);
+    for m in &c.methods {
+        hash_method_sig(h, m);
+    }
+}
+
+fn hash_method_sig(h: &mut Fnv64, m: &MethodDecl) {
+    h.write_str(m.name.name.as_str());
+    hash_type(h, &m.ret);
+    h.write_u64(m.formals.len() as u64);
+    for f in &m.formals {
+        h.write_str(f.name.name.as_str());
+        hash_kind(h, &f.kind);
+    }
+    h.write_u64(m.params.len() as u64);
+    for p in &m.params {
+        h.write_str(p.name.name.as_str());
+        hash_type(h, &p.ty);
+    }
+    match &m.effects {
+        Some(list) => {
+            h.write_tag(1);
+            h.write_u64(list.len() as u64);
+            for o in list {
+                hash_owner(h, o);
+            }
+        }
+        None => h.write_tag(0),
+    }
+    hash_constraints(h, &m.where_clauses);
+}
+
+fn hash_constraints(h: &mut Fnv64, cs: &[Constraint]) {
+    h.write_u64(cs.len() as u64);
+    for c in cs {
+        hash_owner(h, &c.lhs);
+        h.write_tag(match c.rel {
+            ConstraintRel::Owns => 0,
+            ConstraintRel::Outlives => 1,
+        });
+        hash_owner(h, &c.rhs);
+    }
+}
+
+fn hash_type(h: &mut Fnv64, t: &Type) {
+    match t {
+        Type::Int(_) => h.write_tag(0),
+        Type::Bool(_) => h.write_tag(1),
+        Type::Void(_) => h.write_tag(2),
+        Type::Class(ct) => {
+            h.write_tag(3);
+            hash_class_type(h, ct);
+        }
+        Type::Handle(o, _) => {
+            h.write_tag(4);
+            hash_owner(h, o);
+        }
+    }
+}
+
+fn hash_class_type(h: &mut Fnv64, ct: &ClassType) {
+    h.write_str(ct.name.name.as_str());
+    h.write_u64(ct.owners.len() as u64);
+    for o in &ct.owners {
+        hash_owner(h, o);
+    }
+}
+
+fn hash_owner(h: &mut Fnv64, o: &OwnerRef) {
+    match o {
+        OwnerRef::Name(id) => {
+            h.write_tag(0);
+            h.write_str(id.name.as_str());
+        }
+        OwnerRef::This(_) => h.write_tag(1),
+        OwnerRef::InitialRegion(_) => h.write_tag(2),
+        OwnerRef::Heap(_) => h.write_tag(3),
+        OwnerRef::Immortal(_) => h.write_tag(4),
+        OwnerRef::Rt(_) => h.write_tag(5),
+    }
+}
+
+fn hash_kind(h: &mut Fnv64, k: &KindAnn) {
+    match k {
+        KindAnn::Owner(_) => h.write_tag(0),
+        KindAnn::ObjOwner(_) => h.write_tag(1),
+        KindAnn::Region(_) => h.write_tag(2),
+        KindAnn::GcRegion(_) => h.write_tag(3),
+        KindAnn::NoGcRegion(_) => h.write_tag(4),
+        KindAnn::LocalRegion(_) => h.write_tag(5),
+        KindAnn::SharedRegion(_) => h.write_tag(6),
+        KindAnn::Named { name, owners } => {
+            h.write_tag(7);
+            h.write_str(name.name.as_str());
+            h.write_u64(owners.len() as u64);
+            for o in owners {
+                hash_owner(h, o);
+            }
+        }
+        KindAnn::Lt(inner, _) => {
+            h.write_tag(8);
+            hash_kind(h, inner);
+        }
+    }
+}
+
+// ------------------------------------------------ span-only hashing (full)
+
+fn hash_kind_spans(h: &mut Fnv64, base: u32, k: &KindAnn) {
+    h.write_span(base, k.span());
+    if let KindAnn::Named { owners, .. } = k {
+        for o in owners {
+            h.write_span(base, o.span());
+        }
+    }
+    if let KindAnn::Lt(inner, _) = k {
+        hash_kind_spans(h, base, inner);
+    }
+}
+
+fn hash_class_type_spans(h: &mut Fnv64, base: u32, ct: &ClassType) {
+    h.write_span(base, ct.span);
+    for o in &ct.owners {
+        h.write_span(base, o.span());
+    }
+}
+
+fn hash_type_spans(h: &mut Fnv64, base: u32, t: &Type) {
+    h.write_span(base, t.span());
+    match t {
+        Type::Class(ct) => hash_class_type_spans(h, base, ct),
+        Type::Handle(o, _) => h.write_span(base, o.span()),
+        _ => {}
+    }
+}
+
+// --------------------------------------------------- full (body) hashing
+
+fn hash_block(h: &mut Fnv64, base: u32, b: &Block) {
+    h.write_span(base, b.span);
+    h.write_u64(b.stmts.len() as u64);
+    for s in &b.stmts {
+        hash_stmt(h, base, s);
+    }
+}
+
+fn hash_stmt(h: &mut Fnv64, base: u32, s: &Stmt) {
+    h.write_span(base, s.span());
+    match s {
+        Stmt::Let { ty, name, init, .. } => {
+            h.write_tag(0);
+            match ty {
+                Some(t) => {
+                    h.write_tag(1);
+                    hash_type(h, t);
+                    hash_type_spans(h, base, t);
+                }
+                None => h.write_tag(0),
+            }
+            h.write_str(name.name.as_str());
+            hash_expr(h, base, init);
+        }
+        Stmt::AssignLocal { name, value, .. } => {
+            h.write_tag(1);
+            h.write_str(name.name.as_str());
+            hash_expr(h, base, value);
+        }
+        Stmt::AssignField {
+            recv, field, value, ..
+        } => {
+            h.write_tag(2);
+            hash_expr(h, base, recv);
+            h.write_str(field.name.as_str());
+            h.write_span(base, field.span);
+            hash_expr(h, base, value);
+        }
+        Stmt::Expr(e) => {
+            h.write_tag(3);
+            hash_expr(h, base, e);
+        }
+        Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+            ..
+        } => {
+            h.write_tag(4);
+            hash_expr(h, base, cond);
+            hash_block(h, base, then_blk);
+            match else_blk {
+                Some(b) => {
+                    h.write_tag(1);
+                    hash_block(h, base, b);
+                }
+                None => h.write_tag(0),
+            }
+        }
+        Stmt::While { cond, body, .. } => {
+            h.write_tag(5);
+            hash_expr(h, base, cond);
+            hash_block(h, base, body);
+        }
+        Stmt::Return { value, .. } => {
+            h.write_tag(6);
+            match value {
+                Some(v) => {
+                    h.write_tag(1);
+                    hash_expr(h, base, v);
+                }
+                None => h.write_tag(0),
+            }
+        }
+        Stmt::LocalRegion {
+            region,
+            handle,
+            body,
+            ..
+        } => {
+            h.write_tag(7);
+            h.write_str(region.name.as_str());
+            h.write_span(base, region.span);
+            h.write_str(handle.name.as_str());
+            h.write_span(base, handle.span);
+            hash_block(h, base, body);
+        }
+        Stmt::NewRegion {
+            kind,
+            policy,
+            region,
+            handle,
+            body,
+            ..
+        } => {
+            h.write_tag(8);
+            hash_kind(h, kind);
+            hash_kind_spans(h, base, kind);
+            match policy {
+                Policy::Lt { size } => {
+                    h.write_tag(0);
+                    h.write_u64(*size);
+                }
+                Policy::Vt => h.write_tag(1),
+            }
+            h.write_str(region.name.as_str());
+            h.write_span(base, region.span);
+            h.write_str(handle.name.as_str());
+            h.write_span(base, handle.span);
+            hash_block(h, base, body);
+        }
+        Stmt::EnterSubregion {
+            kind,
+            region,
+            handle,
+            fresh,
+            parent,
+            sub,
+            body,
+            ..
+        } => {
+            h.write_tag(9);
+            hash_kind(h, kind);
+            hash_kind_spans(h, base, kind);
+            h.write_str(region.name.as_str());
+            h.write_span(base, region.span);
+            h.write_str(handle.name.as_str());
+            h.write_span(base, handle.span);
+            h.write_tag(u8::from(*fresh));
+            h.write_str(parent.name.as_str());
+            h.write_span(base, parent.span);
+            h.write_str(sub.name.as_str());
+            h.write_span(base, sub.span);
+            hash_block(h, base, body);
+        }
+        Stmt::Fork { rt, call, .. } => {
+            h.write_tag(10);
+            h.write_tag(u8::from(*rt));
+            hash_expr(h, base, call);
+        }
+    }
+}
+
+fn hash_expr(h: &mut Fnv64, base: u32, e: &Expr) {
+    h.write_span(base, e.span());
+    match e {
+        Expr::Int(v, _) => {
+            h.write_tag(0);
+            h.write_i64(*v);
+        }
+        Expr::Bool(v, _) => {
+            h.write_tag(1);
+            h.write_tag(u8::from(*v));
+        }
+        Expr::Str(s, _) => {
+            h.write_tag(2);
+            h.write_str(s);
+        }
+        Expr::Null(_) => h.write_tag(3),
+        Expr::This(_) => h.write_tag(4),
+        Expr::Var(id) => {
+            h.write_tag(5);
+            h.write_str(id.name.as_str());
+        }
+        Expr::Unary { op, expr, .. } => {
+            h.write_tag(6);
+            h.write_tag(match op {
+                UnOp::Neg => 0,
+                UnOp::Not => 1,
+            });
+            hash_expr(h, base, expr);
+        }
+        Expr::Binary { op, lhs, rhs, .. } => {
+            h.write_tag(7);
+            h.write_tag(*op as u8);
+            hash_expr(h, base, lhs);
+            hash_expr(h, base, rhs);
+        }
+        Expr::Field { recv, field, .. } => {
+            h.write_tag(8);
+            hash_expr(h, base, recv);
+            h.write_str(field.name.as_str());
+            h.write_span(base, field.span);
+        }
+        Expr::Call {
+            recv,
+            method,
+            owner_args,
+            args,
+            ..
+        } => {
+            h.write_tag(9);
+            hash_expr(h, base, recv);
+            h.write_str(method.name.as_str());
+            h.write_span(base, method.span);
+            h.write_u64(owner_args.len() as u64);
+            for o in owner_args {
+                hash_owner(h, o);
+                h.write_span(base, o.span());
+            }
+            h.write_u64(args.len() as u64);
+            for a in args {
+                hash_expr(h, base, a);
+            }
+        }
+        Expr::New { class, .. } => {
+            h.write_tag(10);
+            hash_class_type(h, class);
+            hash_class_type_spans(h, base, class);
+        }
+        Expr::IntrinsicCall {
+            intrinsic, args, ..
+        } => {
+            h.write_tag(11);
+            h.write_tag(*intrinsic as u8);
+            h.write_u64(args.len() as u64);
+            for a in args {
+                hash_expr(h, base, a);
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------- reference sets
+
+/// Collects every class or region-kind *name* a class declaration
+/// mentions (extends, field/param/return/let types, `new` sites, named
+/// kind annotations in region blocks). Sorted and deduplicated.
+///
+/// Names reachable only through another class's members (e.g. the type of
+/// a field read off a dependency) are *not* listed here; the incremental
+/// checker compensates by propagating dirtiness transitively over this
+/// edge set, which covers every chain the checker can follow.
+pub fn class_refs(c: &ClassDecl) -> Vec<Symbol> {
+    let mut out = Vec::new();
+    if let Some(ext) = &c.extends {
+        out.push(ext.name.name);
+    }
+    for f in &c.formals {
+        refs_kind(&f.kind, &mut out);
+    }
+    for f in &c.fields {
+        refs_type(&f.ty, &mut out);
+    }
+    for m in &c.methods {
+        refs_type(&m.ret, &mut out);
+        for f in &m.formals {
+            refs_kind(&f.kind, &mut out);
+        }
+        for p in &m.params {
+            refs_type(&p.ty, &mut out);
+        }
+        refs_block(&m.body, &mut out);
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Collects every class or region-kind name a region-kind declaration
+/// mentions (extends, portal field types, subregion kinds, formal kinds).
+pub fn region_kind_refs(rk: &RegionKindDecl) -> Vec<Symbol> {
+    let mut out = Vec::new();
+    for f in &rk.formals {
+        refs_kind(&f.kind, &mut out);
+    }
+    if let Some(k) = &rk.extends {
+        refs_kind(k, &mut out);
+    }
+    for p in &rk.portals {
+        refs_type(&p.ty, &mut out);
+    }
+    for s in &rk.subregions {
+        refs_kind(&s.kind, &mut out);
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+fn refs_type(t: &Type, out: &mut Vec<Symbol>) {
+    if let Type::Class(ct) = t {
+        out.push(ct.name.name);
+    }
+}
+
+fn refs_kind(k: &KindAnn, out: &mut Vec<Symbol>) {
+    match k {
+        KindAnn::Named { name, .. } => out.push(name.name),
+        KindAnn::Lt(inner, _) => refs_kind(inner, out),
+        _ => {}
+    }
+}
+
+fn refs_block(b: &Block, out: &mut Vec<Symbol>) {
+    for s in &b.stmts {
+        refs_stmt(s, out);
+    }
+}
+
+fn refs_stmt(s: &Stmt, out: &mut Vec<Symbol>) {
+    match s {
+        Stmt::Let { ty, init, .. } => {
+            if let Some(t) = ty {
+                refs_type(t, out);
+            }
+            refs_expr(init, out);
+        }
+        Stmt::AssignLocal { value, .. } => refs_expr(value, out),
+        Stmt::AssignField { recv, value, .. } => {
+            refs_expr(recv, out);
+            refs_expr(value, out);
+        }
+        Stmt::Expr(e) => refs_expr(e, out),
+        Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+            ..
+        } => {
+            refs_expr(cond, out);
+            refs_block(then_blk, out);
+            if let Some(b) = else_blk {
+                refs_block(b, out);
+            }
+        }
+        Stmt::While { cond, body, .. } => {
+            refs_expr(cond, out);
+            refs_block(body, out);
+        }
+        Stmt::Return { value, .. } => {
+            if let Some(v) = value {
+                refs_expr(v, out);
+            }
+        }
+        Stmt::LocalRegion { body, .. } => refs_block(body, out),
+        Stmt::NewRegion { kind, body, .. } => {
+            refs_kind(kind, out);
+            refs_block(body, out);
+        }
+        Stmt::EnterSubregion { kind, body, .. } => {
+            refs_kind(kind, out);
+            refs_block(body, out);
+        }
+        Stmt::Fork { call, .. } => refs_expr(call, out),
+    }
+}
+
+fn refs_expr(e: &Expr, out: &mut Vec<Symbol>) {
+    match e {
+        Expr::Int(..)
+        | Expr::Bool(..)
+        | Expr::Str(..)
+        | Expr::Null(_)
+        | Expr::This(_)
+        | Expr::Var(_) => {}
+        Expr::Unary { expr, .. } => refs_expr(expr, out),
+        Expr::Binary { lhs, rhs, .. } => {
+            refs_expr(lhs, out);
+            refs_expr(rhs, out);
+        }
+        Expr::Field { recv, .. } => refs_expr(recv, out),
+        Expr::Call { recv, args, .. } => {
+            refs_expr(recv, out);
+            for a in args {
+                refs_expr(a, out);
+            }
+        }
+        Expr::New { class, .. } => out.push(class.name.name),
+        Expr::IntrinsicCall { args, .. } => {
+            for a in args {
+                refs_expr(a, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn classes(src: &str) -> Vec<ClassDecl> {
+        parse_program(src).unwrap().classes
+    }
+
+    #[test]
+    fn whitespace_shift_changes_nothing() {
+        let a = classes("class A<Owner o> { int v; }\n{ }");
+        let b = classes("// moved\n\n\nclass A<Owner o> { int v; }\n{ }");
+        let fa = fingerprint_class(&a[0]);
+        let fb = fingerprint_class(&b[0]);
+        assert_eq!(fa.sig, fb.sig);
+        assert_eq!(fa.full, fb.full, "relative spans must ignore the shift");
+    }
+
+    #[test]
+    fn body_edit_changes_full_not_sig() {
+        let a = classes("class A<Owner o> { int f(int x) { return x; } }\n{ }");
+        let b = classes("class A<Owner o> { int f(int x) { return x + 1; } }\n{ }");
+        let fa = fingerprint_class(&a[0]);
+        let fb = fingerprint_class(&b[0]);
+        assert_eq!(fa.sig, fb.sig);
+        assert_ne!(fa.full, fb.full);
+    }
+
+    #[test]
+    fn sig_edit_changes_sig() {
+        let a = classes("class A<Owner o> { int f(int x) { return x; } }\n{ }");
+        let b = classes("class A<Owner o> { int f(int x, int y) { return x; } }\n{ }");
+        assert_ne!(fingerprint_class(&a[0]).sig, fingerprint_class(&b[0]).sig);
+    }
+
+    #[test]
+    fn refs_cover_types_and_new_sites() {
+        let c = classes(
+            "class B<Owner o> { int v; }\n\
+             class A<Owner o> extends B<o> { B<o> f; void g() { let x = new B<o>; } }\n{ }",
+        );
+        let refs = class_refs(&c[1]);
+        let names: Vec<&str> = refs.iter().map(|s| s.as_str()).collect();
+        assert_eq!(names, vec!["B"]);
+    }
+}

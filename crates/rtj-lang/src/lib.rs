@@ -39,6 +39,7 @@
 
 pub mod ast;
 pub mod diag;
+pub mod fingerprint;
 pub mod intern;
 pub mod json;
 pub mod lexer;
@@ -48,6 +49,10 @@ pub mod span;
 pub mod token;
 
 pub use ast::Program;
+pub use fingerprint::{
+    class_refs, fingerprint_class, fingerprint_region_kind, region_kind_refs, ClassFingerprint,
+    Fnv64,
+};
 pub use intern::Symbol;
 pub use json::{Json, JsonError};
 pub use parser::{parse_expr, parse_program, ParseError};

@@ -2,29 +2,35 @@
 //! hot path.
 //!
 //! Jobs are distributed round-robin across per-worker shards (a
-//! `Mutex<VecDeque>` plus a `Condvar` each). A worker pops from the
-//! **front** of its own shard and, when that is empty, steals from the
-//! **back** of a sibling's shard — the classic deque discipline that
-//! keeps owners on cache-warm recent work and sends thieves to the cold
-//! end.
+//! `Mutex<VecDeque>` each). A worker pops from the **front** of its own
+//! shard and, when that is empty, steals from the **back** of a
+//! sibling's shard — the classic deque discipline that keeps owners on
+//! cache-warm recent work and sends thieves to the cold end.
 //!
 //! Coordination is deliberately split by temperature:
 //!
 //! * **Hot path** — all run-level accounting (`submitted`, `completed`,
-//!   `queued`, `in_flight`, `peak_in_flight`, `stolen`) lives in atomics,
-//!   and wakeups are **per shard**: `submit` touches only the target
-//!   shard's mutex and condvar, so two submitters (or a submitter and
-//!   seven workers) never serialize on a global lock. `peak_in_flight`
-//!   is exact: the in-flight counter is incremented *before* the job is
-//!   published and the peak is maintained with an atomic max at that
-//!   instant.
-//! * **Cold path** — `drain` and bounded-queue `submit` back-off park on
-//!   one `idle` mutex/condvar pair that is only ever touched when the
-//!   pool empties out (or a bounded submitter must wait), never per job.
+//!   `queued`, `in_flight`, `peak_in_flight`, `stolen`) lives in atomics;
+//!   `submit` touches only the target shard's mutex, so two submitters
+//!   (or a submitter and seven workers) never serialize on a global
+//!   lock. `peak_in_flight` is exact: the in-flight counter is
+//!   incremented *before* the job is published and the peak is
+//!   maintained with an atomic max at that instant.
+//! * **Cold path** — an empty-handed worker parks on the `work` condvar,
+//!   and `drain` / bounded-queue `submit` back-off park on `drained`;
+//!   both share the one `idle` mutex that is only ever touched when the
+//!   pool empties out, never per job.
 //!
-//! Every sleep is a *timed* wait, so a lost wakeup can delay a worker by
-//! at most one tick — it can never wedge the pool; correctness never
-//! depends on memory-ordering subtleties around the parking decision.
+//! Worker parking is a Dekker-style handshake, not a polling tick: a
+//! worker advertises itself in `idlers` *before* re-checking `queued`
+//! under the idle lock, and a submitter publishes to `queued` *before*
+//! reading `idlers` — both with `SeqCst`, so in every interleaving at
+//! least one side sees the other. Either the worker observes the new job
+//! and skips the sleep, or the submitter observes the parked worker and
+//! signals `work` under the lock. Idle workers therefore cost zero CPU
+//! until work (or shutdown) actually arrives, instead of waking every
+//! millisecond to rescan; under the open-loop harness the 1 ms tick this
+//! replaces was the pool's dominant idle-state wakeup source.
 //!
 //! Jobs receive the **executing worker's index** — that is what lets the
 //! server keep per-worker result shards (sharing serialized by
@@ -52,12 +58,10 @@ use std::time::Duration;
 /// was submitted to, when it was stolen.
 pub type Job = Box<dyn FnOnce(usize) + Send + 'static>;
 
-/// One worker's queue: its own mutex and its own wakeup signal, so
-/// submissions to different shards never contend.
+/// One worker's queue: its own mutex, so submissions to different
+/// shards never contend.
 struct Shard {
     queue: Mutex<VecDeque<Job>>,
-    /// Signalled when work lands in *this* shard (or at shutdown).
-    available: Condvar,
 }
 
 struct Inner {
@@ -78,17 +82,25 @@ struct Inner {
     peak_in_flight: AtomicU64,
     /// Set once; workers exit when the queue is empty.
     shutdown: AtomicBool,
-    /// Cold-path parking for `drain` and bounded-queue submitters.
+    /// Workers currently parked (or committing to park) on `work`.
+    /// Advertised *before* the final `queued` re-check — the submitter
+    /// side of the Dekker handshake (see the module docs).
+    idlers: AtomicUsize,
+    /// Cold-path parking for idle workers, `drain`, and bounded-queue
+    /// submitters.
     idle: Mutex<()>,
+    /// Signalled (under `idle`) when work arrives for a parked worker,
+    /// and at shutdown.
+    work: Condvar,
     /// Signalled when the pool fully drains or queue space frees up.
     drained: Condvar,
     capacity: usize,
 }
 
-/// How long a worker with nothing to run (own shard empty, nothing to
-/// steal) sleeps before rescanning. Bounds steal latency for pinned or
-/// very bursty load; own-shard wakeups are signalled and never wait this
-/// long.
+/// How long `drain` and a backpressured bounded-queue submitter sleep
+/// between re-checks. Both are cold-path waits whose wakeups are also
+/// signalled; the tick only bounds the delay of a lost `drained` signal
+/// (worker parking itself is handshake-based and never polls).
 const IDLE_TICK: Duration = Duration::from_millis(1);
 
 /// Point-in-time executor counters, reported in the `rtj-load/v1`
@@ -133,7 +145,6 @@ impl Executor {
             shards: (0..workers)
                 .map(|_| Shard {
                     queue: Mutex::new(VecDeque::new()),
-                    available: Condvar::new(),
                 })
                 .collect(),
             submitted: AtomicU64::new(0),
@@ -144,7 +155,9 @@ impl Executor {
             in_flight: AtomicU64::new(0),
             peak_in_flight: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            idlers: AtomicUsize::new(0),
             idle: Mutex::new(()),
+            work: Condvar::new(),
             drained: Condvar::new(),
             capacity: queue_capacity,
         });
@@ -210,7 +223,15 @@ impl Executor {
             let mut queue = inner.shards[shard].queue.lock().unwrap();
             queue.push_back(job);
         }
-        inner.shards[shard].available.notify_one();
+        // Dekker handshake, submitter side: `queued` is published above,
+        // so a worker that re-checks it after this point skips parking;
+        // a worker that advertised in `idlers` before this read is seen
+        // here and signalled under the lock (which it holds until it is
+        // actually waiting — the signal cannot slip into the gap).
+        if inner.idlers.load(Ordering::SeqCst) > 0 {
+            let _guard = inner.idle.lock().unwrap();
+            inner.work.notify_one();
+        }
     }
 
     /// Blocks until every submitted job has finished executing.
@@ -246,10 +267,13 @@ impl Executor {
 
     fn stop_workers(&mut self) {
         self.inner.shutdown.store(true, Ordering::SeqCst);
-        for shard in &self.inner.shards {
-            shard.available.notify_all();
+        {
+            // Take the idle lock so the store above cannot fall between
+            // a worker's shutdown re-check and its wait.
+            let _guard = self.inner.idle.lock().unwrap();
+            self.inner.work.notify_all();
+            self.inner.drained.notify_all();
         }
-        self.inner.drained.notify_all();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
@@ -292,13 +316,21 @@ fn worker_loop(id: usize, inner: &Inner) {
                 {
                     return;
                 }
-                // Park on the own shard's condvar: submissions to this
-                // shard signal it directly; steals and shutdown are
-                // covered by the timed-wait tick.
-                let queue = inner.shards[id].queue.lock().unwrap();
-                if queue.is_empty() {
-                    let _ = inner.shards[id].available.wait_timeout(queue, IDLE_TICK);
+                // Dekker handshake, worker side: advertise in `idlers`,
+                // then re-check `queued` while holding the idle lock.
+                // A submitter publishes `queued` before reading `idlers`
+                // (both `SeqCst`), so either this re-check sees its job
+                // or it sees this worker and signals `work` — the signal
+                // cannot be lost because the lock is held from here
+                // until the wait actually parks.
+                let guard = inner.idle.lock().unwrap();
+                inner.idlers.fetch_add(1, Ordering::SeqCst);
+                if inner.queued.load(Ordering::SeqCst) == 0
+                    && !inner.shutdown.load(Ordering::SeqCst)
+                {
+                    let _guard = inner.work.wait(guard).unwrap();
                 }
+                inner.idlers.fetch_sub(1, Ordering::SeqCst);
                 continue;
             }
         };
@@ -392,9 +424,11 @@ mod tests {
     #[test]
     fn pinned_submissions_force_stealing() {
         // Everything lands in shard 0; workers 1..3 have empty shards
-        // and can only make progress by stealing. The jobs sleep just
-        // long enough that one worker cannot drain the queue before the
-        // thieves wake (the idle tick is 1 ms).
+        // and can only make progress by stealing. Each pinned submission
+        // still wakes a parked worker (the handshake signals any idler,
+        // not just the shard's owner), and the jobs sleep long enough
+        // that one worker cannot drain the queue before the woken
+        // thieves scan it.
         let pool = Executor::new(4, 0);
         let hits = Arc::new(AtomicU64::new(0));
         for _ in 0..64 {

@@ -309,15 +309,18 @@ pub fn check_program_in(mut prog: Program, opts: &CheckOptions) -> Result<Checke
     }
 }
 
-struct Checker<'t> {
+/// The per-unit checking state. Crate-visible so the incremental engine
+/// (`crate::incremental`) can run the exact same per-class / per-region-kind
+/// routines the batch driver runs, one unit at a time.
+pub(crate) struct Checker<'t> {
     table: &'t ProgramTable,
-    errors: Vec<TypeError>,
-    methods_checked: usize,
-    judgments: JudgmentCounters,
+    pub(crate) errors: Vec<TypeError>,
+    pub(crate) methods_checked: usize,
+    pub(crate) judgments: JudgmentCounters,
 }
 
 impl<'t> Checker<'t> {
-    fn new(table: &'t ProgramTable) -> Checker<'t> {
+    pub(crate) fn new(table: &'t ProgramTable) -> Checker<'t> {
         Checker {
             table,
             errors: Vec::new(),
@@ -348,7 +351,7 @@ impl<'t> Checker<'t> {
     /// Folds an environment's judgment-cache counters into the run totals.
     /// Counters reset when an `Env` is cloned, so each environment is
     /// absorbed exactly once, just before it goes out of scope.
-    fn absorb_env(&mut self, env: &Env) {
+    pub(crate) fn absorb_env(&mut self, env: &Env) {
         self.judgments.absorb(&env.judgment_counters());
     }
 
@@ -633,7 +636,7 @@ impl<'t> Checker<'t> {
     /// `[REGION KIND DEF]`: portal field and subregion types are checked in
     /// an environment where `this` denotes the region and every formal
     /// outlives it.
-    fn check_region_kind(&mut self, rk: &RegionKindDecl) {
+    pub(crate) fn check_region_kind(&mut self, rk: &RegionKindDecl) {
         let mut env = Env::base();
         let formal_owners: Vec<Owner> = rk
             .formals
@@ -699,7 +702,7 @@ impl<'t> Checker<'t> {
         env
     }
 
-    fn check_class(&mut self, c: &mut ClassDecl) {
+    pub(crate) fn check_class(&mut self, c: &mut ClassDecl) {
         let table = self.table;
         let Some(info) = table.class(c.name.name) else {
             return; // table construction already reported this
@@ -782,7 +785,7 @@ impl<'t> Checker<'t> {
     }
 
     /// `InheritanceOK` + `OverridesOK`.
-    fn check_inheritance(&mut self, classes: &[ClassDecl]) {
+    pub(crate) fn check_inheritance(&mut self, classes: &[ClassDecl]) {
         // Iterate in declaration order (not table-map order) so the
         // diagnostics this pass emits are deterministic run to run.
         for c in classes {
@@ -920,7 +923,7 @@ impl<'t> Checker<'t> {
         env.truncate_to(m);
     }
 
-    fn check_stmt(
+    pub(crate) fn check_stmt(
         &mut self,
         env: &mut Env,
         x: &Effects,

@@ -58,6 +58,7 @@
 pub mod check;
 pub mod env;
 pub mod error;
+pub mod incremental;
 pub mod infer;
 pub mod kind;
 pub mod lower;
@@ -69,6 +70,10 @@ pub mod table;
 pub use check::{check_program, check_program_in, CheckOptions, CheckStats, Checked};
 pub use env::{Effects, Env, FamilyCounters, JudgmentCounters};
 pub use error::TypeError;
+pub use incremental::{
+    CheckBenchReport, ClassEdit, EditBenchRow, IncrementalChecker, RecheckError, RecheckOutcome,
+    CHECK_BENCH_SCHEMA,
+};
 pub use kind::Kind;
 pub use owner::Owner;
 pub use profile::{CheckProfile, CheckerSnapshot, PhaseSpan, CHECKER_METRICS_SCHEMA};

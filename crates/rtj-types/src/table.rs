@@ -309,6 +309,19 @@ impl ProgramTable {
         }
     }
 
+    /// Replaces one class's stored declaration, keeping its resolved
+    /// formal kinds and constraints (the single-class analogue of
+    /// [`ProgramTable::refresh_decls`]). Used by the incremental checker:
+    /// when a class's *signature* fingerprint is unchanged, the structural
+    /// facts `build` computed still hold, but the declaration's spans (and
+    /// possibly its method bodies) moved, so the stored decl — which error
+    /// reporting for that class reads — must be the current one.
+    pub fn refresh_class_decl(&mut self, name: Symbol, decl: &ClassDecl) {
+        if let Some(info) = self.classes.get_mut(&name) {
+            info.decl = Arc::new(decl.clone());
+        }
+    }
+
     /// Looks up a class.
     pub fn class(&self, name: impl Into<Symbol>) -> Option<&ClassInfo> {
         self.classes.get(&name.into())

@@ -199,3 +199,37 @@ fn bench_serve_baseline_parses() {
     assert!(ledger.holds(), "Figure-12 ledger must hold in the baseline");
     assert!(ledger.matched_sessions > 0, "matched population non-empty");
 }
+
+/// The checked-in incremental-checking baseline must parse as a
+/// current-schema `rtj-check-bench/v1` document and witness the PR's
+/// headline claims: a real scaled workload, all three edit kinds
+/// replayed, body-only edits re-checking exactly one class, and the
+/// ≥10x body-only speedup over the from-scratch median.
+#[test]
+fn bench_check_baseline_parses() {
+    let text = read_doc("BENCH_check.json");
+    let doc = rtjava::runtime::Json::parse(&text).expect("BENCH_check.json is JSON");
+    let report = rtjava::types::CheckBenchReport::from_json(&doc).expect("BENCH_check.json parses");
+
+    assert_eq!(report.workload, "scaled:64");
+    assert_eq!(report.classes, 384, "the headline scale is 64 replicas");
+    for kind in ["body", "signature", "body_error"] {
+        assert!(
+            report.rows.iter().any(|r| r.kind == kind),
+            "baseline must replay a {kind} edit"
+        );
+    }
+    for row in report.rows.iter().filter(|r| r.kind == "body") {
+        assert_eq!(row.dirty, 1, "a body edit re-checks exactly one class");
+        assert_eq!(row.reused, report.classes - 1);
+    }
+    assert!(
+        report.rows.iter().any(|r| r.errors > 0),
+        "an error edit must surface diagnostics in the baseline"
+    );
+    assert!(
+        report.body_speedup_p50() >= 10.0,
+        "body-only p50 speedup must be >= 10x, got {:.1}x",
+        report.body_speedup_p50()
+    );
+}

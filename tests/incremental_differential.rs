@@ -1,0 +1,218 @@
+//! Differential test: the incremental re-check engine must be observably
+//! identical to a from-scratch check of the same (edited) source — same
+//! accept/reject decision, byte-identical span-sorted diagnostics, the
+//! same judgment counters, and the same structural profile — at every
+//! worker count, across cumulative edit batches, error introduction and
+//! healing, and edits that shift cached diagnostics.
+
+use rtjava::corpus::{edit_batches, scaled_classes};
+use rtjava::lang::parse_program;
+use rtjava::types::{
+    check_program_in, CheckOptions, CheckerSnapshot, ClassEdit, IncrementalChecker, TypeError,
+};
+
+fn opts(jobs: usize) -> CheckOptions {
+    CheckOptions {
+        jobs,
+        profile: true,
+    }
+}
+
+/// From-scratch check of `src`: `Ok` yields the structural snapshot,
+/// `Err` the span-sorted diagnostics.
+fn scratch(src: &str, jobs: usize) -> Result<CheckerSnapshot, Vec<TypeError>> {
+    let program = parse_program(src).expect("edited source parses");
+    check_program_in(program, &opts(jobs))
+        .map(|c| CheckerSnapshot::capture(&c.stats, c.profile.as_ref()).structure())
+}
+
+/// Asserts the engine's last outcome is observably identical to checking
+/// `engine.source()` from scratch.
+fn assert_matches_scratch(
+    label: &str,
+    engine: &IncrementalChecker,
+    out: &rtjava::types::RecheckOutcome,
+    jobs: usize,
+) {
+    match scratch(engine.source(), jobs) {
+        Ok(snap) => {
+            assert!(
+                out.ok(),
+                "{label}: engine reports errors where scratch accepts: {:?}",
+                out.errors
+            );
+            // Capture after both runs so the process-global interner
+            // statistics agree between the two snapshots.
+            let engine_snap =
+                CheckerSnapshot::capture(&out.stats, out.profile.as_ref()).structure();
+            assert_eq!(engine_snap, snap, "{label}: structural snapshots diverge");
+        }
+        Err(errors) => {
+            assert_eq!(
+                out.errors, errors,
+                "{label}: diagnostics diverge from scratch"
+            );
+        }
+    }
+}
+
+fn as_edit(b: &rtjava::corpus::EditBatch) -> ClassEdit {
+    ClassEdit {
+        class: b.class.clone(),
+        source: b.source.clone(),
+    }
+}
+
+/// The full text of one class declaration in `src`.
+fn decl_text(src: &str, name: &str) -> String {
+    let program = parse_program(src).expect("source parses");
+    let decl = program
+        .classes
+        .iter()
+        .find(|c| c.name.name.as_str() == name)
+        .unwrap_or_else(|| panic!("no class {name}"));
+    src[decl.span.start as usize..decl.span.end as usize].to_string()
+}
+
+#[test]
+fn cumulative_edit_batches_match_from_scratch() {
+    for jobs in [1, 4] {
+        let mut engine = IncrementalChecker::new(opts(jobs));
+        let initial = engine.check_source(&scaled_classes(8)).expect("parses");
+        assert_matches_scratch("initial", &engine, &initial, jobs);
+
+        let script = edit_batches(8, 16, 5);
+        for b in &script.batches {
+            let out = engine
+                .recheck(&[as_edit(b)])
+                .unwrap_or_else(|e| panic!("batch {}: {e}", b.id));
+            assert_matches_scratch(
+                &format!("jobs={jobs} batch {} ({})", b.id, b.kind),
+                &engine,
+                &out,
+                jobs,
+            );
+        }
+    }
+}
+
+#[test]
+fn signature_edit_dirties_exactly_the_dependent_closure() {
+    let script = edit_batches(4, 48, 11);
+    let sig = script
+        .batches
+        .iter()
+        .find(|b| b.kind == "signature")
+        .expect("48 batches include a signature edit");
+    let replica = sig.class.strip_prefix("Item").unwrap();
+
+    let mut engine = IncrementalChecker::new(opts(1));
+    engine.check_source(&scaled_classes(4)).expect("parses");
+    let out = engine.recheck(&[as_edit(sig)]).expect("applies");
+    assert!(out.ok(), "{:?}", out.errors);
+    assert!(
+        out.full_rebuild,
+        "a signature change must rebuild the table"
+    );
+    let mut dirty: Vec<&str> = out.dirty.iter().map(|s| s.as_str()).collect();
+    dirty.sort_unstable();
+    let expected = [
+        format!("Item{replica}"),
+        format!("Node{replica}"),
+        format!("Stack{replica}"),
+    ];
+    assert_eq!(
+        dirty, expected,
+        "the dirty closure must be the edited class plus its dependents"
+    );
+}
+
+#[test]
+fn body_edit_rechecks_only_the_edited_class() {
+    let script = edit_batches(4, 48, 11);
+    let body = script
+        .batches
+        .iter()
+        .find(|b| b.kind == "body")
+        .expect("48 batches include a body edit");
+
+    let mut engine = IncrementalChecker::new(opts(1));
+    engine.check_source(&scaled_classes(4)).expect("parses");
+    let out = engine.recheck(&[as_edit(body)]).expect("applies");
+    assert!(out.ok(), "{:?}", out.errors);
+    assert!(!out.full_rebuild, "a body edit must keep the table");
+    let dirty: Vec<&str> = out.dirty.iter().map(|s| s.as_str()).collect();
+    assert_eq!(dirty, [body.class.as_str()]);
+    assert_eq!(out.reused, out.classes - 1);
+}
+
+#[test]
+fn error_edit_and_heal_match_from_scratch() {
+    let pristine = scaled_classes(4);
+    let script = edit_batches(4, 48, 11);
+    let bad = script
+        .batches
+        .iter()
+        .find(|b| b.kind == "body_error")
+        .expect("48 batches include an error edit");
+
+    let mut engine = IncrementalChecker::new(opts(2));
+    engine.check_source(&pristine).expect("parses");
+
+    let out = engine.recheck(&[as_edit(bad)]).expect("applies");
+    assert!(!out.ok(), "the error edit must produce a diagnostic");
+    assert_matches_scratch("error introduced", &engine, &out, 2);
+
+    // Healing: restore the pristine declaration text.
+    let heal = ClassEdit {
+        class: bad.class.clone(),
+        source: decl_text(&pristine, &bad.class),
+    };
+    let out = engine.recheck(&[heal]).expect("applies");
+    assert!(
+        out.ok(),
+        "healing must clear the diagnostic: {:?}",
+        out.errors
+    );
+    assert_matches_scratch("error healed", &engine, &out, 2);
+}
+
+#[test]
+fn body_edit_shifts_cached_diagnostics_of_later_classes() {
+    let pristine = scaled_classes(4);
+    let mut engine = IncrementalChecker::new(opts(1));
+    engine.check_source(&pristine).expect("parses");
+
+    // Introduce an error in a late replica, then edit an early class
+    // body so every later declaration moves: the cached diagnostic must
+    // be re-anchored to its new position, not re-derived.
+    let broken = decl_text(&pristine, "Base3").replacen(
+        "this.tag = this.tag + x;",
+        "this.tag = missing + x;",
+        1,
+    );
+    let out = engine
+        .recheck(&[ClassEdit {
+            class: "Base3".to_string(),
+            source: broken,
+        }])
+        .expect("applies");
+    assert!(!out.ok());
+    assert_matches_scratch("error planted", &engine, &out, 1);
+
+    let padded = decl_text(&pristine, "Stack0").replacen(
+        "let c = 0;",
+        "let c = 0;\n        let padding = 424242;\n        c = c + padding - padding;",
+        1,
+    );
+    let out = engine
+        .recheck(&[ClassEdit {
+            class: "Stack0".to_string(),
+            source: padded,
+        }])
+        .expect("applies");
+    assert!(!out.ok(), "the planted error must survive the body edit");
+    let dirty: Vec<&str> = out.dirty.iter().map(|s| s.as_str()).collect();
+    assert_eq!(dirty, ["Stack0"], "only the padded class re-checks");
+    assert_matches_scratch("error shifted", &engine, &out, 1);
+}
