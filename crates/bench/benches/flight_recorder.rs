@@ -1,0 +1,103 @@
+//! Overhead of the server flight recorder (ISSUE acceptance criterion:
+//! the disabled path must be within noise of no telemetry at all).
+//!
+//! Three measurements:
+//!
+//! * `batch/off` — a fixed saturation batch with `telemetry: None`: the
+//!   per-event cost is one `Option` branch that is never taken;
+//! * `batch/on` — the same batch with the recorder live, bounding the
+//!   full cost of stamping ~9 events per session plus the sampler;
+//! * `record` — the raw hot-path append itself (clock read + 24-byte
+//!   push onto an uncontended lane).
+//!
+//! Telemetry is pure observation — asserted here via the results
+//! fingerprint before timing anything.
+//!
+//! Set `RTJ_BENCH_SMOKE=1` for a minimal-sample CI smoke run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtj_interp::Engine;
+use rtj_runtime::CheckMode;
+use rtj_server::{
+    results_fingerprint, run_batch, EventKind, FlightRecorder, ServeConfig, TelemetryConfig,
+};
+use std::hint::black_box;
+
+fn batch_config(telemetry: bool) -> ServeConfig {
+    ServeConfig {
+        workers: 4,
+        programs: vec!["http".into(), "game".into(), "phone".into()],
+        variants: 1,
+        modes: vec![CheckMode::Static, CheckMode::Dynamic],
+        engines: vec![Engine::Vm],
+        telemetry: telemetry.then(TelemetryConfig::default),
+        ..ServeConfig::default()
+    }
+}
+
+fn rounds() -> u64 {
+    if std::env::var_os("RTJ_BENCH_SMOKE").is_some() {
+        1
+    } else {
+        4
+    }
+}
+
+fn telemetry_overhead(c: &mut Criterion) {
+    // Observation must not perturb: identical fingerprints on and off.
+    let off = run_batch(&batch_config(false), 2).expect("serve");
+    let on = run_batch(&batch_config(true), 2).expect("serve");
+    assert_eq!(
+        results_fingerprint(&off.results),
+        results_fingerprint(&on.results),
+        "telemetry changed session results"
+    );
+    let events: u64 = on
+        .telemetry
+        .expect("telemetry on")
+        .trace
+        .counts()
+        .iter()
+        .sum();
+    println!(
+        "flight recorder: {events} events over {} sessions\n",
+        on.results.len()
+    );
+
+    let rounds = rounds();
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.bench_function("batch/off", |b| {
+        b.iter(|| black_box(run_batch(&batch_config(false), rounds).expect("serve")))
+    });
+    group.bench_function("batch/on", |b| {
+        b.iter(|| black_box(run_batch(&batch_config(true), rounds).expect("serve")))
+    });
+    group.finish();
+
+    // The raw hot-path append, on an otherwise idle recorder lane.
+    c.bench_function("telemetry_record", |b| {
+        let rec = FlightRecorder::new(1);
+        let mut session = 0u64;
+        b.iter(|| {
+            session += 1;
+            rec.record(0, black_box(EventKind::Dequeue), Some(black_box(session)));
+            // Bound the lane's growth across criterion's many
+            // iterations; amortized to nothing.
+            if session.is_multiple_of(1 << 16) {
+                black_box(rec.drain());
+            }
+        });
+    });
+}
+
+fn criterion() -> Criterion {
+    let smoke = std::env::var_os("RTJ_BENCH_SMOKE").is_some();
+    Criterion::default().sample_size(if smoke { 10 } else { 30 })
+}
+
+criterion_group! {
+    name = benches;
+    config = criterion();
+    targets = telemetry_overhead
+}
+criterion_main!(benches);

@@ -223,7 +223,8 @@ fn main() -> ExitCode {
                  report <snapshot.json>...  render the report(s) from any mix of\n\
                  \x20                   rtj-metrics/v1, rtj-checker-metrics/v1,\n\
                  \x20                   rtj-fig12/v1, rtj-load/v1,\n\
-                 \x20                   rtj-serve-bench/v1, and rtj-check-bench/v1\n\
+                 \x20                   rtj-serve-bench/v1, rtj-check-bench/v1,\n\
+                 \x20                   rtj-server-trace/v1, and rtj-timeline/v1\n\
                  \x20                   documents\n\
                  bench <name|scaled[:N]> [--format json] [--iters N]\n\
                  \x20                   print a corpus program, or with --format\n\
@@ -237,17 +238,22 @@ fn main() -> ExitCode {
                  serve [--rounds R] [--workers N] [--programs a,b] [--variants K]\n\
                  \x20     [--modes static,dynamic,audit] [--engine vm|tree|both]\n\
                  \x20     [--queue-capacity Q] [--deadline-us D] [--stall-us S]\n\
-                 \x20     [--format json] [--out FILE] [--sessions FILE]\n\
+                 \x20     [--telemetry[=FILE]] [--trace-format chrome|jsonl]\n\
+                 \x20     [--tick-us N] [--format json] [--out FILE]\n\
+                 \x20     [--sessions FILE]\n\
                  \x20                   run R complete request-mix rounds on the\n\
                  \x20                   multi-tenant server, unpaced (saturation);\n\
                  \x20                   --sessions dumps per-session deterministic\n\
-                 \x20                   keys for byte-identity diffs\n\
+                 \x20                   keys for byte-identity diffs; --telemetry\n\
+                 \x20                   runs the flight recorder (=FILE writes the\n\
+                 \x20                   rtj-server-trace/v1 trace and the sibling\n\
+                 \x20                   *.timeline.json rtj-timeline/v1 document)\n\
                  load [--rate HZ] [--duration-ms MS] [--seed S] + serve's flags\n\
                  \x20                   open-loop Poisson load at a target arrival\n\
                  \x20                   rate; both emit rtj-load/v1 (see SERVER.md)\n\
                  servebench [--rounds R] [--stall-us S] [--rate HZ]\n\
                  \x20     [--duration-ms MS] [--seed S] [--deadline-us D]\n\
-                 \x20     [--format json] [--out FILE]\n\
+                 \x20     [--telemetry[=FILE]] [--format json] [--out FILE]\n\
                  \x20                   regenerate the rtj-serve-bench/v1 baseline:\n\
                  \x20                   a 1/2/4/8-worker sweep plus a deadline-shed\n\
                  \x20                   overload row (BENCH_serve.json)"
@@ -1001,6 +1007,19 @@ fn bench_incremental(
     })
 }
 
+/// Every versioned document schema `rtjc report` can render, in the
+/// order they are listed in error messages and the usage text.
+const SUPPORTED_SCHEMAS: [&str; 8] = [
+    rtj_runtime::METRICS_SCHEMA,
+    rtj_types::CHECKER_METRICS_SCHEMA,
+    rtj_corpus::FIG12_SCHEMA,
+    rtj_server::LOAD_SCHEMA,
+    rtj_server::SERVE_BENCH_SCHEMA,
+    rtj_types::CHECK_BENCH_SCHEMA,
+    rtj_server::SERVER_TRACE_SCHEMA,
+    rtj_server::TIMELINE_SCHEMA,
+];
+
 /// `rtjc report <snapshot.json>...`: render the report(s) from any mix
 /// of observability documents — `rtj-metrics/v1` (from `rtjc run
 /// --metrics`), `rtj-checker-metrics/v1` (from `rtjc check --profile` or
@@ -1113,16 +1132,32 @@ fn report_cmd(args: &[String]) -> ExitCode {
                     }
                 }
             }
+            Some(rtj_server::SERVER_TRACE_SCHEMA) => {
+                match rtj_server::ServerTrace::from_json(&doc) {
+                    Ok(trace) => out += &trace.render_report(),
+                    Err(e) => {
+                        eprintln!("{path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            Some(rtj_server::TIMELINE_SCHEMA) => match rtj_server::Timeline::from_json(&doc) {
+                Ok(timeline) => out += &timeline.render_report(),
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
-                eprintln!(
-                    "{path}: unsupported schema {other:?}; expected `{}`, `{}`, `{}`, `{}`, `{}`, or `{}`",
-                    rtj_runtime::METRICS_SCHEMA,
-                    rtj_types::CHECKER_METRICS_SCHEMA,
-                    rtj_corpus::FIG12_SCHEMA,
-                    rtj_server::LOAD_SCHEMA,
-                    rtj_server::SERVE_BENCH_SCHEMA,
-                    rtj_types::CHECK_BENCH_SCHEMA
-                );
+                let supported = SUPPORTED_SCHEMAS.join("`, `");
+                match other {
+                    Some(name) => eprintln!(
+                        "{path}: unknown schema `{name}`; supported schemas: `{supported}`"
+                    ),
+                    None => eprintln!(
+                        "{path}: missing string `schema` field; supported schemas: `{supported}`"
+                    ),
+                }
                 return ExitCode::FAILURE;
             }
         }
@@ -1231,12 +1266,72 @@ fn render_fig12_document(doc: &Json) -> Result<String, String> {
     Ok(out)
 }
 
+/// Telemetry flags shared by `rtjc serve`/`load`/`servebench`:
+/// `--telemetry[=FILE]` turns the flight recorder on (and optionally
+/// writes the trace document to FILE plus the timeline to the sibling
+/// `*.timeline.json`), `--trace-format chrome|jsonl` selects the trace
+/// export (default: the versioned `rtj-server-trace/v1` document), and
+/// `--tick-us N` sets the sampler period.
+#[derive(Clone, Default)]
+struct TelemetryCli {
+    enabled: bool,
+    file: Option<String>,
+    format: Option<String>,
+    tick_us: Option<u64>,
+}
+
+impl TelemetryCli {
+    /// The [`rtj_server::TelemetryConfig`] to put in the serve config —
+    /// `None` when `--telemetry` was not given.
+    fn config(&self) -> Option<rtj_server::TelemetryConfig> {
+        if !self.enabled {
+            return None;
+        }
+        let mut cfg = rtj_server::TelemetryConfig::default();
+        if let Some(us) = self.tick_us {
+            cfg.tick = std::time::Duration::from_micros(us);
+        }
+        Some(cfg)
+    }
+}
+
+/// Writes the flight-recorder documents requested by `--telemetry=FILE`:
+/// the scheduling trace to FILE (versioned `rtj-server-trace/v1` by
+/// default, Chrome `trace_event` JSON with `--trace-format chrome`,
+/// JSONL with `jsonl`) and the `rtj-timeline/v1` document to the
+/// sibling `*.timeline.json` (skipped when FILE is `-`).
+fn write_telemetry(cli: &TelemetryCli, telemetry: &rtj_server::Telemetry) -> Result<(), String> {
+    let Some(path) = &cli.file else {
+        return Ok(());
+    };
+    let text = match cli.format.as_deref() {
+        Some("chrome") => telemetry.trace.to_chrome_trace().render() + "\n",
+        Some("jsonl") => telemetry.trace.to_trace_jsonl(),
+        _ => telemetry.trace.render() + "\n",
+    };
+    write_output(path, &text)?;
+    if path != "-" {
+        let sibling = match path.strip_suffix(".json") {
+            Some(stem) => format!("{stem}.timeline.json"),
+            None => format!("{path}.timeline.json"),
+        };
+        write_output(&sibling, &(telemetry.timeline.render() + "\n"))?;
+    }
+    Ok(())
+}
+
 /// Flags shared by `rtjc serve` and `rtjc load`: everything that shapes
-/// the request mix and the executor. Returns the parsed [`rtj_server::ServeConfig`]
-/// plus the leftover command-specific flags.
-fn parse_serve_flags(args: &[String]) -> Result<(rtj_server::ServeConfig, Vec<String>), String> {
+/// the request mix and the executor, plus the [`TelemetryCli`] flight
+/// recorder flags. Returns the parsed [`rtj_server::ServeConfig`]
+/// (telemetry already applied), the telemetry flags, and the leftover
+/// command-specific flags.
+type ServeFlags = (rtj_server::ServeConfig, TelemetryCli, Vec<String>);
+
+/// Parses the shared serve/load/servebench flags (see [`ServeFlags`]).
+fn parse_serve_flags(args: &[String]) -> Result<ServeFlags, String> {
     use rtj_server::ServeConfig;
     let mut cfg = ServeConfig::default();
+    let mut telemetry = TelemetryCli::default();
     let mut rest = Vec::new();
     let mut it = args.iter();
     let next_value = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<String, String> {
@@ -1299,6 +1394,30 @@ fn parse_serve_flags(args: &[String]) -> Result<(rtj_server::ServeConfig, Vec<St
                     .parse()
                     .map_err(|_| "--stall-us expects a number".to_string())?;
             }
+            "--telemetry" => {
+                // Bare `--telemetry` enables the recorder; `=FILE` also
+                // writes the trace + timeline documents.
+                telemetry.enabled = true;
+                telemetry.file = value.clone();
+            }
+            "--trace-format" => {
+                let v = value_of(&mut it)?;
+                if v != "chrome" && v != "jsonl" {
+                    return Err(format!(
+                        "unknown trace format `{v}`; expected `chrome` or `jsonl`"
+                    ));
+                }
+                telemetry.format = Some(v);
+            }
+            "--tick-us" => {
+                let us: u64 = value_of(&mut it)?
+                    .parse()
+                    .map_err(|_| "--tick-us expects a number".to_string())?;
+                if us == 0 {
+                    return Err("--tick-us must be positive".into());
+                }
+                telemetry.tick_us = Some(us);
+            }
             _ => {
                 rest.push(a.clone());
                 if let (None, Some(v)) = (&value, it.clone().next()) {
@@ -1310,7 +1429,11 @@ fn parse_serve_flags(args: &[String]) -> Result<(rtj_server::ServeConfig, Vec<St
             }
         }
     }
-    Ok((cfg, rest))
+    if !telemetry.enabled && (telemetry.format.is_some() || telemetry.tick_us.is_some()) {
+        return Err("--trace-format/--tick-us require --telemetry".into());
+    }
+    cfg.telemetry = telemetry.config();
+    Ok((cfg, telemetry, rest))
 }
 
 /// Emits an [`rtj_server::LoadReport`]: human report to stdout (text) or
@@ -1401,7 +1524,7 @@ fn write_sessions_file(path: &str, results: &[rtj_server::SessionResult]) -> Res
 /// server, unpaced — the saturation benchmark. Emits `rtj-load/v1`.
 fn serve_cmd(args: &[String]) -> ExitCode {
     let run = || -> Result<ExitCode, String> {
-        let (cfg, rest) = parse_serve_flags(args)?;
+        let (cfg, telemetry, rest) = parse_serve_flags(args)?;
         let (json, out, sessions, values) = parse_tail_flags(&rest, &["--rounds"])?;
         let rounds = values[0].unwrap_or(8.0) as u64;
         let start = std::time::Instant::now();
@@ -1409,6 +1532,9 @@ fn serve_cmd(args: &[String]) -> ExitCode {
         let elapsed_ms = start.elapsed().as_millis().max(1) as u64;
         if let Some(path) = &sessions {
             write_sessions_file(path, &outcome.results)?;
+        }
+        if let Some(t) = &outcome.telemetry {
+            write_telemetry(&telemetry, t)?;
         }
         let workload = format!("{} x{}", cfg.programs.join(","), cfg.variants);
         let report = rtj_server::LoadReport::from_serve(&outcome, workload, 0.0, elapsed_ms);
@@ -1425,7 +1551,7 @@ fn serve_cmd(args: &[String]) -> ExitCode {
 /// `rtj-load/v1`.
 fn load_cmd(args: &[String]) -> ExitCode {
     let run = || -> Result<ExitCode, String> {
-        let (cfg, rest) = parse_serve_flags(args)?;
+        let (cfg, telemetry, rest) = parse_serve_flags(args)?;
         let (json, out, sessions, values) =
             parse_tail_flags(&rest, &["--rate", "--duration-ms", "--seed"])?;
         let plan = rtj_server::LoadPlan {
@@ -1439,6 +1565,9 @@ fn load_cmd(args: &[String]) -> ExitCode {
         let outcome = rtj_server::run_load(&cfg, &plan).map_err(|e| e.to_string())?;
         if let Some(path) = &sessions {
             write_sessions_file(path, &outcome.serve.results)?;
+        }
+        if let Some(t) = &outcome.serve.telemetry {
+            write_telemetry(&telemetry, t)?;
         }
         let workload = format!("{} x{}", cfg.programs.join(","), cfg.variants);
         let report = rtj_server::LoadReport::from_load(&outcome, workload);
@@ -1467,7 +1596,7 @@ fn load_cmd(args: &[String]) -> ExitCode {
 ///    queue growth.
 fn servebench_cmd(args: &[String]) -> ExitCode {
     let run = || -> Result<ExitCode, String> {
-        let (mut cfg, rest) = parse_serve_flags(args)?;
+        let (mut cfg, telemetry, rest) = parse_serve_flags(args)?;
         let (json, out, sessions, values) =
             parse_tail_flags(&rest, &["--rounds", "--rate", "--duration-ms", "--seed"])?;
         if sessions.is_some() {
@@ -1515,6 +1644,13 @@ fn servebench_cmd(args: &[String]) -> ExitCode {
             seed,
         };
         let outcome = rtj_server::run_load(&cfg, &plan).map_err(|e| e.to_string())?;
+        if let Some(t) = &outcome.serve.telemetry {
+            // `--telemetry=FILE` exports the overload run's documents.
+            // The sweep runs above also recorded (cfg.telemetry is set
+            // before the clone), so their fingerprints witness that the
+            // instrumented path leaves results byte-identical.
+            write_telemetry(&telemetry, t)?;
+        }
         let workload = format!("{} x{}", cfg.programs.join(","), cfg.variants);
         let overload = rtj_server::LoadReport::from_load(&outcome, workload);
 

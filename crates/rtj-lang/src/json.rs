@@ -87,6 +87,20 @@ impl Json {
         }
     }
 
+    /// The value as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `null` (used by sparse schema fields such as
+    /// the session slot of `rtj-server-trace/v1` event triples).
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
     /// The value as a string slice.
     pub fn as_str(&self) -> Option<&str> {
         match self {

@@ -52,6 +52,8 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::Duration;
 
+use crate::telemetry::{EventKind, FlightRecorder, WorkerSample};
+
 /// A unit of work: one session execution. The argument is the index of
 /// the worker that runs the job (the shard-ownership token for
 /// per-worker result aggregation) — not necessarily the shard the job
@@ -62,6 +64,9 @@ pub type Job = Box<dyn FnOnce(usize) + Send + 'static>;
 /// shards never contend.
 struct Shard {
     queue: Mutex<VecDeque<Job>>,
+    /// Jobs this shard's owning worker has executed (telemetry gauge;
+    /// only the owner writes it).
+    completed: AtomicU64,
 }
 
 struct Inner {
@@ -95,6 +100,23 @@ struct Inner {
     /// Signalled when the pool fully drains or queue space frees up.
     drained: Condvar,
     capacity: usize,
+    /// Flight recorder for park/unpark events. `None` (the default)
+    /// compiles the telemetry hooks down to one untaken branch per
+    /// park transition — the hot claim/execute path is untouched.
+    recorder: Option<Arc<FlightRecorder>>,
+}
+
+impl Inner {
+    fn stats(&self) -> ExecutorStats {
+        ExecutorStats {
+            workers: self.shards.len(),
+            submitted: self.submitted.load(Ordering::SeqCst),
+            completed: self.completed.load(Ordering::SeqCst),
+            stolen: self.stolen.load(Ordering::SeqCst),
+            peak_in_flight: self.peak_in_flight.load(Ordering::SeqCst),
+            panicked: self.panicked.load(Ordering::SeqCst),
+        }
+    }
 }
 
 /// How long `drain` and a backpressured bounded-queue submitter sleep
@@ -134,17 +156,26 @@ impl Executor {
     /// parallelism) with one shard each and the given queue capacity
     /// (0 = unbounded).
     pub fn new(workers: usize, queue_capacity: usize) -> Executor {
-        let workers = if workers == 0 {
-            thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-        } else {
-            workers
-        };
+        Executor::with_recorder(workers, queue_capacity, None)
+    }
+
+    /// Like [`Executor::new`], but wires a flight recorder into the
+    /// workers so park/unpark transitions are traced. The recorder must
+    /// have (at least) one lane per worker.
+    pub fn with_recorder(
+        workers: usize,
+        queue_capacity: usize,
+        recorder: Option<Arc<FlightRecorder>>,
+    ) -> Executor {
+        let workers = resolve_workers(workers);
+        if let Some(rec) = &recorder {
+            assert!(rec.workers() >= workers, "recorder lane per worker");
+        }
         let inner = Arc::new(Inner {
             shards: (0..workers)
                 .map(|_| Shard {
                     queue: Mutex::new(VecDeque::new()),
+                    completed: AtomicU64::new(0),
                 })
                 .collect(),
             submitted: AtomicU64::new(0),
@@ -160,6 +191,7 @@ impl Executor {
             work: Condvar::new(),
             drained: Condvar::new(),
             capacity: queue_capacity,
+            recorder,
         });
         let handles = (0..workers)
             .map(|id| {
@@ -246,14 +278,14 @@ impl Executor {
 
     /// Current counters.
     pub fn stats(&self) -> ExecutorStats {
-        let inner = &*self.inner;
-        ExecutorStats {
-            workers: inner.shards.len(),
-            submitted: inner.submitted.load(Ordering::SeqCst),
-            completed: inner.completed.load(Ordering::SeqCst),
-            stolen: inner.stolen.load(Ordering::SeqCst),
-            peak_in_flight: inner.peak_in_flight.load(Ordering::SeqCst),
-            panicked: inner.panicked.load(Ordering::SeqCst),
+        self.inner.stats()
+    }
+
+    /// A handle the telemetry sampler can poll from its own thread while
+    /// the pool runs.
+    pub fn probe(&self) -> ExecutorProbe {
+        ExecutorProbe {
+            inner: Arc::clone(&self.inner),
         }
     }
 
@@ -276,6 +308,66 @@ impl Executor {
         }
         for handle in self.workers.drain(..) {
             let _ = handle.join();
+        }
+    }
+}
+
+/// Resolves a requested worker count (0 = the machine's available
+/// parallelism) to the actual thread count — shared with the server so
+/// the flight recorder can size its lanes before the pool exists.
+pub(crate) fn resolve_workers(workers: usize) -> usize {
+    if workers == 0 {
+        thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        workers
+    }
+}
+
+/// A sampling handle onto a live executor: reads the gauge counters
+/// without participating in the pool's lifecycle (holding one does not
+/// keep workers alive or delay shutdown accounting).
+pub struct ExecutorProbe {
+    inner: Arc<Inner>,
+}
+
+/// One probe reading, consumed by the telemetry sampler.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProbeSample {
+    /// Jobs submitted but not finished (queued + executing).
+    pub in_flight: u64,
+    /// Jobs queued but not yet claimed.
+    pub queued: u64,
+    /// Jobs fully executed.
+    pub completed: u64,
+    /// Per-worker completed counts and instantaneous queue depths.
+    pub workers: Vec<WorkerSample>,
+}
+
+impl ExecutorProbe {
+    /// Current counters (same snapshot as [`Executor::stats`]).
+    pub fn stats(&self) -> ExecutorStats {
+        self.inner.stats()
+    }
+
+    /// Reads the run gauges plus the per-worker breakdown. Queue depths
+    /// take each shard's lock briefly; the sampler tick (≥ 100 µs)
+    /// bounds how often.
+    pub fn sample(&self) -> ProbeSample {
+        let inner = &*self.inner;
+        ProbeSample {
+            in_flight: inner.in_flight.load(Ordering::SeqCst),
+            queued: inner.queued.load(Ordering::SeqCst) as u64,
+            completed: inner.completed.load(Ordering::SeqCst),
+            workers: inner
+                .shards
+                .iter()
+                .map(|shard| WorkerSample {
+                    completed: shard.completed.load(Ordering::SeqCst),
+                    queued: shard.queue.lock().unwrap().len() as u64,
+                })
+                .collect(),
         }
     }
 }
@@ -328,7 +420,13 @@ fn worker_loop(id: usize, inner: &Inner) {
                 if inner.queued.load(Ordering::SeqCst) == 0
                     && !inner.shutdown.load(Ordering::SeqCst)
                 {
+                    if let Some(rec) = &inner.recorder {
+                        rec.record(id, EventKind::Park, None);
+                    }
                     let _guard = inner.work.wait(guard).unwrap();
+                    if let Some(rec) = &inner.recorder {
+                        rec.record(id, EventKind::Unpark, None);
+                    }
                 }
                 inner.idlers.fetch_sub(1, Ordering::SeqCst);
                 continue;
@@ -351,6 +449,7 @@ fn worker_loop(id: usize, inner: &Inner) {
         }
 
         inner.completed.fetch_add(1, Ordering::SeqCst);
+        inner.shards[id].completed.fetch_add(1, Ordering::SeqCst);
         let remaining = inner.in_flight.fetch_sub(1, Ordering::SeqCst) - 1;
         if remaining == 0 {
             // Cold path: only the last job of a lull pays for the lock.

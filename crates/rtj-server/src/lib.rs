@@ -33,6 +33,15 @@
 //! overload row plus a fixed-workload worker sweep with per-row result
 //! fingerprints. Architecture and schema reference: `SERVER.md`.
 //!
+//! With [`ServeConfig::telemetry`] set, the server also runs a **flight
+//! recorder** ([`telemetry`]): a per-worker scheduling event log drained
+//! into [`telemetry::SERVER_TRACE_SCHEMA`] (`rtj-server-trace/v1`, with
+//! Chrome `trace_event` export), a periodic gauge sampler emitting
+//! [`telemetry::TIMELINE_SCHEMA`] (`rtj-timeline/v1`), and per-session
+//! latency attribution folded into `rtj-load/v1` as the `attribution`
+//! block. Telemetry never touches session results: fingerprints are
+//! byte-identical on or off.
+//!
 //! # Example
 //!
 //! ```
@@ -53,12 +62,18 @@ pub mod load;
 pub mod report;
 pub mod server;
 pub mod session;
+pub mod telemetry;
 
-pub use executor::{Executor, ExecutorStats, Job};
+pub use executor::{Executor, ExecutorProbe, ExecutorStats, Job, ProbeSample};
 pub use load::{run_load, LoadOutcome, LoadPlan};
 pub use report::{
-    LatencySummary, LoadGroup, LoadLedger, LoadReport, ServeBenchReport, SweepRow, LOAD_SCHEMA,
-    SERVE_BENCH_SCHEMA,
+    AttributionGroup, LatencySummary, LoadGroup, LoadLedger, LoadReport, ServeBenchReport,
+    SweepRow, LOAD_SCHEMA, SERVE_BENCH_SCHEMA,
 };
 pub use server::{run_batch, ServeConfig, ServeError, ServeOutcome, Server, ShedStats};
 pub use session::{results_fingerprint, SessionResult, SessionSpec, ShedStage};
+pub use telemetry::{
+    EventKind, FlightRecorder, ServerTrace, SessionStages, Telemetry, TelemetryConfig, Timeline,
+    TimelineSample, TraceEvent, TraceLane, WorkerSample, SERVER_TRACE_SCHEMA, STAGE_NAMES,
+    TIMELINE_SCHEMA,
+};

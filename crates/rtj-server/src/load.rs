@@ -13,6 +13,11 @@
 //! count up to a whole number of mix rounds (every program × variant
 //! under every mode × engine equally often) so the Figure-12 ledger
 //! holds exactly on the merged snapshots, then drains.
+//!
+//! When [`ServeConfig::telemetry`] is set, the server's flight recorder
+//! rides along unchanged: the [`ServeOutcome`] carries the scheduling
+//! trace and sampler timeline, and the load report folds the per-stage
+//! latency attribution in (see [`crate::telemetry`]).
 
 use std::time::{Duration, Instant};
 

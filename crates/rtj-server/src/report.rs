@@ -18,6 +18,7 @@ use rtj_runtime::{CheckMode, Histogram, Json, JsonError, MetricsSnapshot};
 use crate::load::LoadOutcome;
 use crate::server::ServeOutcome;
 use crate::session::SessionResult;
+use crate::telemetry::{SessionStages, STAGE_NAMES};
 
 /// Version tag of the serving-report schema.
 pub const LOAD_SCHEMA: &str = "rtj-load/v1";
@@ -162,6 +163,133 @@ pub struct LoadGroup {
     pub service: LatencySummary,
 }
 
+/// Per-(program, mode, engine) latency attribution derived from the
+/// flight recorder's event log: where the group's sessions spent their
+/// time between submission and result merge, as exact nearest-rank
+/// percentiles per stage. Present in `rtj-load/v1` only when the run
+/// had telemetry on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributionGroup {
+    /// Server program name.
+    pub program: String,
+    /// Check mode of the group.
+    pub mode: CheckMode,
+    /// Engine of the group.
+    pub engine: Engine,
+    /// Sessions with a complete stage chain (executed sessions observed
+    /// by the recorder).
+    pub sessions: u64,
+    /// How many of those were executed by a non-owner worker.
+    pub stolen: u64,
+    /// One summary per stage, in [`STAGE_NAMES`] order: admission,
+    /// queue, steal, service, merge.
+    pub stages: Vec<(String, LatencySummary)>,
+}
+
+/// Joins the recorder's per-session stages to the result groups. Group
+/// order matches the report's `groups` (sorted keys), so the block is
+/// deterministic given the same event-log structure.
+fn build_attribution(
+    stages: &[SessionStages],
+    results: &[SessionResult],
+    keys: &[(String, CheckMode, Engine)],
+) -> Vec<AttributionGroup> {
+    let mut groups: Vec<AttributionGroup> = keys
+        .iter()
+        .map(|(program, mode, engine)| AttributionGroup {
+            program: program.clone(),
+            mode: *mode,
+            engine: *engine,
+            sessions: 0,
+            stolen: 0,
+            stages: Vec::new(),
+        })
+        .collect();
+    let mut samples: Vec<[Vec<u64>; 5]> = keys.iter().map(|_| Default::default()).collect();
+    // `results` is sorted by session id — binary search instead of a map.
+    for s in stages {
+        let Ok(idx) = results.binary_search_by_key(&s.session, |r| r.spec.session) else {
+            continue;
+        };
+        let r = &results[idx];
+        let key = (r.spec.program.to_string(), r.spec.mode, r.spec.engine);
+        let Some(g) = keys.iter().position(|k| *k == key) else {
+            continue;
+        };
+        groups[g].sessions += 1;
+        groups[g].stolen += s.stolen as u64;
+        for (slot, us) in samples[g].iter_mut().zip(s.stages_us()) {
+            slot.push(us);
+        }
+    }
+    for (g, stage_samples) in groups.iter_mut().zip(samples) {
+        g.stages = STAGE_NAMES
+            .iter()
+            .zip(stage_samples)
+            .map(|(name, samples)| (name.to_string(), LatencySummary::from_samples(samples)))
+            .collect();
+    }
+    groups.retain(|g| g.sessions > 0);
+    groups
+}
+
+impl AttributionGroup {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("program", Json::Str(self.program.clone())),
+            ("mode", Json::Str(self.mode.name().into())),
+            ("engine", Json::Str(self.engine.to_string())),
+            ("sessions", Json::Int(self.sessions as i64)),
+            ("stolen", Json::Int(self.stolen as i64)),
+            (
+                "stages",
+                Json::Obj(
+                    self.stages
+                        .iter()
+                        .map(|(name, summary)| (name.clone(), summary.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<AttributionGroup, JsonError> {
+        let mode_name = v
+            .get("mode")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing attribution `mode`"))?;
+        let mut stages = Vec::new();
+        match v.get("stages") {
+            Some(Json::Obj(pairs)) => {
+                for (name, summary) in pairs {
+                    stages.push((name.clone(), LatencySummary::from_json(summary)?));
+                }
+            }
+            _ => return Err(bad("missing attribution `stages`")),
+        }
+        Ok(AttributionGroup {
+            program: v
+                .get("program")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad("missing attribution `program`"))?
+                .to_string(),
+            mode: CheckMode::parse(mode_name)
+                .ok_or_else(|| bad(format!("bad mode `{mode_name}`")))?,
+            engine: match v.get("engine").and_then(Json::as_str) {
+                Some("vm") => Engine::Vm,
+                Some("tree") => Engine::Tree,
+                other => return Err(bad(format!("bad attribution engine `{other:?}`"))),
+            },
+            sessions: v
+                .get("sessions")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad("missing attribution `sessions`"))?,
+            stolen: v.get("stolen").and_then(Json::as_u64).unwrap_or(0),
+            stages,
+        })
+    }
+}
+
 /// The Figure-12 ledger over the **mode-matched admitted population**:
 /// for each (program, variant), the largest equal number of executed
 /// static and dynamic sessions is matched, and the checks static mode
@@ -216,10 +344,16 @@ pub struct LoadReport {
     pub peak_concurrent: u64,
     /// Sessions executed by a worker other than the shard owner.
     pub stolen: u64,
+    /// Sessions whose engine run panicked (contained; counted in
+    /// `failed` too).
+    pub panicked: u64,
     /// Executed sessions per second of wall-clock time.
     pub throughput_hz: f64,
     /// Per-(program, mode, engine) groups, in deterministic order.
     pub groups: Vec<LoadGroup>,
+    /// Per-group latency attribution from the flight recorder; empty
+    /// when the run had telemetry off.
+    pub attribution: Vec<AttributionGroup>,
     /// Per-mode merged `rtj-metrics/v1` snapshots across all executed
     /// sessions of that mode.
     pub mode_metrics: Vec<(CheckMode, MetricsSnapshot)>,
@@ -334,7 +468,8 @@ impl LoadReport {
         });
 
         let groups = keys
-            .into_iter()
+            .iter()
+            .cloned()
             .map(|(program, mode, engine)| {
                 let members: Vec<&SessionResult> = results
                     .iter()
@@ -371,6 +506,11 @@ impl LoadReport {
         // change the totals).
         let mode_metrics = outcome.mode_metrics.clone();
         let ledger = matched_ledger(results);
+        let attribution = outcome
+            .telemetry
+            .as_ref()
+            .map(|t| build_attribution(&t.stages, results, &keys))
+            .unwrap_or_default();
 
         let executed = results.iter().filter(|r| r.shed.is_none());
         let completed = executed.clone().count() as u64;
@@ -392,8 +532,10 @@ impl LoadReport {
             shed_queue: outcome.shed.queue,
             peak_concurrent: outcome.stats.peak_in_flight,
             stolen: outcome.stats.stolen,
+            panicked: outcome.stats.panicked,
             throughput_hz,
             groups,
+            attribution,
             mode_metrics,
             ledger,
         }
@@ -438,6 +580,7 @@ impl LoadReport {
                     ),
                     ("peak_concurrent", Json::Int(self.peak_concurrent as i64)),
                     ("stolen", Json::Int(self.stolen as i64)),
+                    ("panicked", Json::Int(self.panicked as i64)),
                 ]),
             ),
             ("throughput_hz", Json::Float(self.throughput_hz)),
@@ -461,6 +604,19 @@ impl LoadReport {
                         })
                         .collect(),
                 ),
+            ),
+            (
+                "attribution",
+                if self.attribution.is_empty() {
+                    Json::Null
+                } else {
+                    Json::Arr(
+                        self.attribution
+                            .iter()
+                            .map(AttributionGroup::to_json)
+                            .collect(),
+                    )
+                },
             ),
             (
                 "mode_metrics",
@@ -565,6 +721,14 @@ impl LoadReport {
                 )?,
             });
         }
+        // Optional blocks: pre-telemetry documents (and telemetry-off
+        // runs) parse with an empty attribution and zero panicked.
+        let mut attribution = Vec::new();
+        if let Some(Json::Arr(entries)) = v.get("attribution") {
+            for entry in entries {
+                attribution.push(AttributionGroup::from_json(entry)?);
+            }
+        }
         let mut mode_metrics = Vec::new();
         for m in v
             .get("mode_metrics")
@@ -614,11 +778,13 @@ impl LoadReport {
             shed_queue,
             peak_concurrent: sess_field("peak_concurrent")?,
             stolen: sess_field("stolen")?,
+            panicked: sessions.get("panicked").and_then(Json::as_u64).unwrap_or(0),
             throughput_hz: v
                 .get("throughput_hz")
                 .and_then(Json::as_f64)
                 .ok_or_else(|| bad("missing `throughput_hz`"))?,
             groups,
+            attribution,
             mode_metrics,
             ledger,
         })
@@ -660,8 +826,8 @@ impl LoadReport {
             );
         }
         out += &format!(
-            "concurrency   : peak {} in flight, {} stolen\n",
-            self.peak_concurrent, self.stolen
+            "concurrency   : peak {} in flight, {} stolen, {} panicked\n",
+            self.peak_concurrent, self.stolen, self.panicked
         );
         out += &format!("throughput    : {:.0} sessions/s\n\n", self.throughput_hz);
         out += &format!(
@@ -681,6 +847,31 @@ impl LoadReport {
                 g.latency.p99_us,
                 g.latency.max_us,
             );
+        }
+        if !self.attribution.is_empty() {
+            out += &format!(
+                "\nstage attribution (flight recorder)\n{:<8} {:<8} {:<6} {:<9} {:>8} {:>9} {:>9} {:>9} {:>9}\n",
+                "program", "mode", "engine", "stage", "sessions", "p50 µs", "p95 µs", "p99 µs", "max µs"
+            );
+            for g in &self.attribution {
+                for (stage, summary) in &g.stages {
+                    out += &format!(
+                        "{:<8} {:<8} {:<6} {:<9} {:>8} {:>9} {:>9} {:>9} {:>9}\n",
+                        g.program,
+                        g.mode.name(),
+                        g.engine.to_string(),
+                        stage,
+                        summary.count,
+                        summary.p50_us,
+                        summary.p95_us,
+                        summary.p99_us,
+                        summary.max_us,
+                    );
+                }
+            }
+            let stolen: u64 = self.attribution.iter().map(|g| g.stolen).sum();
+            let sessions: u64 = self.attribution.iter().map(|g| g.sessions).sum();
+            out += &format!("stolen sessions: {stolen}/{sessions}\n");
         }
         if let Some(l) = &self.ledger {
             out += &format!(

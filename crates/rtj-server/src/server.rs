@@ -41,8 +41,12 @@ use std::time::{Duration, Instant};
 use rtj_interp::{prepare, run_prepared, Engine, Prepared, RunConfig, RunError};
 use rtj_runtime::{CheckMode, MetricsSnapshot};
 
-use crate::executor::{Executor, ExecutorStats};
+use crate::executor::{resolve_workers, Executor, ExecutorStats};
 use crate::session::{SessionResult, SessionSpec, ShedStage};
+use crate::telemetry::{
+    EventKind, FlightRecorder, Sampler, ServerTrace, Telemetry, TelemetryConfig, Timeline,
+    TimelineSample,
+};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -75,6 +79,13 @@ pub struct ServeConfig {
     /// of running — exercises panic containment (the session is recorded
     /// as failed; the round completes).
     pub panic_session: Option<u64>,
+    /// Flight-recorder options. `None` (the default) disables telemetry
+    /// entirely: the per-event hooks compile down to one untaken
+    /// `Option` branch each and no sampler thread is spawned, so the
+    /// disabled path costs nothing measurable (asserted by the
+    /// `telemetry_overhead` bench) and session results are byte-identical
+    /// either way (asserted by the fingerprint-identity tests).
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl Default for ServeConfig {
@@ -92,6 +103,7 @@ impl Default for ServeConfig {
             deadline: None,
             stall_us: 0,
             panic_session: None,
+            telemetry: None,
         }
     }
 }
@@ -155,6 +167,9 @@ pub struct ServeOutcome {
     pub mode_metrics: Vec<(CheckMode, MetricsSnapshot)>,
     /// Shed counts by stage.
     pub shed: ShedStats,
+    /// Flight-recorder output (trace, timeline, per-session stages);
+    /// `None` unless [`ServeConfig::telemetry`] was set.
+    pub telemetry: Option<Telemetry>,
 }
 
 /// One worker's private result aggregation: owned by exactly one worker
@@ -199,11 +214,21 @@ pub struct Server {
     /// Admission-shed results, owned by the submitting thread (the
     /// drivers submit from one thread; this mutex is uncontended).
     admission_shed: Mutex<Vec<SessionResult>>,
-    shed_admission: AtomicU64,
+    shed_admission: Arc<AtomicU64>,
     shed_queue: Arc<AtomicU64>,
+    /// Sessions whose engine run panicked. The server contains the
+    /// unwind *inside* the job (to record a failed result), so the
+    /// executor's own counter never sees it; this one does.
+    panicked: Arc<AtomicU64>,
     deadline: Option<Duration>,
     stall: Duration,
     panic_session: Option<u64>,
+    /// Flight recorder, when telemetry is on. Submitter-side events go
+    /// to the extra submitter lane; worker-side events are recorded from
+    /// inside the job closures onto the executing worker's lane.
+    recorder: Option<Arc<FlightRecorder>>,
+    sampler: Option<Sampler>,
+    telemetry_tick_us: u64,
 }
 
 impl Server {
@@ -258,22 +283,56 @@ impl Server {
                 }
             }
         }
-        let executor = Executor::new(cfg.workers, cfg.queue_capacity);
+        let workers = resolve_workers(cfg.workers);
+        let recorder = cfg
+            .telemetry
+            .as_ref()
+            .map(|_| Arc::new(FlightRecorder::new(workers)));
+        let executor = Executor::with_recorder(workers, cfg.queue_capacity, recorder.clone());
         let shards = Arc::new(
             (0..executor.workers())
                 .map(|_| Mutex::new(ResultShard::default()))
                 .collect::<Vec<_>>(),
         );
+        let shed_admission = Arc::new(AtomicU64::new(0));
+        let shed_queue = Arc::new(AtomicU64::new(0));
+        let panicked = Arc::new(AtomicU64::new(0));
+        let sampler = cfg.telemetry.as_ref().map(|t| {
+            let probe = executor.probe();
+            let rec = Arc::clone(recorder.as_ref().expect("recorder set with telemetry"));
+            let shed_a = Arc::clone(&shed_admission);
+            let shed_q = Arc::clone(&shed_queue);
+            Sampler::start(t.tick, move || {
+                let s = probe.sample();
+                TimelineSample {
+                    ts_us: rec.now_us(),
+                    in_flight: s.in_flight,
+                    queued: s.queued,
+                    completed: s.completed,
+                    shed: shed_a.load(Ordering::Relaxed) + shed_q.load(Ordering::Relaxed),
+                    throughput_hz: 0.0,
+                    workers: s.workers,
+                }
+            })
+        });
         Ok(Server {
             executor,
             mix,
             shards,
             admission_shed: Mutex::new(Vec::new()),
-            shed_admission: AtomicU64::new(0),
-            shed_queue: Arc::new(AtomicU64::new(0)),
+            shed_admission,
+            shed_queue,
+            panicked,
             deadline: cfg.deadline,
             stall: Duration::from_micros(cfg.stall_us),
             panic_session: cfg.panic_session,
+            recorder,
+            sampler,
+            telemetry_tick_us: cfg
+                .telemetry
+                .as_ref()
+                .map(|t| t.tick.as_micros() as u64)
+                .unwrap_or(0),
         })
     }
 
@@ -307,11 +366,19 @@ impl Server {
     pub fn submit(&self, session: u64, scheduled: Instant) {
         let entry = Arc::clone(&self.mix[(session as usize) % self.mix.len()]);
         let deadline = self.deadline.map(|d| scheduled + d);
+        let rec = self.recorder.clone();
+        let submit_lane = self.executor.workers();
+        if let Some(r) = &rec {
+            r.record(submit_lane, EventKind::Submit, Some(session));
+        }
 
         // Shed on admission: the deadline passed while the submitter
         // itself was behind — refuse before paying for the queue.
         if let Some(dl) = deadline {
             if Instant::now() >= dl {
+                if let Some(r) = &rec {
+                    r.record(submit_lane, EventKind::Shed, Some(session));
+                }
                 self.shed_admission.fetch_add(1, Ordering::Relaxed);
                 self.admission_shed.lock().unwrap().push(shed_result(
                     &entry,
@@ -322,59 +389,75 @@ impl Server {
                 return;
             }
         }
+        if let Some(r) = &rec {
+            r.record(submit_lane, EventKind::Admit, Some(session));
+        }
 
         let shards = Arc::clone(&self.shards);
         let shed_queue = Arc::clone(&self.shed_queue);
+        let panicked = Arc::clone(&self.panicked);
         let stall = self.stall;
         let panic_session = self.panic_session;
-        self.executor.submit(Box::new(move |worker: usize| {
-            // Shed in queue: claimed too late to matter.
-            if let Some(dl) = deadline {
-                if Instant::now() >= dl {
-                    shed_queue.fetch_add(1, Ordering::Relaxed);
-                    let result = shed_result(&entry, session, scheduled, ShedStage::Queue);
-                    shards[worker].lock().unwrap().record(result);
-                    return;
+        // Pin session `s` to shard `s % workers` — the same round-robin
+        // spread the single-threaded drivers got from the ticket counter,
+        // but with a shard choice the job closure can compare against its
+        // executing worker to detect steals.
+        let shard = (session as usize) % self.executor.workers();
+        if let Some(r) = &rec {
+            r.record(submit_lane, EventKind::Enqueue, Some(session));
+        }
+        self.executor.submit_to(
+            shard,
+            Box::new(move |worker: usize| {
+                if let Some(r) = &rec {
+                    r.record(worker, EventKind::Dequeue, Some(session));
+                    if worker != shard {
+                        r.record(worker, EventKind::Steal, Some(session));
+                    }
                 }
-            }
-            let mut cfg = RunConfig::new(entry.mode);
-            cfg.engine = entry.engine;
-            cfg.session = session;
-            // Contain unwinds *before* touching the shard lock: a
-            // panicking session is recorded as failed and can neither
-            // poison the shard nor wedge the batch.
-            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                if panic_session == Some(session) {
-                    panic!("injected fault: session {session}");
+                // Shed in queue: claimed too late to matter.
+                if let Some(dl) = deadline {
+                    if Instant::now() >= dl {
+                        if let Some(r) = &rec {
+                            r.record(worker, EventKind::Shed, Some(session));
+                        }
+                        shed_queue.fetch_add(1, Ordering::Relaxed);
+                        let result = shed_result(&entry, session, scheduled, ShedStage::Queue);
+                        shards[worker].lock().unwrap().record(result);
+                        return;
+                    }
                 }
-                run_prepared(&entry.prepared, cfg)
-            }));
-            if !stall.is_zero() {
-                // Simulated downstream I/O: the worker is occupied but
-                // off-CPU, exactly like a handler awaiting an upstream.
-                std::thread::sleep(stall);
-            }
-            let latency_us = scheduled.elapsed().as_micros() as u64;
-            let result = match outcome {
-                Ok(outcome) => SessionResult {
-                    spec: SessionSpec {
-                        session,
-                        program: Arc::clone(&entry.program),
-                        variant: entry.variant,
-                        mode: entry.mode,
-                        engine: entry.engine,
-                    },
-                    cycles: outcome.cycles,
-                    metrics: outcome.metrics,
-                    output: outcome.trace,
-                    error: outcome.error,
-                    shed: None,
-                    service_us: outcome.wall.as_micros() as u64,
-                    latency_us,
-                },
-                Err(payload) => {
-                    let msg = panic_message(payload.as_ref());
-                    SessionResult {
+                let mut cfg = RunConfig::new(entry.mode);
+                cfg.engine = entry.engine;
+                cfg.session = session;
+                if let Some(r) = &rec {
+                    r.record(worker, EventKind::RunStart, Some(session));
+                }
+                // Contain unwinds *before* touching the shard lock: a
+                // panicking session is recorded as failed and can neither
+                // poison the shard nor wedge the batch.
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    if panic_session == Some(session) {
+                        panic!("injected fault: session {session}");
+                    }
+                    run_prepared(&entry.prepared, cfg)
+                }));
+                if !stall.is_zero() {
+                    // Simulated downstream I/O: the worker is occupied but
+                    // off-CPU, exactly like a handler awaiting an upstream.
+                    std::thread::sleep(stall);
+                }
+                if outcome.is_err() {
+                    panicked.fetch_add(1, Ordering::Relaxed);
+                }
+                if let Some(r) = &rec {
+                    r.record(worker, EventKind::RunEnd, Some(session));
+                    if outcome.is_err() {
+                        r.record(worker, EventKind::Panic, Some(session));
+                    }
+                }
+                let mut result = match outcome {
+                    Ok(outcome) => SessionResult {
                         spec: SessionSpec {
                             session,
                             program: Arc::clone(&entry.program),
@@ -382,21 +465,51 @@ impl Server {
                             mode: entry.mode,
                             engine: entry.engine,
                         },
-                        cycles: 0,
-                        metrics: MetricsSnapshot {
-                            mode: entry.mode,
-                            ..Default::default()
-                        },
-                        output: Vec::new(),
-                        error: Some(RunError::Interp(format!("session panicked: {msg}"))),
+                        cycles: outcome.cycles,
+                        metrics: outcome.metrics,
+                        output: outcome.trace,
+                        error: outcome.error,
                         shed: None,
-                        service_us: 0,
-                        latency_us,
+                        service_us: outcome.wall.as_micros() as u64,
+                        latency_us: 0,
+                    },
+                    Err(payload) => {
+                        let msg = panic_message(payload.as_ref());
+                        SessionResult {
+                            spec: SessionSpec {
+                                session,
+                                program: Arc::clone(&entry.program),
+                                variant: entry.variant,
+                                mode: entry.mode,
+                                engine: entry.engine,
+                            },
+                            cycles: 0,
+                            metrics: MetricsSnapshot {
+                                mode: entry.mode,
+                                ..Default::default()
+                            },
+                            output: Vec::new(),
+                            error: Some(RunError::Interp(format!("session panicked: {msg}"))),
+                            shed: None,
+                            service_us: 0,
+                            latency_us: 0,
+                        }
                     }
+                };
+                // Stamp the merge boundary with the shard lock held, then
+                // measure end-to-end latency *after* it: the session's
+                // stage sum (submit → record) can never exceed its
+                // reported latency — the cross-check the attribution
+                // tests assert. The lock is uncontended by construction
+                // (one worker per shard), so the point moves by nanoseconds.
+                let mut shard_guard = shards[worker].lock().unwrap();
+                if let Some(r) = &rec {
+                    r.record(worker, EventKind::Record, Some(session));
                 }
-            };
-            shards[worker].lock().unwrap().record(result);
-        }));
+                result.latency_us = scheduled.elapsed().as_micros() as u64;
+                shard_guard.record(result);
+            }),
+        );
     }
 
     /// Blocks until all submitted sessions finish.
@@ -404,16 +517,34 @@ impl Server {
         self.executor.drain();
     }
 
-    /// Current executor counters.
+    /// Current executor counters, with `panicked` including panics the
+    /// server contained inside session jobs.
     pub fn stats(&self) -> ExecutorStats {
-        self.executor.stats()
+        let mut stats = self.executor.stats();
+        stats.panicked += self.panicked.load(Ordering::Relaxed);
+        stats
     }
 
     /// Drains, stops the workers, merges the per-worker result shards
     /// (once), and returns the per-session results sorted by session id
     /// plus the pre-merged per-mode metrics.
     pub fn finish(self) -> ServeOutcome {
-        let stats = self.executor.shutdown();
+        let workers = self.executor.workers();
+        let mut stats = self.executor.shutdown();
+        stats.panicked += self.panicked.load(Ordering::Relaxed);
+        // Stop the sampler after the drain so its final sample captures
+        // the fully drained end state.
+        let samples = self.sampler.map(Sampler::stop);
+        let telemetry = self.recorder.map(|rec| {
+            let duration_us = rec.now_us();
+            let trace = ServerTrace::new(workers, duration_us, rec.drain());
+            let stages = trace.session_stages();
+            Telemetry {
+                timeline: Timeline::new(self.telemetry_tick_us, samples.unwrap_or_default()),
+                stages,
+                trace,
+            }
+        });
         let shards = Arc::try_unwrap(self.shards).expect("workers stopped");
         let mut results = self.admission_shed.into_inner().unwrap();
         let mut merged: Vec<((CheckMode, Engine), MetricsSnapshot)> = Vec::new();
@@ -461,6 +592,7 @@ impl Server {
             stats,
             mode_metrics,
             shed,
+            telemetry,
         }
     }
 }

@@ -127,6 +127,10 @@ fn serving_docs_cross_reference_each_other() {
         server.contains("rtj-load/v1"),
         "SERVER.md must document rtj-load/v1"
     );
+    assert!(
+        server.contains("Diagnosing tail latency"),
+        "SERVER.md must keep the flight-recorder walkthrough"
+    );
 
     let obs = read_doc("OBSERVABILITY.md");
     assert!(
@@ -137,6 +141,14 @@ fn serving_docs_cross_reference_each_other() {
         obs.contains("rtj-load/v1"),
         "OBSERVABILITY.md must list rtj-load/v1"
     );
+    assert!(
+        obs.contains("rtj-server-trace/v1"),
+        "OBSERVABILITY.md must document the flight-recorder trace schema"
+    );
+    assert!(
+        obs.contains("rtj-timeline/v1"),
+        "OBSERVABILITY.md must document the telemetry time-series schema"
+    );
 
     let exp = read_doc("EXPERIMENTS.md");
     assert!(
@@ -146,6 +158,10 @@ fn serving_docs_cross_reference_each_other() {
     assert!(
         exp.contains("BENCH_serve.json"),
         "EXPERIMENTS.md must state the BENCH_serve.json regen command"
+    );
+    assert!(
+        exp.contains("--telemetry") && exp.contains("flight_recorder"),
+        "EXPERIMENTS.md must state the flight-recorder regen commands"
     );
 
     let readme = read_doc("README.md");
